@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks of the hot components: POPET
+//! prediction/training, HMP, cache array operations, DRAM scheduling, and
+//! branch prediction. These quantify the simulator's own costs and the
+//! relative "hardware complexity" of the mechanisms.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use hermes::{Hmp, LoadContext, OffChipPredictor, Popet, Ttp};
+use hermes_cache::{CacheArray, CacheConfig, ReplacementKind};
+use hermes_cpu::branch::{BranchPredictor, PerceptronBp};
+use hermes_dram::{DramConfig, MemoryController, ReqKind};
+use hermes_types::{LineAddr, VirtAddr};
+
+fn bench_popet(c: &mut Criterion) {
+    let mut popet = Popet::default();
+    let mut i = 0u64;
+    c.bench_function("popet_predict_train", |b| {
+        b.iter(|| {
+            i += 1;
+            let ctx = LoadContext::identity(0x400100 + (i % 16) * 4, VirtAddr::new(0x10_0000 + i * 64));
+            let p = popet.predict(black_box(&ctx));
+            popet.train(&ctx, &p, i.is_multiple_of(20));
+            black_box(p.go_offchip)
+        })
+    });
+}
+
+fn bench_hmp_ttp(c: &mut Criterion) {
+    let mut hmp = Hmp::new();
+    let mut ttp = Ttp::default();
+    let mut i = 0u64;
+    c.bench_function("hmp_predict_train", |b| {
+        b.iter(|| {
+            i += 1;
+            let ctx = LoadContext::identity(0x400100 + (i % 16) * 4, VirtAddr::new(0x20_0000 + i * 64));
+            let p = hmp.predict(black_box(&ctx));
+            hmp.train(&ctx, &p, i.is_multiple_of(20));
+        })
+    });
+    c.bench_function("ttp_fill_predict_evict", |b| {
+        b.iter(|| {
+            i += 1;
+            let line = LineAddr::new(i);
+            ttp.on_cache_fill(black_box(line));
+            let ctx = LoadContext::identity(0x400100, VirtAddr::new(i * 64));
+            let p = ttp.predict(&ctx);
+            if i.is_multiple_of(3) {
+                ttp.on_llc_eviction(line);
+            }
+            black_box(p.go_offchip)
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let cfg = CacheConfig::new("LLC", 3 << 20, 12, ReplacementKind::Ship, 64);
+    let mut cache = CacheArray::new(&cfg);
+    let mut i = 0u64;
+    c.bench_function("llc_access_fill_ship", |b| {
+        b.iter(|| {
+            i += 1;
+            let line = LineAddr::new(i % 100_000);
+            if !cache.access(black_box(line), (i % 4096) as u16).hit {
+                cache.fill(line, false, false, (i % 4096) as u16);
+            }
+        })
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let mut mc = MemoryController::new(DramConfig::single_core());
+    let mut out = Vec::new();
+    let mut i = 0u64;
+    c.bench_function("dram_enqueue_complete", |b| {
+        b.iter(|| {
+            i += 1;
+            mc.enqueue_read(LineAddr::new(i * 97), i * 3, ReqKind::Demand);
+            mc.pop_completions(i * 3, &mut out);
+            black_box(out.len())
+        })
+    });
+}
+
+fn bench_branch(c: &mut Criterion) {
+    let mut bp = PerceptronBp::new();
+    let mut i = 0u64;
+    c.bench_function("perceptron_branch_predict_train", |b| {
+        b.iter(|| {
+            i += 1;
+            let pc = 0x400000 + (i % 64) * 4;
+            let taken = !(i / 7).is_multiple_of(3);
+            let p = bp.predict(black_box(pc));
+            bp.train(pc, taken, p);
+            black_box(p)
+        })
+    });
+}
+
+criterion_group!(
+    name = components;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_popet, bench_hmp_ttp, bench_cache, bench_dram, bench_branch
+);
+criterion_main!(components);

@@ -1,0 +1,39 @@
+//! Criterion end-to-end benchmark: full-system simulation throughput
+//! (simulated instructions per wall-second) for the three headline
+//! configurations. This is the number that bounds how large a `--full`
+//! sweep is practical.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use hermes::{HermesConfig, PredictorKind};
+use hermes_prefetch::PrefetcherKind;
+use hermes_sim::{System, SystemConfig};
+use hermes_trace::suite;
+
+const INSTR: u64 = 20_000;
+
+fn bench_sim(c: &mut Criterion) {
+    let spec = &suite::smoke_suite()[0];
+    let mut g = c.benchmark_group("end_to_end");
+    g.throughput(Throughput::Elements(INSTR));
+    for (label, cfg) in [
+        ("no-prefetching", SystemConfig::baseline_1c().with_prefetcher(PrefetcherKind::None)),
+        ("pythia", SystemConfig::baseline_1c()),
+        (
+            "pythia+hermesO",
+            SystemConfig::baseline_1c().with_hermes(HermesConfig::hermes_o(PredictorKind::Popet)),
+        ),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            b.iter(|| System::new(cfg.clone(), std::slice::from_ref(spec)).run(2_000, INSTR))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = end_to_end;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_sim
+);
+criterion_main!(end_to_end);

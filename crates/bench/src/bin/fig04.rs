@@ -1,0 +1,46 @@
+//! Fig. 4 — potential of Ideal Hermes: (a) by itself and with Pythia;
+//! (b) combined with Bingo, SPP, MLOP, and SMS.
+
+use hermes::{HermesConfig, PredictorKind};
+use hermes_bench::{configs, emit, run_suite, speedup_table, speedups, Scale};
+use hermes_prefetch::PrefetcherKind;
+use hermes_sim::SystemConfig;
+
+fn main() {
+    let scale = Scale::from_args();
+    let (bt, bc) = configs::nopf();
+    let base = run_suite(bt, &bc, &scale);
+
+    // (a) Ideal Hermes alone, Pythia, Pythia + Ideal.
+    let (it, ic) = configs::hermes_alone('o', PredictorKind::Ideal);
+    let (pt, pc) = configs::pythia();
+    let (pit, pic) = configs::pythia_hermes('o', PredictorKind::Ideal);
+    let rows_a = vec![
+        ("Ideal Hermes".to_string(), speedups(&base, &run_suite(&it, &ic, &scale))),
+        ("Pythia (baseline)".to_string(), speedups(&base, &run_suite(pt, &pc, &scale))),
+        ("Pythia + Ideal Hermes".to_string(), speedups(&base, &run_suite(&pit, &pic, &scale))),
+    ];
+
+    // (b) Each prefetcher with and without Ideal Hermes.
+    let mut rows_b = Vec::new();
+    for pf in PrefetcherKind::PAPER_SET {
+        if pf == PrefetcherKind::Pythia {
+            continue; // covered in (a)
+        }
+        let cfg = SystemConfig::baseline_1c().with_prefetcher(pf);
+        let tag = format!("{}-only", pf.label());
+        let alone = run_suite(&tag, &cfg, &scale);
+        let cfg_h = cfg.clone().with_hermes(HermesConfig::hermes_o(PredictorKind::Ideal));
+        let tag_h = format!("{}+idealhermes", pf.label());
+        let with_h = run_suite(&tag_h, &cfg_h, &scale);
+        rows_b.push((pf.label().to_string(), speedups(&base, &alone)));
+        rows_b.push((format!("{} + Ideal Hermes", pf.label()), speedups(&base, &with_h)));
+    }
+
+    let body = format!(
+        "### (a) Ideal Hermes with the baseline prefetcher\n\n{}\n### (b) Ideal Hermes with other prefetchers\n\n{}",
+        speedup_table(&rows_a),
+        speedup_table(&rows_b),
+    );
+    emit("fig04", "Potential performance of Ideal Hermes (speedup vs no-prefetching)", &body, &scale);
+}

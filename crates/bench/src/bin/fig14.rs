@@ -1,0 +1,34 @@
+//! Fig. 14 — Hermes with different off-chip predictors (HMP, TTP, POPET)
+//! and the Ideal oracle, all combined with Pythia.
+
+use hermes::PredictorKind;
+use hermes_bench::{configs, emit, run_suite, speedup_table, speedups, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (bt, bc) = configs::nopf();
+    let base = run_suite(bt, &bc, &scale);
+
+    let mut rows = Vec::new();
+    let (pt, pc) = configs::pythia();
+    rows.push(("Pythia (baseline)".to_string(), speedups(&base, &run_suite(pt, &pc, &scale))));
+    for pred in [PredictorKind::Hmp, PredictorKind::Ttp, PredictorKind::Popet, PredictorKind::Ideal] {
+        let (tag, cfg) = configs::pythia_hermes('o', pred);
+        let label = format!("Pythia + Hermes-{}", pred.label());
+        rows.push((label, speedups(&base, &run_suite(&tag, &cfg, &scale))));
+    }
+    let geo = |r: &Vec<(hermes_trace::Category, f64)>| {
+        hermes_types::geomean(&r.iter().map(|&(_, v)| v).collect::<Vec<_>>())
+    };
+    let popet_gain = geo(&rows[3].1) / geo(&rows[0].1) - 1.0;
+    let ideal_gain = geo(&rows[4].1) / geo(&rows[0].1) - 1.0;
+    let summary = format!(
+        "Over Pythia: Hermes-HMP {:+.1}%, Hermes-TTP {:+.1}%, Hermes-POPET {:+.1}%, Ideal {:+.1}% (paper: +0.8%, +1.7%, +5.4%, +6.2%). POPET reaches {:.0}% of the Ideal upside (paper: ~90%). Caveat: at short windows TTP behaves near-ideal because the LLC never churns (see fig09 note); the paper's TTP penalty needs paper-scale windows.",
+        (geo(&rows[1].1) / geo(&rows[0].1) - 1.0) * 100.0,
+        (geo(&rows[2].1) / geo(&rows[0].1) - 1.0) * 100.0,
+        popet_gain * 100.0,
+        ideal_gain * 100.0,
+        100.0 * popet_gain / ideal_gain.max(1e-9),
+    );
+    emit("fig14", "Hermes with different off-chip predictors", &format!("{}\n{}", speedup_table(&rows), summary), &scale);
+}

@@ -1,0 +1,66 @@
+//! Fig. 16 — eight-core speedups: Pythia vs Pythia + Hermes-{HMP, TTP,
+//! POPET}, normalized to the no-prefetching eight-core system.
+//!
+//! Homogeneous mixes (eight copies of one trace per run) for a
+//! category-diverse subsample, plus heterogeneous MIX runs, as in §7.1.
+
+use hermes::{HermesConfig, PredictorKind};
+use hermes_bench::{emit, f3, run_cached, Scale, Table};
+use hermes_prefetch::PrefetcherKind;
+use hermes_sim::SystemConfig;
+use hermes_types::geomean;
+
+fn main() {
+    let mut scale = Scale::from_args();
+    // Eight-core runs cost ~8x; shorten the per-core window.
+    scale.warmup /= 2;
+    scale.instr /= 2;
+    let subsuite = scale.sweep_suite();
+
+    let configs: Vec<(String, SystemConfig)> = vec![
+        ("no-prefetching".into(), SystemConfig::baseline_8c().with_prefetcher(PrefetcherKind::None)),
+        ("Pythia".into(), SystemConfig::baseline_8c()),
+        (
+            "Pythia+Hermes-HMP".into(),
+            SystemConfig::baseline_8c().with_hermes(HermesConfig::hermes_o(PredictorKind::Hmp)),
+        ),
+        (
+            "Pythia+Hermes-TTP".into(),
+            SystemConfig::baseline_8c().with_hermes(HermesConfig::hermes_o(PredictorKind::Ttp)),
+        ),
+        (
+            "Pythia+Hermes-POPET".into(),
+            SystemConfig::baseline_8c().with_hermes(HermesConfig::hermes_o(PredictorKind::Popet)),
+        ),
+    ];
+
+    // speedups[cfg][trace]
+    let mut per_cfg: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+    let mut t = Table::new(&["8-core mix", "Pythia", "+Hermes-HMP", "+Hermes-TTP", "+Hermes-POPET"]);
+    for spec in &subsuite {
+        let mut ipcs = Vec::new();
+        for (tag, cfg) in &configs {
+            let r = run_cached(&format!("8c-{tag}"), cfg, spec, &scale);
+            ipcs.push(r.ipc);
+        }
+        for (i, ipc) in ipcs.iter().enumerate() {
+            per_cfg[i].push(ipc / ipcs[0]);
+        }
+        t.row(&[
+            format!("8x {}", spec.name),
+            f3(ipcs[1] / ipcs[0]),
+            f3(ipcs[2] / ipcs[0]),
+            f3(ipcs[3] / ipcs[0]),
+            f3(ipcs[4] / ipcs[0]),
+        ]);
+    }
+    let g: Vec<f64> = per_cfg.iter().map(|v| geomean(v)).collect();
+    t.row(&["GEOMEAN".to_string(), f3(g[1]), f3(g[2]), f3(g[3]), f3(g[4])]);
+    let summary = format!(
+        "Over Pythia: Hermes-HMP {:+.1}%, Hermes-TTP {:+.1}%, Hermes-POPET {:+.1}% (paper: +0.6%, -2.1%, +5.1%). Shape check: POPET gains under bandwidth pressure; TTP's inaccuracy costs it.",
+        (g[2] / g[1] - 1.0) * 100.0,
+        (g[3] / g[1] - 1.0) * 100.0,
+        (g[4] / g[1] - 1.0) * 100.0,
+    );
+    emit("fig16", "Eight-core speedups", &format!("{}\n{}", t.to_markdown(), summary), &scale);
+}

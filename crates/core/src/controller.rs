@@ -1,0 +1,185 @@
+//! Hermes datapath configuration and predictor accounting.
+//!
+//! The issue-latency variants of §7.2: **Hermes-O** (optimistic, 6 cycles)
+//! and **Hermes-P** (pessimistic, 18 cycles) model the time a Hermes
+//! request takes to route from the core to the memory controller over the
+//! on-chip network; §8.4.3 sweeps this from 0 to 24 cycles.
+
+use crate::predictor::PredictorKind;
+
+/// The two modelled on-chip-network cost points (§7.2, Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HermesVariant {
+    /// Optimistic: 6-cycle Hermes request issue latency.
+    O,
+    /// Pessimistic: 18-cycle Hermes request issue latency.
+    P,
+}
+
+impl HermesVariant {
+    /// The issue latency in cycles.
+    pub fn issue_latency(self) -> u32 {
+        match self {
+            HermesVariant::O => 6,
+            HermesVariant::P => 18,
+        }
+    }
+}
+
+/// Full Hermes configuration for a system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HermesConfig {
+    /// Off-chip predictor driving Hermes requests.
+    pub predictor: PredictorKind,
+    /// Cycles from load address generation to the Hermes request entering
+    /// the memory controller's read queue.
+    pub issue_latency: u32,
+    /// Predict-and-train only, without issuing Hermes requests — used to
+    /// measure predictor accuracy/coverage in an unmodified baseline
+    /// (Fig. 9/10/11).
+    pub passive: bool,
+}
+
+impl HermesConfig {
+    /// Hermes disabled (the baseline system).
+    pub fn disabled() -> Self {
+        Self { predictor: PredictorKind::None, issue_latency: 0, passive: false }
+    }
+
+    /// Hermes-O with the given predictor.
+    pub fn hermes_o(predictor: PredictorKind) -> Self {
+        Self { predictor, issue_latency: HermesVariant::O.issue_latency(), passive: false }
+    }
+
+    /// Hermes-P with the given predictor.
+    pub fn hermes_p(predictor: PredictorKind) -> Self {
+        Self { predictor, issue_latency: HermesVariant::P.issue_latency(), passive: false }
+    }
+
+    /// Passive mode: the predictor observes and trains but no Hermes
+    /// requests are issued (accuracy/coverage measurement in an otherwise
+    /// unmodified system).
+    pub fn passive(predictor: PredictorKind) -> Self {
+        Self { predictor, issue_latency: 0, passive: true }
+    }
+
+    /// A custom issue latency (the §8.4.3 sweep).
+    pub fn with_issue_latency(mut self, cycles: u32) -> Self {
+        self.issue_latency = cycles;
+        self
+    }
+
+    /// Whether any prediction mechanism is active.
+    pub fn enabled(&self) -> bool {
+        self.predictor != PredictorKind::None
+    }
+}
+
+impl Default for HermesConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// Confusion-matrix accounting for an off-chip predictor, with the paper's
+/// Eq. 3 / Eq. 4 metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredictorStats {
+    /// Predicted off-chip, went off-chip.
+    pub tp: u64,
+    /// Predicted off-chip, served on-chip.
+    pub fp: u64,
+    /// Not predicted, went off-chip.
+    pub fn_: u64,
+    /// Not predicted, served on-chip.
+    pub tn: u64,
+}
+
+impl PredictorStats {
+    /// Records one resolved load.
+    pub fn record(&mut self, predicted: bool, went_offchip: bool) {
+        match (predicted, went_offchip) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, true) => self.fn_ += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Accuracy = TP / (TP + FP) (Eq. 3). Returns 1.0 when no positive
+    /// predictions were made (vacuously accurate, matching the artifact's
+    /// convention).
+    pub fn accuracy(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Coverage = TP / (TP + FN) (Eq. 4). Returns 0.0 when no off-chip
+    /// loads occurred.
+    pub fn coverage(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// Total resolved loads observed.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// Total actual off-chip loads.
+    pub fn offchip(&self) -> u64 {
+        self.tp + self.fn_
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_latencies_match_paper() {
+        assert_eq!(HermesVariant::O.issue_latency(), 6);
+        assert_eq!(HermesVariant::P.issue_latency(), 18);
+    }
+
+    #[test]
+    fn config_constructors() {
+        assert!(!HermesConfig::disabled().enabled());
+        let o = HermesConfig::hermes_o(PredictorKind::Popet);
+        assert!(o.enabled());
+        assert_eq!(o.issue_latency, 6);
+        let swept = o.with_issue_latency(24);
+        assert_eq!(swept.issue_latency, 24);
+    }
+
+    #[test]
+    fn accuracy_and_coverage() {
+        let mut s = PredictorStats::default();
+        // 3 TP, 1 FP, 1 FN, 5 TN.
+        for _ in 0..3 {
+            s.record(true, true);
+        }
+        s.record(true, false);
+        s.record(false, true);
+        for _ in 0..5 {
+            s.record(false, false);
+        }
+        assert!((s.accuracy() - 0.75).abs() < 1e-12);
+        assert!((s.coverage() - 0.75).abs() < 1e-12);
+        assert_eq!(s.total(), 10);
+        assert_eq!(s.offchip(), 4);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let s = PredictorStats::default();
+        assert_eq!(s.accuracy(), 1.0);
+        assert_eq!(s.coverage(), 0.0);
+    }
+}

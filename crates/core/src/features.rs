@@ -1,0 +1,164 @@
+//! POPET's program features (§6.1.3, Table 2).
+//!
+//! Each feature maps a load's program context to a key; the key is hashed
+//! into that feature's weight table. The five features selected by the
+//! paper's automated search are implemented here, each with the rationale
+//! the paper gives:
+//!
+//! 1. **PC ⊕ cacheline offset** — learns per-PC behaviour at each line
+//!    offset within a page, generalising across pages.
+//! 2. **PC ⊕ byte offset** — identifies the line-opening access of a
+//!    stream (e.g. every 16th 4-byte load has byte offset 0).
+//! 3. **PC + first access** — the PC shifted left with the page-buffer
+//!    first-access hint in the low bit.
+//! 4. **Cacheline offset + first access** — PC-free variant of (3).
+//! 5. **Last-4 load PCs** — shifted XOR of the last four load PCs: the
+//!    execution-path context.
+
+use hermes_types::hashing::shifted_xor;
+
+/// One POPET program feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Feature {
+    /// PC ⊕ cacheline-offset-in-page.
+    PcXorLineOffset,
+    /// PC ⊕ byte-offset-in-line.
+    PcXorByteOffset,
+    /// (PC << 1) | first-access hint.
+    PcPlusFirstAccess,
+    /// (line offset << 1) | first-access hint.
+    LineOffsetPlusFirstAccess,
+    /// Shifted XOR of the last four load PCs.
+    Last4LoadPcs,
+}
+
+impl Feature {
+    /// The paper's final feature set, in Table 2 order.
+    pub const SELECTED: [Feature; 5] = [
+        Feature::PcXorLineOffset,
+        Feature::PcXorByteOffset,
+        Feature::PcPlusFirstAccess,
+        Feature::LineOffsetPlusFirstAccess,
+        Feature::Last4LoadPcs,
+    ];
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Feature::PcXorLineOffset => "PC ^ cacheline offset",
+            Feature::PcXorByteOffset => "PC ^ byte offset",
+            Feature::PcPlusFirstAccess => "PC + first access",
+            Feature::LineOffsetPlusFirstAccess => "Cacheline offset + first access",
+            Feature::Last4LoadPcs => "Last-4 load PCs",
+        }
+    }
+
+    /// Default weight-table size in index bits (Table 3: 1024 entries for
+    /// all features except cacheline-offset+first-access at 128).
+    pub fn default_table_bits(self) -> u32 {
+        match self {
+            Feature::LineOffsetPlusFirstAccess => 7,
+            _ => 10,
+        }
+    }
+
+    /// Computes the feature key from the load's context.
+    ///
+    /// `inputs` carries the pieces of program context a feature may need.
+    pub fn key(self, inputs: &FeatureInputs) -> u64 {
+        match self {
+            Feature::PcXorLineOffset => inputs.pc ^ (inputs.line_offset << 17),
+            Feature::PcXorByteOffset => inputs.pc ^ (inputs.byte_offset << 17),
+            Feature::PcPlusFirstAccess => (inputs.pc << 1) | inputs.first_access as u64,
+            Feature::LineOffsetPlusFirstAccess => {
+                (inputs.line_offset << 1) | inputs.first_access as u64
+            }
+            Feature::Last4LoadPcs => shifted_xor(&inputs.last4_pcs, 2),
+        }
+    }
+}
+
+/// The program-context inputs available to feature computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureInputs {
+    /// Load PC.
+    pub pc: u64,
+    /// Cacheline offset within the 4 KiB page (6 bits).
+    pub line_offset: u64,
+    /// Byte offset within the 64 B line (6 bits).
+    pub byte_offset: u64,
+    /// First-access hint from the page buffer.
+    pub first_access: bool,
+    /// The last four load PCs, most recent last.
+    pub last4_pcs: [u64; 4],
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs() -> FeatureInputs {
+        FeatureInputs {
+            pc: 0x400100,
+            line_offset: 5,
+            byte_offset: 12,
+            first_access: true,
+            last4_pcs: [0x400100, 0x400104, 0x400108, 0x40010c],
+        }
+    }
+
+    #[test]
+    fn selected_set_has_five_features() {
+        assert_eq!(Feature::SELECTED.len(), 5);
+    }
+
+    #[test]
+    fn keys_differ_across_features() {
+        let i = inputs();
+        let keys: Vec<u64> = Feature::SELECTED.iter().map(|f| f.key(&i)).collect();
+        let unique: std::collections::HashSet<u64> = keys.iter().copied().collect();
+        assert_eq!(unique.len(), keys.len());
+    }
+
+    #[test]
+    fn first_access_bit_changes_key() {
+        let a = inputs();
+        let b = FeatureInputs { first_access: false, ..a };
+        assert_ne!(
+            Feature::PcPlusFirstAccess.key(&a),
+            Feature::PcPlusFirstAccess.key(&b)
+        );
+        assert_ne!(
+            Feature::LineOffsetPlusFirstAccess.key(&a),
+            Feature::LineOffsetPlusFirstAccess.key(&b)
+        );
+        // ... but does not affect the offset-only features.
+        assert_eq!(Feature::PcXorByteOffset.key(&a), Feature::PcXorByteOffset.key(&b));
+    }
+
+    #[test]
+    fn byte_offset_discriminates_stream_position() {
+        let a = inputs();
+        let b = FeatureInputs { byte_offset: 0, ..a };
+        assert_ne!(Feature::PcXorByteOffset.key(&a), Feature::PcXorByteOffset.key(&b));
+    }
+
+    #[test]
+    fn path_feature_depends_on_history_order() {
+        let a = inputs();
+        let mut b = a;
+        b.last4_pcs = [0x40010c, 0x400108, 0x400104, 0x400100];
+        assert_ne!(Feature::Last4LoadPcs.key(&a), Feature::Last4LoadPcs.key(&b));
+    }
+
+    #[test]
+    fn table_sizes_match_table3() {
+        assert_eq!(Feature::PcXorLineOffset.default_table_bits(), 10);
+        assert_eq!(Feature::LineOffsetPlusFirstAccess.default_table_bits(), 7);
+    }
+
+    #[test]
+    fn labels_are_paper_strings() {
+        assert_eq!(Feature::Last4LoadPcs.label(), "Last-4 load PCs");
+    }
+}

@@ -1,0 +1,202 @@
+//! HMP: the hit-miss predictor of Yoaz et al. (ISCA'99), extended to
+//! predict misses of the whole hierarchy (§4 footnote 3, §7.2).
+//!
+//! Three component predictors — *local* (per-PC miss history indexing a
+//! pattern table), *gshare* (global miss history ⊕ PC), and *gskew* (three
+//! differently-hashed banks with internal majority) — each give a binary
+//! vote; HMP returns the majority. Storage follows the paper's 11 KB
+//! budget (Table 6).
+
+use hermes_types::{hash_index, mix64, SatCounter};
+
+use crate::predictor::{LoadContext, OffChipPredictor, Prediction, PredictionMeta};
+
+const LOCAL_HIST_BITS: u32 = 10; // 1024 per-PC histories
+const LOCAL_HIST_LEN: u32 = 12; // 12-bit local history
+const LOCAL_PATTERN_BITS: u32 = 13; // 8192-entry pattern table
+const GSHARE_BITS: u32 = 14; // 16384 counters
+const GSKEW_BITS: u32 = 12; // 3 x 4096 counters
+const COUNTER_BITS: u32 = 2;
+/// Global hit/miss history length folded into the gshare/gskew indices.
+/// Bounded so that a steady outcome stream reaches a stable index (and
+/// therefore trainable counters) quickly.
+const GHIST_LEN: u32 = 8;
+
+/// See [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Hmp {
+    local_hist: Vec<u16>,
+    local_pattern: Vec<SatCounter>,
+    gshare: Vec<SatCounter>,
+    gskew: [Vec<SatCounter>; 3],
+    ghist: u64,
+}
+
+impl Hmp {
+    /// Builds HMP with the paper's geometry.
+    pub fn new() -> Self {
+        Self {
+            local_hist: vec![0; 1 << LOCAL_HIST_BITS],
+            local_pattern: vec![SatCounter::new_zero(COUNTER_BITS); 1 << LOCAL_PATTERN_BITS],
+            gshare: vec![SatCounter::new_zero(COUNTER_BITS); 1 << GSHARE_BITS],
+            gskew: [
+                vec![SatCounter::new_zero(COUNTER_BITS); 1 << GSKEW_BITS],
+                vec![SatCounter::new_zero(COUNTER_BITS); 1 << GSKEW_BITS],
+                vec![SatCounter::new_zero(COUNTER_BITS); 1 << GSKEW_BITS],
+            ],
+            ghist: 0,
+        }
+    }
+
+    fn local_slot(&self, pc: u64) -> usize {
+        hash_index(pc, LOCAL_HIST_BITS)
+    }
+
+    fn indices(&self, pc: u64) -> (u32, u32, [u32; 3]) {
+        let hist = self.local_hist[self.local_slot(pc)] as u64;
+        let ghist = self.ghist & ((1 << GHIST_LEN) - 1);
+        let local = hash_index(hist ^ (pc << LOCAL_HIST_LEN), LOCAL_PATTERN_BITS) as u32;
+        let gshare = hash_index(pc ^ ghist, GSHARE_BITS) as u32;
+        let gskew = [
+            hash_index(mix64(pc) ^ ghist, GSKEW_BITS) as u32,
+            hash_index(mix64(pc.rotate_left(17)) ^ ghist, GSKEW_BITS) as u32,
+            hash_index(mix64(pc.rotate_left(41) ^ ghist.rotate_left(7)), GSKEW_BITS) as u32,
+        ];
+        (local, gshare, gskew)
+    }
+
+    fn vote(&self, local: u32, gshare: u32, gskew: [u32; 3]) -> bool {
+        let l = self.local_pattern[local as usize].is_set();
+        let g = self.gshare[gshare as usize].is_set();
+        let sk_votes = gskew
+            .iter()
+            .zip(self.gskew.iter())
+            .filter(|(idx, bank)| bank[**idx as usize].is_set())
+            .count();
+        let sk = sk_votes >= 2;
+        (l as u8 + g as u8 + sk as u8) >= 2
+    }
+}
+
+impl Default for Hmp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OffChipPredictor for Hmp {
+    fn predict(&mut self, ctx: &LoadContext) -> Prediction {
+        let (local, gshare, gskew) = self.indices(ctx.pc);
+        Prediction {
+            go_offchip: self.vote(local, gshare, gskew),
+            meta: PredictionMeta::Hmp { local, gshare, gskew },
+        }
+    }
+
+    fn train(&mut self, ctx: &LoadContext, pred: &Prediction, went_offchip: bool) {
+        let PredictionMeta::Hmp { local, gshare, gskew } = pred.meta else {
+            return;
+        };
+        self.local_pattern[local as usize].train(went_offchip);
+        self.gshare[gshare as usize].train(went_offchip);
+        for (idx, bank) in gskew.iter().zip(self.gskew.iter_mut()) {
+            bank[*idx as usize].train(went_offchip);
+        }
+        // Shift the outcome into both history kinds.
+        let slot = self.local_slot(ctx.pc);
+        self.local_hist[slot] =
+            ((self.local_hist[slot] << 1) | went_offchip as u16) & ((1 << LOCAL_HIST_LEN) - 1);
+        self.ghist = (self.ghist << 1) | went_offchip as u64;
+    }
+
+    fn name(&self) -> &'static str {
+        "HMP"
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.local_hist.len() * LOCAL_HIST_LEN as usize
+            + self.local_pattern.len() * COUNTER_BITS as usize
+            + self.gshare.len() * COUNTER_BITS as usize
+            + 3 * (1 << GSKEW_BITS) * COUNTER_BITS as usize
+            + 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_types::VirtAddr;
+
+    fn ctx(pc: u64, addr: u64) -> LoadContext {
+        LoadContext::identity(pc, VirtAddr::new(addr))
+    }
+
+    #[test]
+    fn counters_start_predicting_hit() {
+        // Off-chip is the rare class; an untrained HMP must not spam
+        // positive predictions.
+        let mut h = Hmp::new();
+        let p = h.predict(&ctx(0x400000, 0x1000));
+        assert!(!p.go_offchip);
+    }
+
+    #[test]
+    fn learns_always_missing_pc() {
+        let mut h = Hmp::new();
+        let c = ctx(0x400100, 0x222000);
+        for _ in 0..50 {
+            let p = h.predict(&c);
+            h.train(&c, &p, true);
+        }
+        assert!(h.predict(&c).go_offchip);
+    }
+
+    #[test]
+    fn learns_periodic_miss_pattern() {
+        // Every 4th access misses: local history should pick this up.
+        let mut h = Hmp::new();
+        let c = ctx(0x400200, 0x333000);
+        let mut correct = 0;
+        let total = 2000;
+        for i in 0..total {
+            let outcome = i % 4 == 0;
+            let p = h.predict(&c);
+            if i > total / 2 && p.go_offchip == outcome {
+                correct += 1;
+            }
+            h.train(&c, &p, outcome);
+        }
+        let acc = correct as f64 / (total / 2) as f64;
+        assert!(acc > 0.8, "periodic pattern accuracy {acc}");
+    }
+
+    #[test]
+    fn majority_vote_resists_one_bad_component() {
+        // Sanity: prediction is a majority, so a single aliased component
+        // cannot flip a well-trained consensus. We approximate by training
+        // strongly and checking stability across many PCs.
+        let mut h = Hmp::new();
+        for pc in 0..32u64 {
+            let c = ctx(0x500000 + pc * 4, 0x400000 + pc * 64);
+            for _ in 0..30 {
+                let p = h.predict(&c);
+                h.train(&c, &p, false);
+            }
+            assert!(!h.predict(&c).go_offchip);
+        }
+    }
+
+    #[test]
+    fn storage_near_11kb() {
+        let kb = Hmp::new().storage_bits() as f64 / 8.0 / 1024.0;
+        assert!((9.0..12.5).contains(&kb), "HMP storage {kb} KB (paper: 11 KB)");
+    }
+
+    #[test]
+    fn train_ignores_foreign_meta() {
+        let mut h = Hmp::new();
+        let c = ctx(1, 2);
+        let foreign = Prediction::negative();
+        h.train(&c, &foreign, true); // must not panic
+    }
+}

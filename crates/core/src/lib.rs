@@ -1,0 +1,53 @@
+//! **Hermes** — perceptron-based off-chip load prediction (MICRO 2022).
+//!
+//! This crate is the paper's contribution proper:
+//!
+//! * [`Popet`] — the **P**erceptron-based **O**ff-chip **P**redictor
+//!   (§6.1): five hashed program features, 5-bit saturating weight tables,
+//!   a 64-entry page buffer supplying the *first access* hint, and the
+//!   activation/training thresholds of Table 2.
+//! * [`Hmp`] — the hit-miss predictor of Yoaz et al. (local + gshare +
+//!   gskew with majority voting), the prior-work baseline (§4, §7.2).
+//! * [`Ttp`] — the address-tag-tracking predictor the authors built as a
+//!   second baseline (§7.2): a partial-tag mirror of on-chip contents.
+//! * [`HermesConfig`] / [`HermesVariant`] — the datapath parameters
+//!   (Hermes-O = 6-cycle, Hermes-P = 18-cycle request issue latency).
+//! * [`storage`] — the Table 3 / Table 6 storage accounting, computed from
+//!   the live configurations rather than hard-coded.
+//!
+//! The predictors are pure data structures: the cache-hierarchy engine in
+//! `hermes-sim` calls [`OffChipPredictor::predict`] at load address
+//! generation, issues the speculative Hermes request on a positive
+//! prediction, and calls [`OffChipPredictor::train`] when the load returns
+//! with its ground-truth outcome — exactly the four steps of the paper's
+//! Fig. 6.
+//!
+//! # Example
+//!
+//! ```
+//! use hermes::{LoadContext, OffChipPredictor, Popet};
+//! use hermes_types::VirtAddr;
+//!
+//! let mut popet = Popet::default();
+//! let ctx = LoadContext::identity(0x400100, VirtAddr::new(0x7f00_1040));
+//! let pred = popet.predict(&ctx);
+//! // ... the load resolves; suppose it went off-chip:
+//! popet.train(&ctx, &pred, true);
+//! ```
+
+pub mod controller;
+pub mod features;
+pub mod hmp;
+pub mod page_buffer;
+pub mod popet;
+pub mod predictor;
+pub mod storage;
+pub mod ttp;
+
+pub use controller::{HermesConfig, HermesVariant, PredictorStats};
+pub use features::Feature;
+pub use hmp::Hmp;
+pub use page_buffer::PageBuffer;
+pub use popet::{Popet, PopetConfig};
+pub use predictor::{LoadContext, OffChipPredictor, Prediction, PredictionMeta, PredictorKind};
+pub use ttp::Ttp;

@@ -1,0 +1,156 @@
+//! The page buffer backing POPET's *first access* hint (§6.1.3, feature 3).
+//!
+//! A small fully-associative structure tracking the demanded cache lines of
+//! the last N virtual pages. Each entry holds a virtual-page tag and a
+//! 64-bit bitmap, one bit per line in the page. On every load the buffer is
+//! probed with the load's page; the addressed line's bit provides the hint
+//! (unset ⇒ the program has not recently touched the line ⇒ "first
+//! access"), and is then set. The paper sizes it at 64 entries × 80 bits.
+
+use hermes_types::VirtAddr;
+
+/// See [module docs](self).
+#[derive(Debug, Clone)]
+pub struct PageBuffer {
+    tags: Vec<u64>,
+    bitmaps: Vec<u64>,
+    lru: Vec<u64>,
+    clock: u64,
+    capacity: usize,
+}
+
+impl PageBuffer {
+    /// A buffer tracking `capacity` pages (64 in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "page buffer needs at least one entry");
+        Self {
+            tags: Vec::with_capacity(capacity),
+            bitmaps: Vec::with_capacity(capacity),
+            lru: Vec::with_capacity(capacity),
+            clock: 0,
+            capacity,
+        }
+    }
+
+    /// Probes and updates the buffer for a load to `vaddr`.
+    ///
+    /// Returns the *first access* hint: `true` if the line's bit was not
+    /// set (including the page being absent entirely). As a side effect
+    /// the bit is set and the entry refreshed (allocating / evicting LRU
+    /// as needed) — one call per load, at prediction time.
+    pub fn first_access(&mut self, vaddr: VirtAddr) -> bool {
+        let page = vaddr.page_number();
+        let bit = 1u64 << vaddr.line_offset_in_page();
+        self.clock += 1;
+        if let Some(i) = self.tags.iter().position(|&t| t == page) {
+            let first = self.bitmaps[i] & bit == 0;
+            self.bitmaps[i] |= bit;
+            self.lru[i] = self.clock;
+            return first;
+        }
+        // Allocate; evict LRU if full.
+        if self.tags.len() == self.capacity {
+            let victim = (0..self.lru.len())
+                .min_by_key(|&i| self.lru[i])
+                .expect("buffer nonempty when full");
+            self.tags[victim] = page;
+            self.bitmaps[victim] = bit;
+            self.lru[victim] = self.clock;
+        } else {
+            self.tags.push(page);
+            self.bitmaps.push(bit);
+            self.lru.push(self.clock);
+        }
+        true
+    }
+
+    /// Number of pages currently tracked.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Whether no pages are tracked yet.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Storage in bits: per entry a page tag (wryly generous at 16 bits,
+    /// per the paper's 80-bit entries) plus the 64-bit bitmap.
+    pub fn storage_bits(&self) -> usize {
+        self.capacity * 80
+    }
+}
+
+impl Default for PageBuffer {
+    /// The paper's 64-entry configuration.
+    fn default() -> Self {
+        Self::new(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(page: u64, line_in_page: u64) -> VirtAddr {
+        VirtAddr::new(page * 4096 + line_in_page * 64)
+    }
+
+    #[test]
+    fn first_touch_is_first_access() {
+        let mut pb = PageBuffer::new(4);
+        assert!(pb.first_access(addr(1, 0)));
+        assert!(!pb.first_access(addr(1, 0)), "second touch of same line");
+        assert!(pb.first_access(addr(1, 1)), "different line in same page");
+    }
+
+    #[test]
+    fn distinct_pages_tracked_separately() {
+        let mut pb = PageBuffer::new(4);
+        assert!(pb.first_access(addr(1, 5)));
+        assert!(pb.first_access(addr(2, 5)));
+        assert!(!pb.first_access(addr(1, 5)));
+        assert_eq!(pb.len(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_forgets_oldest_page() {
+        let mut pb = PageBuffer::new(2);
+        pb.first_access(addr(1, 0));
+        pb.first_access(addr(2, 0));
+        pb.first_access(addr(1, 1)); // refresh page 1
+        pb.first_access(addr(3, 0)); // evicts page 2
+        assert!(pb.first_access(addr(2, 0)), "evicted page must read as first access");
+        assert!(!pb.first_access(addr(1, 0)) || pb.len() <= 2);
+    }
+
+    #[test]
+    fn capacity_bounded() {
+        let mut pb = PageBuffer::new(8);
+        for p in 0..100 {
+            pb.first_access(addr(p, 0));
+        }
+        assert_eq!(pb.len(), 8);
+    }
+
+    #[test]
+    fn paper_storage_is_640_bytes() {
+        let pb = PageBuffer::default();
+        assert_eq!(pb.storage_bits(), 64 * 80);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        let _ = PageBuffer::new(0);
+    }
+}

@@ -1,0 +1,366 @@
+//! POPET: the Perceptron-based Off-chip Predictor (§6.1).
+//!
+//! A hashed-perceptron binary classifier. For each load, every active
+//! program feature is hashed into its own weight table; the retrieved
+//! weights are summed, and the load is predicted off-chip when the sum
+//! reaches the activation threshold τ_act. When the load returns, the
+//! weights consulted at prediction time are moved one step toward the true
+//! outcome — unless the cumulative weight was already saturated past the
+//! training thresholds (T_N, T_P), a guard that keeps weights mobile so
+//! POPET adapts quickly to phase changes (§6.1.2).
+
+use hermes_types::{hash_index, SatWeight};
+
+use crate::features::{Feature, FeatureInputs};
+use crate::page_buffer::PageBuffer;
+use crate::predictor::{LoadContext, OffChipPredictor, Prediction, PredictionMeta};
+
+/// Maximum number of simultaneously-active features (the paper uses 5;
+/// ablations may use fewer).
+pub const MAX_FEATURES: usize = 8;
+
+/// POPET configuration (Tables 2 and 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopetConfig {
+    /// Active features with their weight-table index widths (bits).
+    pub features: Vec<(Feature, u32)>,
+    /// Weight width in bits (5: range \[−16, +15\]).
+    pub weight_bits: u32,
+    /// Activation threshold τ_act (−18): predict off-chip when
+    /// Wσ ≥ τ_act.
+    pub tau_act: i32,
+    /// Negative training threshold T_N (−35).
+    pub t_neg: i32,
+    /// Positive training threshold T_P (+40).
+    pub t_pos: i32,
+    /// Page-buffer entries (64).
+    pub page_buffer_entries: usize,
+}
+
+impl PopetConfig {
+    /// The paper's final configuration (Table 2 thresholds, Table 3 table
+    /// sizes).
+    pub fn paper() -> Self {
+        Self {
+            features: Feature::SELECTED
+                .iter()
+                .map(|&f| (f, f.default_table_bits()))
+                .collect(),
+            weight_bits: 5,
+            tau_act: -18,
+            t_neg: -35,
+            t_pos: 40,
+            page_buffer_entries: 64,
+        }
+    }
+
+    /// A configuration restricted to a feature subset (the Fig. 10/11
+    /// ablations), keeping per-feature default table sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is empty or exceeds [`MAX_FEATURES`].
+    pub fn with_features(features: &[Feature]) -> Self {
+        assert!(!features.is_empty() && features.len() <= MAX_FEATURES);
+        let mut cfg = Self::paper();
+        cfg.features = features.iter().map(|&f| (f, f.default_table_bits())).collect();
+        // A subset of features shrinks the attainable |Wσ|; scale the
+        // thresholds proportionally so a 1-feature predictor is not
+        // permanently below the 5-feature activation threshold.
+        let scale = features.len() as f64 / Feature::SELECTED.len() as f64;
+        cfg.tau_act = (cfg.tau_act as f64 * scale).round() as i32;
+        cfg.t_neg = (cfg.t_neg as f64 * scale).round() as i32;
+        cfg.t_pos = (cfg.t_pos as f64 * scale).round() as i32;
+        cfg
+    }
+
+    /// Returns a copy with a different activation threshold (the Fig. 17
+    /// τ_act sweep).
+    pub fn with_tau_act(mut self, tau: i32) -> Self {
+        self.tau_act = tau;
+        self
+    }
+
+    /// Weight-table storage in bits (the "POPET" rows of Table 3, page
+    /// buffer excluded).
+    pub fn table_bits(&self) -> usize {
+        self.features
+            .iter()
+            .map(|&(_, bits)| (1usize << bits) * self.weight_bits as usize)
+            .sum()
+    }
+}
+
+impl Default for PopetConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The predictor. See [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Popet {
+    cfg: PopetConfig,
+    tables: Vec<Vec<SatWeight>>,
+    page_buffer: PageBuffer,
+    last4_pcs: [u64; 4],
+}
+
+impl Popet {
+    /// Builds POPET from a configuration.
+    pub fn new(cfg: PopetConfig) -> Self {
+        assert!(!cfg.features.is_empty() && cfg.features.len() <= MAX_FEATURES);
+        let tables = cfg
+            .features
+            .iter()
+            .map(|&(_, bits)| vec![SatWeight::new_bits(cfg.weight_bits); 1 << bits])
+            .collect();
+        let page_buffer = PageBuffer::new(cfg.page_buffer_entries);
+        Self { cfg, tables, page_buffer, last4_pcs: [0; 4] }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PopetConfig {
+        &self.cfg
+    }
+
+    fn inputs(&mut self, ctx: &LoadContext) -> FeatureInputs {
+        let first_access = self.page_buffer.first_access(ctx.vaddr);
+        FeatureInputs {
+            pc: ctx.pc,
+            line_offset: ctx.vaddr.line_offset_in_page(),
+            byte_offset: ctx.vaddr.byte_offset_in_line(),
+            first_access,
+            last4_pcs: self.last4_pcs,
+        }
+    }
+}
+
+impl Default for Popet {
+    /// The paper's configuration.
+    fn default() -> Self {
+        Self::new(PopetConfig::paper())
+    }
+}
+
+impl OffChipPredictor for Popet {
+    fn predict(&mut self, ctx: &LoadContext) -> Prediction {
+        let inputs = self.inputs(ctx);
+        // Maintain the load-PC path history (most recent last).
+        self.last4_pcs.rotate_left(1);
+        self.last4_pcs[3] = ctx.pc;
+
+        let mut indices = [0u16; MAX_FEATURES];
+        let mut wsum: i32 = 0;
+        for (i, &(feature, bits)) in self.cfg.features.iter().enumerate() {
+            let idx = hash_index(feature.key(&inputs), bits);
+            indices[i] = idx as u16;
+            wsum += self.tables[i][idx].get() as i32;
+        }
+        Prediction {
+            go_offchip: wsum >= self.cfg.tau_act,
+            meta: PredictionMeta::Popet {
+                indices,
+                n: self.cfg.features.len() as u8,
+                wsum: wsum as i16,
+            },
+        }
+    }
+
+    fn train(&mut self, _ctx: &LoadContext, pred: &Prediction, went_offchip: bool) {
+        let PredictionMeta::Popet { indices, n, wsum } = pred.meta else {
+            return;
+        };
+        let wsum = wsum as i32;
+        // §6.1.2: skip training when Wσ is saturated past the training
+        // thresholds — unless the prediction was wrong, in which case the
+        // weights must be corrected regardless (the standard perceptron
+        // update; the saturation check exists to keep *correct* confident
+        // weights from over-saturating).
+        let mispredicted = pred.go_offchip != went_offchip;
+        let within = wsum > self.cfg.t_neg && wsum < self.cfg.t_pos;
+        if !mispredicted && !within {
+            return;
+        }
+        for (table, &idx) in self.tables.iter_mut().zip(&indices).take(n as usize) {
+            table[idx as usize].train(went_offchip);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "POPET"
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.cfg.table_bits() + self.page_buffer.storage_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_types::VirtAddr;
+
+    fn ctx(pc: u64, vaddr: u64) -> LoadContext {
+        LoadContext::identity(pc, VirtAddr::new(vaddr))
+    }
+
+    /// Drives predict+train over a labelled stream; returns (accuracy,
+    /// coverage) over the second half (after warmup).
+    fn run_stream(
+        popet: &mut Popet,
+        stream: &[(LoadContext, bool)],
+    ) -> (f64, f64) {
+        let half = stream.len() / 2;
+        let (mut tp, mut fp, mut fneg) = (0u64, 0u64, 0u64);
+        for (i, (c, offchip)) in stream.iter().enumerate() {
+            let p = popet.predict(c);
+            if i >= half {
+                match (p.go_offchip, *offchip) {
+                    (true, true) => tp += 1,
+                    (true, false) => fp += 1,
+                    (false, true) => fneg += 1,
+                    (false, false) => {}
+                }
+            }
+            popet.train(c, &p, *offchip);
+        }
+        let acc = if tp + fp > 0 { tp as f64 / (tp + fp) as f64 } else { 1.0 };
+        let cov = if tp + fneg > 0 { tp as f64 / (tp + fneg) as f64 } else { 1.0 };
+        (acc, cov)
+    }
+
+    #[test]
+    fn learns_per_pc_bias() {
+        // PC A always goes off-chip, PC B never does.
+        let mut popet = Popet::default();
+        let mut stream = Vec::new();
+        for i in 0..4000u64 {
+            stream.push((ctx(0xA000, 0x10_0000 + i * 64), true));
+            stream.push((ctx(0xB000, 0x20_0000 + (i % 4) * 64), false));
+        }
+        let (acc, cov) = run_stream(&mut popet, &stream);
+        assert!(acc > 0.9, "accuracy {acc}");
+        assert!(cov > 0.9, "coverage {cov}");
+    }
+
+    #[test]
+    fn learns_streaming_byte_offset_pattern() {
+        // The §6.1.3 motivating example: a PC streams 4 B elements; only
+        // byte-offset-0 accesses (new lines) go off-chip.
+        let mut popet = Popet::default();
+        let mut stream = Vec::new();
+        for i in 0..30_000u64 {
+            let addr = 0x100_0000 + i * 4;
+            let offchip = addr % 64 == 0;
+            stream.push((ctx(0xC000, addr), offchip));
+        }
+        let (acc, cov) = run_stream(&mut popet, &stream);
+        assert!(acc > 0.8, "accuracy {acc}");
+        assert!(cov > 0.8, "coverage {cov}");
+    }
+
+    #[test]
+    fn adapts_to_phase_change() {
+        // PC flips behaviour halfway; measure post-flip recovery window.
+        let mut popet = Popet::default();
+        let a = |i: u64| ctx(0xD000, 0x40_0000 + i * 64);
+        for i in 0..2000 {
+            let c = a(i);
+            let p = popet.predict(&c);
+            popet.train(&c, &p, true);
+        }
+        // Phase flip: now never off-chip. Count how long to adapt.
+        let mut flipped_at = None;
+        for i in 0..2000 {
+            let c = a(10_000 + i);
+            let p = popet.predict(&c);
+            popet.train(&c, &p, false);
+            if !p.go_offchip && flipped_at.is_none() {
+                flipped_at = Some(i);
+            }
+        }
+        let adapt = flipped_at.expect("never adapted to phase change");
+        assert!(adapt < 200, "adaptation took {adapt} loads");
+    }
+
+    #[test]
+    fn lower_tau_means_more_positive_predictions() {
+        // Train a mildly-biased stream, then compare positive-rate across
+        // thresholds (the Fig. 17 τ_act trade-off).
+        let count_positives = |tau: i32| -> usize {
+            let mut p = Popet::new(PopetConfig::paper().with_tau_act(tau));
+            let mut positives = 0;
+            for i in 0..3000u64 {
+                let c = ctx(0xE000 + (i % 8) * 4, 0x50_0000 + i * 64);
+                let pr = p.predict(&c);
+                if i > 1500 && pr.go_offchip {
+                    positives += 1;
+                }
+                p.train(&c, &pr, i % 3 == 0); // 33% off-chip ground truth
+            }
+            positives
+        };
+        let lo = count_positives(-38);
+        let hi = count_positives(2);
+        assert!(lo > hi, "τ=-38 should predict positive more often ({lo} vs {hi})");
+    }
+
+    #[test]
+    fn single_feature_config_works() {
+        let cfg = PopetConfig::with_features(&[Feature::PcXorByteOffset]);
+        let mut p = Popet::new(cfg);
+        let c = ctx(0xF000, 0x60_0000);
+        let pred = p.predict(&c);
+        p.train(&c, &pred, true);
+    }
+
+    #[test]
+    fn table_storage_matches_table3() {
+        // 4 x 1024 x 5b + 1 x 128 x 5b = 21120 bits; + page buffer 5120
+        // bits = 3.28 KB ≈ the paper's 3.2 KB.
+        let cfg = PopetConfig::paper();
+        assert_eq!(cfg.table_bits(), 4 * 1024 * 5 + 128 * 5);
+        let p = Popet::default();
+        let total_kb = p.storage_bits() as f64 / 8.0 / 1024.0;
+        assert!((3.0..3.5).contains(&total_kb), "POPET storage {total_kb} KB");
+    }
+
+    #[test]
+    fn meta_round_trips_through_training() {
+        let mut p = Popet::default();
+        let c = ctx(0x1234, 0x9000);
+        let pred = p.predict(&c);
+        match pred.meta {
+            PredictionMeta::Popet { n, .. } => assert_eq!(n, 5),
+            _ => panic!("wrong meta variant"),
+        }
+        // Training twice with opposite outcomes must not panic or corrupt.
+        p.train(&c, &pred, true);
+        p.train(&c, &pred, false);
+    }
+
+    #[test]
+    fn saturation_guard_skips_confident_correct_training() {
+        // Drive weights to strong positive, then verify a correct positive
+        // outcome no longer moves them (Wσ ≥ T_P).
+        let mut p = Popet::default();
+        let c = ctx(0xAAAA, 0x123440);
+        for _ in 0..100 {
+            let pred = p.predict(&c);
+            p.train(&c, &pred, true);
+        }
+        let before = match p.predict(&c).meta {
+            PredictionMeta::Popet { wsum, .. } => wsum,
+            _ => unreachable!(),
+        };
+        let pred = p.predict(&c);
+        p.train(&c, &pred, true);
+        let after = match p.predict(&c).meta {
+            PredictionMeta::Popet { wsum, .. } => wsum,
+            _ => unreachable!(),
+        };
+        assert!(after <= before + 1, "saturated weights kept growing: {before} -> {after}");
+        assert!(before as i32 >= 40, "stream should saturate past T_P, got {before}");
+    }
+}

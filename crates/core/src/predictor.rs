@@ -1,0 +1,150 @@
+//! The off-chip predictor abstraction shared by POPET, HMP, and TTP.
+
+use hermes_types::{LineAddr, VirtAddr};
+
+/// What a predictor sees when a load generates its address — the moment
+/// POPET predicts and Hermes may launch its speculative request (§5,
+/// step 1 of Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadContext {
+    /// Program counter of the load.
+    pub pc: u64,
+    /// Virtual address of the access (POPET's features are virtual-address
+    /// based, §6.1.3).
+    pub vaddr: VirtAddr,
+    /// Physical cache line (prediction happens after translation, §3.1;
+    /// TTP's tag store is physically indexed).
+    pub pline: LineAddr,
+}
+
+impl LoadContext {
+    /// Convenience constructor for contexts whose physical line equals the
+    /// virtual line (identity translation), used widely in tests.
+    pub fn identity(pc: u64, vaddr: VirtAddr) -> Self {
+        Self { pc, vaddr, pline: vaddr.line() }
+    }
+}
+
+/// Per-predictor metadata captured at prediction time and replayed at
+/// training time — the paper's "LQ metadata" (Table 3): hashed indices,
+/// the cumulative weight, and the predicted outcome ride in the load-queue
+/// entry until the load returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictionMeta {
+    /// No metadata (stateless or externally-trained predictors).
+    None,
+    /// POPET: hashed table indices, active feature count, cumulative
+    /// weight.
+    Popet {
+        /// Per-feature table indices at prediction time.
+        indices: [u16; 8],
+        /// Number of active features.
+        n: u8,
+        /// Cumulative perceptron weight Wσ.
+        wsum: i16,
+    },
+    /// HMP: the component-table indices consulted.
+    Hmp {
+        /// Local pattern-table index.
+        local: u32,
+        /// Gshare table index.
+        gshare: u32,
+        /// The three gskew bank indices.
+        gskew: [u32; 3],
+    },
+}
+
+/// A binary off-chip prediction plus its training metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// True ⇒ the load is predicted to miss the entire on-chip hierarchy.
+    pub go_offchip: bool,
+    /// Metadata replayed at training time.
+    pub meta: PredictionMeta,
+}
+
+impl Prediction {
+    /// A negative prediction with no metadata.
+    pub fn negative() -> Self {
+        Self { go_offchip: false, meta: PredictionMeta::None }
+    }
+}
+
+/// Which off-chip prediction mechanism a system configuration uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredictorKind {
+    /// No off-chip prediction: Hermes disabled (the baseline).
+    None,
+    /// POPET (this paper).
+    Popet,
+    /// Hit-miss predictor, Yoaz et al. (§4).
+    Hmp,
+    /// Tag-tracking predictor (§7.2).
+    Ttp,
+    /// Oracle with perfect knowledge (the "Ideal Hermes" of §3.1) —
+    /// realised by the hierarchy engine peeking its own state.
+    Ideal,
+}
+
+impl PredictorKind {
+    /// Display name used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PredictorKind::None => "none",
+            PredictorKind::Popet => "POPET",
+            PredictorKind::Hmp => "HMP",
+            PredictorKind::Ttp => "TTP",
+            PredictorKind::Ideal => "Ideal",
+        }
+    }
+}
+
+/// An off-chip load predictor.
+///
+/// Implementations must be safe to call in this order for each load:
+/// `predict` once at address generation, then `train` once when the load's
+/// true outcome is known. Cache-event hooks default to no-ops; TTP uses
+/// them to mirror fills and evictions.
+pub trait OffChipPredictor {
+    /// Predicts whether the load will go off-chip.
+    fn predict(&mut self, ctx: &LoadContext) -> Prediction;
+
+    /// Trains with the resolved outcome. `pred` must be the value returned
+    /// by `predict` for this same load.
+    fn train(&mut self, ctx: &LoadContext, pred: &Prediction, went_offchip: bool);
+
+    /// Display name.
+    fn name(&self) -> &'static str;
+
+    /// Total storage in bits (Tables 3 and 6).
+    fn storage_bits(&self) -> usize;
+
+    /// A line was filled into some on-chip cache.
+    fn on_cache_fill(&mut self, line: LineAddr) {
+        let _ = line;
+    }
+
+    /// A line was evicted from the LLC.
+    fn on_llc_eviction(&mut self, line: LineAddr) {
+        let _ = line;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negative_prediction_shape() {
+        let p = Prediction::negative();
+        assert!(!p.go_offchip);
+        assert_eq!(p.meta, PredictionMeta::None);
+    }
+
+    #[test]
+    fn kind_labels() {
+        assert_eq!(PredictorKind::Popet.label(), "POPET");
+        assert_eq!(PredictorKind::Ideal.label(), "Ideal");
+        assert_eq!(PredictorKind::None.label(), "none");
+    }
+}

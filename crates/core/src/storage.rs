@@ -1,0 +1,137 @@
+//! Storage-overhead accounting (Tables 3 and 6 of the paper).
+//!
+//! All numbers are *computed from the live structures* rather than
+//! hard-coded, so a configuration change is reflected in the regenerated
+//! tables.
+
+use crate::hmp::Hmp;
+use crate::popet::{Popet, PopetConfig};
+use crate::predictor::OffChipPredictor;
+use crate::ttp::Ttp;
+
+/// One row of a storage table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageRow {
+    /// Structure name.
+    pub structure: String,
+    /// Description of the entry layout.
+    pub description: String,
+    /// Size in bits.
+    pub bits: usize,
+}
+
+impl StorageRow {
+    /// Size in kilobytes.
+    pub fn kb(&self) -> f64 {
+        self.bits as f64 / 8.0 / 1024.0
+    }
+}
+
+/// Load-queue metadata bits per Table 3: hashed PC (32b), last-4 PC
+/// (10b), first access (1b), perceptron weight (5b), prediction (1b) per
+/// LQ entry.
+pub fn lq_metadata_bits(lq_entries: usize) -> usize {
+    lq_entries * (32 + 10 + 1 + 5 + 1)
+}
+
+/// Regenerates Table 3: the full Hermes storage breakdown for a given
+/// POPET configuration and LQ size.
+pub fn table3(cfg: &PopetConfig, lq_entries: usize) -> Vec<StorageRow> {
+    let mut rows = Vec::new();
+    for &(feature, bits) in &cfg.features {
+        rows.push(StorageRow {
+            structure: "POPET weight table".to_string(),
+            description: format!(
+                "{}: {} x {}b",
+                feature.label(),
+                1usize << bits,
+                cfg.weight_bits
+            ),
+            bits: (1usize << bits) * cfg.weight_bits as usize,
+        });
+    }
+    rows.push(StorageRow {
+        structure: "POPET page buffer".to_string(),
+        description: format!("{} x 80b", cfg.page_buffer_entries),
+        bits: cfg.page_buffer_entries * 80,
+    });
+    rows.push(StorageRow {
+        structure: "LQ metadata".to_string(),
+        description: format!(
+            "hashed PC {lq_entries} x 32b; last-4 PC {lq_entries} x 10b; first access {lq_entries} x 1b; weight {lq_entries} x 5b; prediction {lq_entries} x 1b"
+        ),
+        bits: lq_metadata_bits(lq_entries),
+    });
+    rows
+}
+
+/// Total Hermes storage in bits (the Table 3 bottom line, ≈4 KB).
+pub fn hermes_total_bits(cfg: &PopetConfig, lq_entries: usize) -> usize {
+    table3(cfg, lq_entries).iter().map(|r| r.bits).sum()
+}
+
+/// Regenerates the predictor rows of Table 6 (prefetcher rows live in
+/// `hermes-prefetch`).
+pub fn table6_predictors() -> Vec<StorageRow> {
+    let hmp = Hmp::new();
+    let ttp = Ttp::default();
+    let popet = Popet::default();
+    vec![
+        StorageRow {
+            structure: "HMP".to_string(),
+            description: "local, gshare, and gskew predictors".to_string(),
+            bits: hmp.storage_bits(),
+        },
+        StorageRow {
+            structure: "TTP".to_string(),
+            description: "metadata budget similar to the L2 cache".to_string(),
+            bits: ttp.storage_bits(),
+        },
+        StorageRow {
+            structure: "Hermes with POPET (this work)".to_string(),
+            description: "weight tables + page buffer + LQ metadata".to_string(),
+            bits: popet.storage_bits() + lq_metadata_bits(128),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hermes_total_is_about_4kb() {
+        let total = hermes_total_bits(&PopetConfig::paper(), 128);
+        let kb = total as f64 / 8.0 / 1024.0;
+        assert!((3.5..4.5).contains(&kb), "Hermes total {kb} KB (paper: 4.0 KB)");
+    }
+
+    #[test]
+    fn table3_has_weight_page_lq_rows() {
+        let rows = table3(&PopetConfig::paper(), 128);
+        assert_eq!(rows.len(), 5 + 1 + 1);
+        assert!(rows.iter().any(|r| r.structure.contains("page buffer")));
+        assert!(rows.iter().any(|r| r.structure.contains("LQ")));
+    }
+
+    #[test]
+    fn lq_metadata_matches_paper() {
+        // 128 x 49b = 6272 bits = 0.766 KB ≈ the paper's 0.8 KB.
+        let kb = lq_metadata_bits(128) as f64 / 8.0 / 1024.0;
+        assert!((0.7..0.9).contains(&kb), "LQ metadata {kb} KB");
+    }
+
+    #[test]
+    fn table6_ordering_popet_smallest_ttp_largest() {
+        let rows = table6_predictors();
+        let get = |n: &str| rows.iter().find(|r| r.structure.contains(n)).unwrap().bits;
+        assert!(get("POPET") < get("HMP"));
+        assert!(get("HMP") < get("TTP"));
+    }
+
+    #[test]
+    fn kb_helper() {
+        let r = StorageRow { structure: "x".into(), description: "y".into(), bits: 8192 * 8 };
+        assert_eq!(r.kb(), 8.0);
+    }
+}

@@ -1,0 +1,217 @@
+//! TTP: the tag-tracking off-chip predictor (§4, §7.2).
+//!
+//! TTP mirrors the on-chip cache contents in a separate set-associative
+//! store of *partial* tags: every cache fill inserts the filled line's
+//! partial tag, every LLC eviction removes it, and a load is predicted to
+//! go off-chip when its tag is absent. The paper gives it a metadata
+//! budget "similar to the L2 cache" (1536 KB) and shows it achieves the
+//! highest coverage (≈95%) but much lower accuracy (≈17%): partial-tag
+//! aliasing, its own conflict evictions, and — in a non-inclusive
+//! hierarchy — hot L1/L2-resident lines whose LLC copy (and therefore TTP
+//! tag) was evicted all produce false "off-chip" calls.
+
+use hermes_types::{mix64, LineAddr};
+
+use crate::predictor::{LoadContext, OffChipPredictor, Prediction, PredictionMeta};
+
+/// TTP configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TtpConfig {
+    /// Metadata budget in bytes (paper: 1.5 MB).
+    pub budget_bytes: usize,
+    /// Partial-tag width in bits.
+    pub tag_bits: u32,
+    /// Associativity of the tag store.
+    pub ways: usize,
+}
+
+impl TtpConfig {
+    /// The paper's configuration: a budget similar to the L2 (1536 KB)
+    /// with 16-bit partial tags.
+    pub fn paper() -> Self {
+        Self { budget_bytes: 1536 * 1024, tag_bits: 16, ways: 16 }
+    }
+
+    /// Number of sets implied by the budget (rounded down to a power of
+    /// two for indexability).
+    pub fn sets(&self) -> usize {
+        let entries = self.budget_bytes * 8 / self.tag_bits as usize;
+        let sets = entries / self.ways;
+        sets.next_power_of_two() / 2
+    }
+}
+
+impl Default for TtpConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// See [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Ttp {
+    cfg: TtpConfig,
+    tags: Vec<u16>,
+    valid: Vec<bool>,
+    stamps: Vec<u64>,
+    clock: u64,
+    sets: usize,
+}
+
+impl Ttp {
+    /// Builds TTP from a configuration.
+    pub fn new(cfg: TtpConfig) -> Self {
+        let sets = cfg.sets();
+        assert!(sets >= 1);
+        let n = sets * cfg.ways;
+        Self { cfg, tags: vec![0; n], valid: vec![false; n], stamps: vec![0; n], clock: 0, sets }
+    }
+
+    #[inline]
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line.raw() as usize) & (self.sets - 1)
+    }
+
+    #[inline]
+    fn tag_of(&self, line: LineAddr) -> u16 {
+        (mix64(line.raw()) & ((1u64 << self.cfg.tag_bits) - 1)) as u16
+    }
+
+    fn find(&self, line: LineAddr) -> Option<usize> {
+        let base = self.set_of(line) * self.cfg.ways;
+        let tag = self.tag_of(line);
+        (base..base + self.cfg.ways).find(|&i| self.valid[i] && self.tags[i] == tag)
+    }
+
+    /// Whether the line's partial tag is currently tracked (believed
+    /// on-chip).
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.find(line).is_some()
+    }
+
+    /// Number of tracked tags (diagnostics).
+    pub fn occupancy(&self) -> usize {
+        self.valid.iter().filter(|&&v| v).count()
+    }
+}
+
+impl Default for Ttp {
+    fn default() -> Self {
+        Self::new(TtpConfig::paper())
+    }
+}
+
+impl OffChipPredictor for Ttp {
+    fn predict(&mut self, ctx: &LoadContext) -> Prediction {
+        Prediction {
+            go_offchip: !self.contains(ctx.pline),
+            meta: PredictionMeta::None,
+        }
+    }
+
+    fn train(&mut self, _ctx: &LoadContext, _pred: &Prediction, _went_offchip: bool) {
+        // TTP learns from cache events, not outcomes.
+    }
+
+    fn name(&self) -> &'static str {
+        "TTP"
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.tags.len() * self.cfg.tag_bits as usize + self.valid.len()
+    }
+
+    fn on_cache_fill(&mut self, line: LineAddr) {
+        if self.find(line).is_some() {
+            return;
+        }
+        let base = self.set_of(line) * self.cfg.ways;
+        self.clock += 1;
+        // Invalid way first, else LRU.
+        let idx = (base..base + self.cfg.ways)
+            .find(|&i| !self.valid[i])
+            .unwrap_or_else(|| {
+                (base..base + self.cfg.ways)
+                    .min_by_key(|&i| self.stamps[i])
+                    .expect("nonzero ways")
+            });
+        self.tags[idx] = self.tag_of(line);
+        self.valid[idx] = true;
+        self.stamps[idx] = self.clock;
+    }
+
+    fn on_llc_eviction(&mut self, line: LineAddr) {
+        if let Some(idx) = self.find(line) {
+            self.valid[idx] = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_types::VirtAddr;
+
+    fn ctx_for(line: u64) -> LoadContext {
+        LoadContext::identity(0x400000, VirtAddr::new(line * 64))
+    }
+
+    #[test]
+    fn absent_line_predicted_offchip() {
+        let mut t = Ttp::default();
+        assert!(t.predict(&ctx_for(123)).go_offchip);
+    }
+
+    #[test]
+    fn filled_line_predicted_onchip() {
+        let mut t = Ttp::default();
+        t.on_cache_fill(LineAddr::new(123));
+        assert!(!t.predict(&ctx_for(123)).go_offchip);
+    }
+
+    #[test]
+    fn llc_eviction_forgets_line() {
+        let mut t = Ttp::default();
+        t.on_cache_fill(LineAddr::new(9));
+        t.on_llc_eviction(LineAddr::new(9));
+        assert!(t.predict(&ctx_for(9)).go_offchip);
+    }
+
+    #[test]
+    fn eviction_of_untracked_line_is_noop() {
+        let mut t = Ttp::default();
+        t.on_llc_eviction(LineAddr::new(42)); // must not panic
+        assert_eq!(t.occupancy(), 0);
+    }
+
+    #[test]
+    fn duplicate_fill_does_not_duplicate() {
+        let mut t = Ttp::default();
+        t.on_cache_fill(LineAddr::new(5));
+        t.on_cache_fill(LineAddr::new(5));
+        assert_eq!(t.occupancy(), 1);
+    }
+
+    #[test]
+    fn conflict_eviction_in_small_ttp() {
+        // A tiny TTP (1 set x 2 ways) must LRU-evict under pressure,
+        // producing the false positives the paper reports.
+        let cfg = TtpConfig { budget_bytes: 2 * 2 * 2, tag_bits: 8, ways: 2 };
+        let mut t = Ttp::new(cfg);
+        let s = t.sets;
+        // Lines in the same set.
+        let l = |i: u64| LineAddr::new(i * s as u64);
+        t.on_cache_fill(l(1));
+        t.on_cache_fill(l(2));
+        t.on_cache_fill(l(3)); // evicts l(1)
+        assert!(!t.contains(l(1)));
+        assert!(t.contains(l(2)) && t.contains(l(3)));
+    }
+
+    #[test]
+    fn storage_close_to_budget() {
+        let t = Ttp::default();
+        let kb = t.storage_bits() as f64 / 8.0 / 1024.0;
+        assert!(kb > 1000.0 && kb < 1700.0, "TTP storage {kb} KB (paper: 1536 KB)");
+    }
+}

@@ -1,0 +1,88 @@
+//! Core configuration.
+
+use crate::branch::BranchKind;
+
+/// Static configuration of one out-of-order core (Table 4 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreConfig {
+    /// Instructions fetched/dispatched per cycle (6).
+    pub fetch_width: usize,
+    /// Instructions retired per cycle (6).
+    pub retire_width: usize,
+    /// Reorder-buffer entries (512; swept 256–1024 in Fig. 19).
+    pub rob_size: usize,
+    /// Load-queue entries (128).
+    pub lq_size: usize,
+    /// Store-queue entries (72).
+    pub sq_size: usize,
+    /// Branch misprediction penalty in cycles (17).
+    pub branch_penalty: u32,
+    /// Which branch predictor to build.
+    pub branch_predictor: BranchKind,
+}
+
+impl CoreConfig {
+    /// The paper's baseline core.
+    pub fn baseline() -> Self {
+        Self {
+            fetch_width: 6,
+            retire_width: 6,
+            rob_size: 512,
+            lq_size: 128,
+            sq_size: 72,
+            branch_penalty: 17,
+            branch_predictor: BranchKind::Perceptron,
+        }
+    }
+
+    /// Returns a copy with a different ROB size (Fig. 19 sweep).
+    pub fn with_rob(mut self, rob: usize) -> Self {
+        assert!(rob >= 16, "ROB too small to cover pipeline depth");
+        self.rob_size = rob;
+        self
+    }
+
+    /// Validates invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero-sized structures.
+    pub fn validate(&self) {
+        assert!(self.fetch_width > 0 && self.retire_width > 0);
+        assert!(self.rob_size > 0 && self.lq_size > 0 && self.sq_size > 0);
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table4() {
+        let c = CoreConfig::baseline();
+        assert_eq!(c.rob_size, 512);
+        assert_eq!(c.lq_size, 128);
+        assert_eq!(c.sq_size, 72);
+        assert_eq!(c.fetch_width, 6);
+        assert_eq!(c.branch_penalty, 17);
+        c.validate();
+    }
+
+    #[test]
+    fn rob_sweep() {
+        let c = CoreConfig::baseline().with_rob(1024);
+        assert_eq!(c.rob_size, 1024);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_rob_rejected() {
+        let _ = CoreConfig::baseline().with_rob(4);
+    }
+}

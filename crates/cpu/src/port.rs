@@ -1,0 +1,83 @@
+//! The core ↔ memory-system interface.
+//!
+//! The core is deliberately ignorant of caches, DRAM, prefetchers, and
+//! Hermes: it issues loads/stores through [`MemoryPort`] and is told later
+//! (via [`crate::Core::finish_load`]) when and from where each load was
+//! served. The full-system crate (`hermes-sim`) implements this trait with
+//! the cache hierarchy + Hermes controller; unit tests implement it with
+//! fixed-latency stubs.
+
+use hermes_types::{CoreId, Cycle, VirtAddr};
+
+/// Which memory level ultimately served a load — used for stall attribution
+/// (the paper's Fig. 2/3 blocking analysis) and POPET training labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServedBy {
+    /// L1 data cache hit.
+    L1,
+    /// L2 hit.
+    L2,
+    /// Last-level cache hit.
+    Llc,
+    /// Off-chip main memory (the class Hermes accelerates).
+    Dram,
+}
+
+impl ServedBy {
+    /// Whether the load went off-chip (the positive class for POPET).
+    pub fn is_offchip(self) -> bool {
+        matches!(self, ServedBy::Dram)
+    }
+}
+
+/// A demand load leaving the core at address-generation time.
+///
+/// This moment — "once the load's physical address is generated" (§1) — is
+/// exactly when POPET predicts and Hermes may issue its speculative request,
+/// so the issue carries everything the predictor's program features need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadIssue {
+    /// Issuing core.
+    pub core: CoreId,
+    /// Token identifying the load; must be echoed to
+    /// [`crate::Core::finish_load`].
+    pub token: u64,
+    /// Program counter of the load instruction.
+    pub pc: u64,
+    /// Virtual address of the access.
+    pub vaddr: VirtAddr,
+}
+
+/// A committed store leaving the core at retirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreIssue {
+    /// Issuing core.
+    pub core: CoreId,
+    /// Program counter of the store instruction.
+    pub pc: u64,
+    /// Virtual address of the access.
+    pub vaddr: VirtAddr,
+}
+
+/// The memory system as seen by a core.
+pub trait MemoryPort {
+    /// Issues a demand load. The memory system must eventually call
+    /// [`crate::Core::finish_load`] with `req.token`.
+    fn issue_load(&mut self, req: LoadIssue, now: Cycle);
+
+    /// Issues a committed store (post-retirement write).
+    fn issue_store(&mut self, req: StoreIssue, now: Cycle);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offchip_classification() {
+        assert!(ServedBy::Dram.is_offchip());
+        assert!(!ServedBy::L1.is_offchip());
+        assert!(!ServedBy::L2.is_offchip());
+        assert!(!ServedBy::Llc.is_offchip());
+    }
+}

@@ -1,0 +1,105 @@
+//! Per-core statistics.
+
+use crate::port::ServedBy;
+
+/// Counters a core accumulates while running; the basis of IPC, MPKI, and
+/// the paper's blocking/stall analyses (Figs. 2, 3, 15a).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Instructions retired.
+    pub retired: u64,
+    /// Demand loads retired.
+    pub loads: u64,
+    /// Stores retired.
+    pub stores: u64,
+    /// Conditional branches retired.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub branch_mispredicts: u64,
+    /// Loads served per level.
+    pub served_l1: u64,
+    /// Loads served by L2.
+    pub served_l2: u64,
+    /// Loads served by LLC.
+    pub served_llc: u64,
+    /// Loads served off-chip.
+    pub served_dram: u64,
+    /// Off-chip loads that blocked retirement for ≥1 cycle ("blocking" in
+    /// Fig. 2).
+    pub offchip_blocking: u64,
+    /// Off-chip loads that never blocked retirement.
+    pub offchip_nonblocking: u64,
+    /// Cycles retirement was blocked by an off-chip load at the ROB head
+    /// (the Fig. 3 stall metric).
+    pub stall_cycles_offchip: u64,
+    /// Cycles retirement was blocked by an on-chip-served load at the head.
+    pub stall_cycles_onchip_load: u64,
+    /// Cycles retirement was blocked for any other reason (FU latency,
+    /// empty ROB after a branch bubble, ...).
+    pub stall_cycles_other: u64,
+    /// Cycles with no instruction in the ROB (fetch bubbles).
+    pub empty_rob_cycles: u64,
+}
+
+impl CoreStats {
+    /// Records where a finished load was served from.
+    pub fn record_served(&mut self, served: ServedBy) {
+        match served {
+            ServedBy::L1 => self.served_l1 += 1,
+            ServedBy::L2 => self.served_l2 += 1,
+            ServedBy::Llc => self.served_llc += 1,
+            ServedBy::Dram => self.served_dram += 1,
+        }
+    }
+
+    /// Total off-chip demand loads.
+    pub fn offchip_loads(&self) -> u64 {
+        self.served_dram
+    }
+
+    /// IPC given a cycle count.
+    pub fn ipc(&self, cycles: u64) -> f64 {
+        if cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / cycles as f64
+        }
+    }
+
+    /// Average stall cycles per off-chip load (Fig. 3's y-axis).
+    pub fn stalls_per_offchip_load(&self) -> f64 {
+        if self.served_dram == 0 {
+            0.0
+        } else {
+            self.stall_cycles_offchip as f64 / self.served_dram as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_served_buckets() {
+        let mut s = CoreStats::default();
+        s.record_served(ServedBy::L1);
+        s.record_served(ServedBy::Dram);
+        s.record_served(ServedBy::Dram);
+        assert_eq!(s.served_l1, 1);
+        assert_eq!(s.offchip_loads(), 2);
+    }
+
+    #[test]
+    fn ipc_guards_zero_cycles() {
+        let s = CoreStats { retired: 100, ..Default::default() };
+        assert_eq!(s.ipc(0), 0.0);
+        assert_eq!(s.ipc(50), 2.0);
+    }
+
+    #[test]
+    fn stall_average() {
+        let s = CoreStats { served_dram: 4, stall_cycles_offchip: 100, ..Default::default() };
+        assert_eq!(s.stalls_per_offchip_load(), 25.0);
+    }
+}

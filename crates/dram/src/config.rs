@@ -1,0 +1,157 @@
+//! DRAM configuration and timing derivation.
+
+/// Main-memory configuration (Table 4 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramConfig {
+    /// Number of channels (1 single-core, 4 eight-core).
+    pub channels: usize,
+    /// Ranks per channel (1 single-core, 2 eight-core).
+    pub ranks: usize,
+    /// Banks per rank (8).
+    pub banks: usize,
+    /// Row-buffer size per bank in bytes (2 KB).
+    pub row_bytes: u64,
+    /// Transfer rate in mega-transfers per second (3200 for DDR4-3200;
+    /// swept 200..12800 in the paper's Fig. 17a).
+    pub mtps: u64,
+    /// Data-bus width per channel in bits (64).
+    pub bus_bits: u64,
+    /// Core frequency in GHz used to convert ns to core cycles (4.0).
+    pub core_freq_ghz: f64,
+    /// tRCD in nanoseconds (12.5).
+    pub trcd_ns: f64,
+    /// tRP in nanoseconds (12.5).
+    pub trp_ns: f64,
+    /// tCAS in nanoseconds (12.5).
+    pub tcas_ns: f64,
+    /// Read-queue capacity per channel.
+    pub rq_capacity: usize,
+}
+
+impl DramConfig {
+    /// The single-core baseline: 1 channel, 1 rank (Table 4).
+    pub fn single_core() -> Self {
+        Self {
+            channels: 1,
+            ranks: 1,
+            banks: 8,
+            row_bytes: 2048,
+            mtps: 3200,
+            bus_bits: 64,
+            core_freq_ghz: 4.0,
+            trcd_ns: 12.5,
+            trp_ns: 12.5,
+            tcas_ns: 12.5,
+            rq_capacity: 64,
+        }
+    }
+
+    /// The eight-core configuration: 4 channels, 2 ranks per channel.
+    pub fn eight_core() -> Self {
+        Self { channels: 4, ranks: 2, ..Self::single_core() }
+    }
+
+    /// Returns a copy with a different transfer rate (Fig. 17a sweep).
+    pub fn with_mtps(mut self, mtps: u64) -> Self {
+        assert!(mtps > 0);
+        self.mtps = mtps;
+        self
+    }
+
+    fn ns_to_cycles(&self, ns: f64) -> u64 {
+        (ns * self.core_freq_ghz).round() as u64
+    }
+
+    /// tRCD in core cycles (50 at 4 GHz).
+    pub fn trcd(&self) -> u64 {
+        self.ns_to_cycles(self.trcd_ns)
+    }
+
+    /// tRP in core cycles.
+    pub fn trp(&self) -> u64 {
+        self.ns_to_cycles(self.trp_ns)
+    }
+
+    /// tCAS in core cycles.
+    pub fn tcas(&self) -> u64 {
+        self.ns_to_cycles(self.tcas_ns)
+    }
+
+    /// Burst time for one 64 B line in core cycles.
+    ///
+    /// 64 B over a `bus_bits`-wide DDR bus = `512 / bus_bits` beats; at
+    /// `mtps` million beats/s that is `beats / (mtps * 1e6)` seconds.
+    /// 10 cycles for DDR4-3200 on a 4 GHz core.
+    pub fn tburst(&self) -> u64 {
+        let beats = 512 / self.bus_bits;
+        let seconds = beats as f64 / (self.mtps as f64 * 1e6);
+        (seconds * self.core_freq_ghz * 1e9).round().max(1.0) as u64
+    }
+
+    /// Cache lines per row buffer.
+    pub fn lines_per_row(&self) -> u64 {
+        self.row_bytes / 64
+    }
+
+    /// Total banks per channel (ranks × banks).
+    pub fn banks_per_channel(&self) -> usize {
+        self.ranks * self.banks
+    }
+
+    /// Validates invariants; called by the controller constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-sized dimension or non-power-of-two geometry where
+    /// indexing requires it.
+    pub fn validate(&self) {
+        assert!(self.channels > 0 && self.ranks > 0 && self.banks > 0);
+        assert!(self.row_bytes >= 64 && self.row_bytes.is_power_of_two());
+        assert!(self.bus_bits > 0 && 512 % self.bus_bits == 0);
+        assert!(self.mtps > 0);
+        assert!(self.rq_capacity > 0);
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self::single_core()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_timings_in_cycles() {
+        let c = DramConfig::single_core();
+        assert_eq!(c.trcd(), 50);
+        assert_eq!(c.trp(), 50);
+        assert_eq!(c.tcas(), 50);
+        assert_eq!(c.tburst(), 10);
+        assert_eq!(c.lines_per_row(), 32);
+    }
+
+    #[test]
+    fn mtps_scaling_shrinks_burst() {
+        let slow = DramConfig::single_core().with_mtps(200);
+        let fast = DramConfig::single_core().with_mtps(12800);
+        assert!(slow.tburst() > fast.tburst());
+        assert_eq!(slow.tburst(), 160);
+    }
+
+    #[test]
+    fn eight_core_has_more_parallelism() {
+        let c = DramConfig::eight_core();
+        assert_eq!(c.channels, 4);
+        assert_eq!(c.banks_per_channel(), 16);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_mtps_rejected() {
+        let _ = DramConfig::single_core().with_mtps(0);
+    }
+}

@@ -1,0 +1,412 @@
+//! The memory controller: read/write scheduling and the Hermes merge path.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use hermes_types::{Cycle, LineAddr};
+
+use crate::config::DramConfig;
+use crate::mapping::map_line;
+
+/// Who issued a read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReqKind {
+    /// A demand miss escalated through the cache hierarchy.
+    Demand,
+    /// A prefetcher-generated read.
+    Prefetch,
+    /// A speculative Hermes request issued straight from the core (§6.2.1).
+    Hermes,
+}
+
+/// Outcome of enqueueing a read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnqueueResult {
+    /// Cycle at which the data will be available at the controller.
+    pub completes_at: Cycle,
+    /// Whether the request merged with an in-flight read to the same line
+    /// (for a demand merging into a Hermes read, this is the paper's
+    /// "regular load waits for the ongoing Hermes request").
+    pub merged: bool,
+}
+
+/// A finished read, reported once per line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The line whose data arrived.
+    pub line: LineAddr,
+    /// Completion cycle.
+    pub at: Cycle,
+    /// Whether any demand request participated (original or merged). If
+    /// false and `hermes_initiated` is true, Hermes drops the data without
+    /// filling any cache (§6.2.2).
+    pub demanded: bool,
+    /// Whether the read was *started* by a Hermes request.
+    pub hermes_initiated: bool,
+    /// Whether any prefetch participated (controls prefetch-bit on fill).
+    pub prefetch_involved: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Inflight {
+    completes_at: Cycle,
+    demanded: bool,
+    hermes_initiated: bool,
+    prefetch_involved: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bank {
+    /// Earliest cycle the bank accepts its next command. Column accesses
+    /// to an open row pipeline at burst rate (tCCD); activations occupy
+    /// the bank for tRCD (plus tRP on a conflict).
+    ready: Cycle,
+    open_row: Option<u64>,
+}
+
+/// Aggregate DRAM statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Reads issued by demand misses.
+    pub reads_demand: u64,
+    /// Reads issued by prefetchers.
+    pub reads_prefetch: u64,
+    /// Reads issued by Hermes requests.
+    pub reads_hermes: u64,
+    /// Writebacks received.
+    pub writes: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Accesses to a closed row.
+    pub row_empty: u64,
+    /// Row-buffer conflicts (precharge needed).
+    pub row_conflicts: u64,
+    /// Demand reads that merged into an in-flight Hermes read — the count
+    /// of loads whose cache-hierarchy latency Hermes hid.
+    pub demand_merged_into_hermes: u64,
+    /// Completed Hermes reads that no demand ever claimed (dropped, the
+    /// bandwidth cost of a false-positive prediction).
+    pub hermes_dropped: u64,
+}
+
+impl DramStats {
+    /// Total main-memory read requests (the paper's Fig. 15b metric).
+    pub fn total_reads(&self) -> u64 {
+        self.reads_demand + self.reads_prefetch + self.reads_hermes
+    }
+}
+
+/// See [module docs](self) and the crate-level description of the
+/// reservation model.
+#[derive(Debug, Clone)]
+pub struct MemoryController {
+    cfg: DramConfig,
+    banks: Vec<Bank>,
+    bus_free: Vec<Cycle>,
+    /// Per-channel read-queue slots: each holds the cycle it frees.
+    rq_slots: Vec<Vec<Cycle>>,
+    inflight: HashMap<u64, Inflight>,
+    heap: BinaryHeap<Reverse<(Cycle, u64)>>,
+    stats: DramStats,
+}
+
+impl MemoryController {
+    /// Builds a controller for `cfg`.
+    pub fn new(cfg: DramConfig) -> Self {
+        cfg.validate();
+        let nbanks = cfg.channels * cfg.banks_per_channel();
+        Self {
+            banks: vec![Bank::default(); nbanks],
+            bus_free: vec![0; cfg.channels],
+            rq_slots: vec![vec![0; cfg.rq_capacity]; cfg.channels],
+            inflight: HashMap::new(),
+            heap: BinaryHeap::new(),
+            stats: DramStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Whether a read to `line` is currently in flight — the "check the
+    /// main memory controller's RQ" step a regular LLC miss performs
+    /// (paper step 3).
+    pub fn has_inflight(&self, line: LineAddr) -> bool {
+        self.inflight.contains_key(&line.raw())
+    }
+
+    fn schedule(&mut self, line: LineAddr, now: Cycle, is_write: bool) -> Cycle {
+        let loc = map_line(&self.cfg, line);
+        // Writes drain from a write buffer; defer them so reads win the
+        // bank when both arrive together (simplified write-drain policy).
+        let arrival = if is_write { now + 4 * self.cfg.tburst() } else { now };
+
+        // Claim the earliest-free read-queue slot (finite queue => extra
+        // queueing delay when oversubscribed).
+        let slots = &mut self.rq_slots[loc.channel];
+        let slot = slots
+            .iter_mut()
+            .min_by_key(|c| **c)
+            .expect("rq_capacity validated nonzero");
+        let start = arrival.max(*slot);
+
+        let bank = &mut self.banks[loc.channel * self.cfg.banks_per_channel() + loc.bank];
+        let t0 = start.max(bank.ready);
+        // (latency to data, bank occupancy before the next command).
+        let (access, occupy) = match bank.open_row {
+            Some(r) if r == loc.row => {
+                self.stats.row_hits += 1;
+                // CAS to an open row: data after tCAS; the next CAS may
+                // follow one burst later (tCCD pipelining).
+                (self.cfg.tcas(), self.cfg.tburst())
+            }
+            Some(_) => {
+                self.stats.row_conflicts += 1;
+                (
+                    self.cfg.trp() + self.cfg.trcd() + self.cfg.tcas(),
+                    self.cfg.trp() + self.cfg.trcd() + self.cfg.tburst(),
+                )
+            }
+            None => {
+                self.stats.row_empty += 1;
+                (self.cfg.trcd() + self.cfg.tcas(), self.cfg.trcd() + self.cfg.tburst())
+            }
+        };
+        let data_at = t0 + access;
+        let bus = &mut self.bus_free[loc.channel];
+        let done = data_at.max(*bus) + self.cfg.tburst();
+        *bus = done;
+        bank.ready = t0 + occupy;
+        bank.open_row = Some(loc.row);
+        *slot = done;
+        done
+    }
+
+    /// Enqueues a read. Merges with any in-flight read to the same line.
+    pub fn enqueue_read(&mut self, line: LineAddr, now: Cycle, kind: ReqKind) -> EnqueueResult {
+        if let Some(inf) = self.inflight.get_mut(&line.raw()) {
+            match kind {
+                ReqKind::Demand => {
+                    if inf.hermes_initiated && !inf.demanded {
+                        self.stats.demand_merged_into_hermes += 1;
+                    }
+                    inf.demanded = true;
+                }
+                ReqKind::Prefetch => inf.prefetch_involved = true,
+                ReqKind::Hermes => {}
+            }
+            return EnqueueResult { completes_at: inf.completes_at, merged: true };
+        }
+        match kind {
+            ReqKind::Demand => self.stats.reads_demand += 1,
+            ReqKind::Prefetch => self.stats.reads_prefetch += 1,
+            ReqKind::Hermes => self.stats.reads_hermes += 1,
+        }
+        let completes_at = self.schedule(line, now, false);
+        self.inflight.insert(line.raw(), Inflight {
+            completes_at,
+            demanded: kind == ReqKind::Demand,
+            hermes_initiated: kind == ReqKind::Hermes,
+            prefetch_involved: kind == ReqKind::Prefetch,
+        });
+        self.heap.push(Reverse((completes_at, line.raw())));
+        EnqueueResult { completes_at, merged: false }
+    }
+
+    /// Enqueues a writeback (fire-and-forget; consumes bank and bus time).
+    pub fn enqueue_write(&mut self, line: LineAddr, now: Cycle) {
+        self.stats.writes += 1;
+        let _ = self.schedule(line, now, true);
+    }
+
+    /// Drains completions with `at <= now` into `out` (cleared first).
+    pub fn pop_completions(&mut self, now: Cycle, out: &mut Vec<Completion>) {
+        out.clear();
+        while let Some(&Reverse((at, raw))) = self.heap.peek() {
+            if at > now {
+                break;
+            }
+            self.heap.pop();
+            let inf = self
+                .inflight
+                .remove(&raw)
+                .expect("heap entry without inflight record");
+            if inf.hermes_initiated && !inf.demanded {
+                self.stats.hermes_dropped += 1;
+            }
+            out.push(Completion {
+                line: LineAddr::new(raw),
+                at,
+                demanded: inf.demanded,
+                hermes_initiated: inf.hermes_initiated,
+                prefetch_involved: inf.prefetch_involved,
+            });
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Zeroes the statistics while preserving all timing and in-flight
+    /// state (warmup boundary: destroying in-flight reads would strand
+    /// their waiters).
+    pub fn reset_stats(&mut self) {
+        self.stats = DramStats::default();
+    }
+
+    /// The minimum possible read latency (row hit, idle system) — a lower
+    /// bound used by tests and by the Ideal-Hermes analysis.
+    pub fn min_read_latency(&self) -> Cycle {
+        self.cfg.tcas() + self.cfg.tburst()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mc() -> MemoryController {
+        MemoryController::new(DramConfig::single_core())
+    }
+
+    #[test]
+    fn row_hit_faster_than_conflict() {
+        let mut m = mc();
+        let cfg = DramConfig::single_core();
+        let lpr = cfg.lines_per_row();
+        // First access opens row 0 (empty).
+        let r1 = m.enqueue_read(LineAddr::new(0), 0, ReqKind::Demand);
+        // Same row, next line: hit.
+        let r2 = m.enqueue_read(LineAddr::new(1), 0, ReqKind::Demand);
+        // Same bank different row (banks cycle after lines_per_row *
+        // banks_per_channel lines): conflict.
+        let same_bank_other_row = lpr * cfg.banks_per_channel() as u64;
+        let r3 = m.enqueue_read(LineAddr::new(same_bank_other_row), 0, ReqKind::Demand);
+        let l1 = r1.completes_at;
+        let l2 = r2.completes_at - r1.completes_at;
+        let l3 = r3.completes_at - r2.completes_at;
+        assert_eq!(l1, cfg.trcd() + cfg.tcas() + cfg.tburst());
+        assert!(l2 < l1, "row hit not faster: {l2} vs {l1}");
+        assert!(l3 > l2, "conflict not slower than hit");
+    }
+
+    #[test]
+    fn banks_overlap_but_bus_serializes() {
+        let cfg = DramConfig::single_core();
+        let mut m = mc();
+        let lpr = cfg.lines_per_row();
+        // Two different banks: activations overlap, bursts serialize.
+        let a = m.enqueue_read(LineAddr::new(0), 0, ReqKind::Demand);
+        let b = m.enqueue_read(LineAddr::new(lpr), 0, ReqKind::Demand);
+        assert!(b.completes_at >= a.completes_at + cfg.tburst());
+        assert!(b.completes_at < a.completes_at + cfg.trcd() + cfg.tcas());
+    }
+
+    #[test]
+    fn merge_returns_same_completion() {
+        let mut m = mc();
+        let l = LineAddr::new(42);
+        let a = m.enqueue_read(l, 0, ReqKind::Hermes);
+        let b = m.enqueue_read(l, 5, ReqKind::Demand);
+        assert!(b.merged);
+        assert_eq!(a.completes_at, b.completes_at);
+        assert_eq!(m.stats().demand_merged_into_hermes, 1);
+        assert_eq!(m.stats().total_reads(), 1, "merge must not add traffic");
+    }
+
+    #[test]
+    fn hermes_without_demand_is_dropped() {
+        let mut m = mc();
+        let l = LineAddr::new(7);
+        let r = m.enqueue_read(l, 0, ReqKind::Hermes);
+        let mut out = Vec::new();
+        m.pop_completions(r.completes_at, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].hermes_initiated && !out[0].demanded);
+        assert_eq!(m.stats().hermes_dropped, 1);
+    }
+
+    #[test]
+    fn hermes_with_merged_demand_not_dropped() {
+        let mut m = mc();
+        let l = LineAddr::new(7);
+        let r = m.enqueue_read(l, 0, ReqKind::Hermes);
+        m.enqueue_read(l, 3, ReqKind::Demand);
+        let mut out = Vec::new();
+        m.pop_completions(r.completes_at, &mut out);
+        assert!(out[0].demanded && out[0].hermes_initiated);
+        assert_eq!(m.stats().hermes_dropped, 0);
+    }
+
+    #[test]
+    fn completions_in_time_order() {
+        let mut m = mc();
+        for i in 0..20u64 {
+            m.enqueue_read(LineAddr::new(i * 97), i, ReqKind::Demand);
+        }
+        let mut out = Vec::new();
+        m.pop_completions(u64::MAX >> 1, &mut out);
+        assert_eq!(out.len(), 20);
+        for w in out.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn pop_respects_now() {
+        let mut m = mc();
+        let r = m.enqueue_read(LineAddr::new(1), 0, ReqKind::Demand);
+        let mut out = Vec::new();
+        m.pop_completions(r.completes_at - 1, &mut out);
+        assert!(out.is_empty());
+        assert!(m.has_inflight(LineAddr::new(1)));
+        m.pop_completions(r.completes_at, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(!m.has_inflight(LineAddr::new(1)));
+    }
+
+    #[test]
+    fn finite_rq_adds_queueing_delay() {
+        let cfg = DramConfig { rq_capacity: 2, ..DramConfig::single_core() };
+        let mut small = MemoryController::new(cfg);
+        let mut latencies = Vec::new();
+        for i in 0..8u64 {
+            // All to different banks+rows to isolate queue effect.
+            let r = small.enqueue_read(LineAddr::new(i * 1097), 0, ReqKind::Demand);
+            latencies.push(r.completes_at);
+        }
+        // With only 2 slots the 8th request must wait for earlier ones.
+        assert!(latencies[7] > latencies[1] + small.min_read_latency());
+    }
+
+    #[test]
+    fn writes_counted_and_consume_bandwidth() {
+        let mut m = mc();
+        let before = m.enqueue_read(LineAddr::new(0), 0, ReqKind::Demand).completes_at;
+        let mut m2 = mc();
+        for i in 0..16u64 {
+            m2.enqueue_write(LineAddr::new(1000 + i), 0);
+        }
+        let after = m2.enqueue_read(LineAddr::new(0), 0, ReqKind::Demand).completes_at;
+        assert!(after > before, "writes should delay subsequent reads");
+        assert_eq!(m2.stats().writes, 16);
+    }
+
+    #[test]
+    fn more_channels_increase_throughput() {
+        let mut one = MemoryController::new(DramConfig::single_core());
+        let mut four = MemoryController::new(DramConfig::eight_core());
+        let mut last_one = 0;
+        let mut last_four = 0;
+        for i in 0..64u64 {
+            last_one = one.enqueue_read(LineAddr::new(i), 0, ReqKind::Demand).completes_at;
+            last_four = four.enqueue_read(LineAddr::new(i), 0, ReqKind::Demand).completes_at;
+        }
+        assert!(last_four < last_one);
+    }
+}

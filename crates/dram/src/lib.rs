@@ -1,0 +1,29 @@
+//! DDR4 main-memory model and memory controller.
+//!
+//! Implements the paper's Table 4 main-memory configuration: DDR4-3200 with
+//! tRCD = tRP = tCAS = 12.5 ns, 2 KB row buffer per bank, 8 banks per rank;
+//! one channel/one rank for the single-core system and four channels/two
+//! ranks for the eight-core system.
+//!
+//! The controller uses a *schedule-on-arrival reservation model*: each read
+//! reserves its bank (activation + column access) and the channel data bus
+//! (burst) at the earliest feasible time, honouring open-row state, a
+//! finite read-queue, and FCFS-with-row-hit arrival order. This captures
+//! exactly the behaviours Hermes' evaluation depends on — row-hit versus
+//! row-conflict latency, bank parallelism, and bandwidth contention from
+//! useless speculative requests (the paper's Fig. 15b/17a) — without a
+//! per-cycle DRAM state machine.
+//!
+//! The controller also implements the Hermes datapath's memory-side half
+//! (§6.2): a read to a line that is already in flight **merges** with the
+//! outstanding access (this is how a regular demand miss waits for its
+//! Hermes request), and completions report whether any demand merged so the
+//! caller can implement Hermes' drop-without-fill rule.
+
+pub mod config;
+pub mod controller;
+pub mod mapping;
+
+pub use config::DramConfig;
+pub use controller::{Completion, MemoryController, ReqKind};
+pub use mapping::DramLocation;

@@ -1,0 +1,88 @@
+//! Physical-address to DRAM-location mapping.
+//!
+//! Line-interleaved channel mapping (consecutive lines alternate channels,
+//! maximising channel parallelism for streams), then column-major within a
+//! channel so that consecutive same-channel lines share a row buffer —
+//! the standard `row : bank : column : channel` layout.
+
+use hermes_types::LineAddr;
+
+use crate::config::DramConfig;
+
+/// Where a cache line lives in the DRAM geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DramLocation {
+    /// Channel index.
+    pub channel: usize,
+    /// Flat bank index within the channel (rank × banks + bank).
+    pub bank: usize,
+    /// Row number within the bank.
+    pub row: u64,
+    /// Column (line slot) within the row.
+    pub column: u64,
+}
+
+/// Maps a line address to its DRAM location under `cfg`'s geometry.
+///
+/// # Example
+///
+/// ```
+/// use hermes_dram::{mapping::map_line, DramConfig};
+/// use hermes_types::LineAddr;
+///
+/// let cfg = DramConfig::eight_core();
+/// let loc = map_line(&cfg, LineAddr::new(5));
+/// assert!(loc.channel < cfg.channels);
+/// ```
+pub fn map_line(cfg: &DramConfig, line: LineAddr) -> DramLocation {
+    let n = line.raw();
+    let channel = (n % cfg.channels as u64) as usize;
+    let in_channel = n / cfg.channels as u64;
+    let column = in_channel % cfg.lines_per_row();
+    let after_col = in_channel / cfg.lines_per_row();
+    let bank = (after_col % cfg.banks_per_channel() as u64) as usize;
+    let row = after_col / cfg.banks_per_channel() as u64;
+    DramLocation { channel, bank, row, column }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_lines_interleave_channels() {
+        let cfg = DramConfig::eight_core();
+        let c0 = map_line(&cfg, LineAddr::new(0)).channel;
+        let c1 = map_line(&cfg, LineAddr::new(1)).channel;
+        assert_ne!(c0, c1);
+    }
+
+    #[test]
+    fn same_channel_lines_share_row() {
+        let cfg = DramConfig::single_core(); // 1 channel
+        let a = map_line(&cfg, LineAddr::new(0));
+        let b = map_line(&cfg, LineAddr::new(1));
+        assert_eq!(a.bank, b.bank);
+        assert_eq!(a.row, b.row);
+        assert_eq!(b.column, a.column + 1);
+    }
+
+    #[test]
+    fn row_crossing_changes_bank() {
+        let cfg = DramConfig::single_core();
+        let lpr = cfg.lines_per_row();
+        let a = map_line(&cfg, LineAddr::new(0));
+        let b = map_line(&cfg, LineAddr::new(lpr));
+        assert_ne!((a.bank, a.row), (b.bank, b.row));
+    }
+
+    #[test]
+    fn mapping_is_injective_over_window() {
+        let cfg = DramConfig::eight_core();
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..10_000u64 {
+            let loc = map_line(&cfg, LineAddr::new(n));
+            assert!(seen.insert((loc.channel, loc.bank, loc.row, loc.column)));
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! SMS: Spatial Memory Streaming (Somogyi et al., ISCA'06).
+//!
+//! Like Bingo, SMS records per-region footprints, but keys its pattern
+//! history purely by `PC ⊕ trigger-offset` — the original spatial
+//! signature. An accumulation table gathers footprints for active regions;
+//! when a region's generation ends the footprint moves to the pattern
+//! history table (PHT); a later trigger with the same signature streams
+//! the whole footprint out.
+
+use hermes_types::LineAddr;
+
+use crate::{AccessCtx, PrefetchReq, Prefetcher};
+
+const REGION_LINES: u64 = 32; // 2 KB spatial regions
+const ACC_ENTRIES: usize = 32;
+const PHT_SETS: usize = 1024;
+const PHT_WAYS: usize = 4;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct AccEntry {
+    region: u64,
+    footprint: u32,
+    signature: u32,
+    valid: bool,
+    lru: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PhtEntry {
+    signature: u32,
+    footprint: u32,
+    valid: bool,
+    lru: u64,
+}
+
+/// See [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Sms {
+    acc: Vec<AccEntry>,
+    pht: Vec<PhtEntry>,
+    clock: u64,
+}
+
+impl Sms {
+    /// Builds SMS with its paper configuration (~20 KB, Table 6).
+    pub fn new() -> Self {
+        Self {
+            acc: vec![AccEntry::default(); ACC_ENTRIES],
+            pht: vec![PhtEntry::default(); PHT_SETS * PHT_WAYS],
+            clock: 0,
+        }
+    }
+
+    fn signature(pc: u64, offset: u8) -> u32 {
+        (hermes_types::mix64(pc ^ ((offset as u64) << 40)) & 0xFFFF_FFFF) as u32
+    }
+
+    fn pht_set(signature: u32) -> usize {
+        (signature as usize) & (PHT_SETS - 1)
+    }
+
+    fn pht_lookup(&self, signature: u32) -> Option<u32> {
+        let base = Self::pht_set(signature) * PHT_WAYS;
+        (base..base + PHT_WAYS)
+            .find(|&i| self.pht[i].valid && self.pht[i].signature == signature)
+            .map(|i| self.pht[i].footprint)
+    }
+
+    fn pht_store(&mut self, signature: u32, footprint: u32) {
+        if footprint.count_ones() < 2 {
+            return;
+        }
+        self.clock += 1;
+        let base = Self::pht_set(signature) * PHT_WAYS;
+        let idx = (base..base + PHT_WAYS)
+            .find(|&i| self.pht[i].valid && self.pht[i].signature == signature)
+            .or_else(|| (base..base + PHT_WAYS).find(|&i| !self.pht[i].valid))
+            .unwrap_or_else(|| {
+                (base..base + PHT_WAYS)
+                    .min_by_key(|&i| self.pht[i].lru)
+                    .expect("PHT_WAYS nonzero")
+            });
+        self.pht[idx] = PhtEntry { signature, footprint, valid: true, lru: self.clock };
+    }
+}
+
+impl Default for Sms {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Prefetcher for Sms {
+    fn on_access(&mut self, ctx: &AccessCtx, out: &mut Vec<PrefetchReq>) {
+        self.clock += 1;
+        let region = ctx.line.raw() / REGION_LINES;
+        let offset = (ctx.line.raw() % REGION_LINES) as u8;
+
+        if let Some(e) = self.acc.iter_mut().find(|e| e.valid && e.region == region) {
+            e.footprint |= 1 << offset;
+            e.lru = self.clock;
+            return;
+        }
+
+        // Trigger access.
+        let signature = Self::signature(ctx.pc, offset);
+        if let Some(fp) = self.pht_lookup(signature) {
+            let base = region * REGION_LINES;
+            for bit in 0..REGION_LINES as u8 {
+                if bit != offset && fp & (1 << bit) != 0 {
+                    out.push(PrefetchReq { line: LineAddr::new(base + bit as u64) });
+                }
+            }
+        }
+
+        let idx = self
+            .acc
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
+            .map(|(i, _)| i)
+            .expect("acc nonzero");
+        let old = self.acc[idx];
+        if old.valid {
+            let (sig, fp) = (old.signature, old.footprint);
+            self.pht_store(sig, fp);
+        }
+        self.acc[idx] = AccEntry {
+            region,
+            footprint: 1 << offset,
+            signature,
+            valid: true,
+            lru: self.clock,
+        };
+    }
+
+    fn name(&self) -> &'static str {
+        "SMS"
+    }
+
+    fn storage_bits(&self) -> usize {
+        let acc = ACC_ENTRIES * (38 + 32 + 32 + 16);
+        let pht = PHT_SETS * PHT_WAYS * (32 + 32 + 1);
+        acc + pht
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recalls_footprint_by_pc_offset_signature() {
+        let mut p = Sms::new();
+        let pattern = [1u64, 5, 9, 20];
+        let mut out = Vec::new();
+        let mut predicted = std::collections::HashSet::new();
+        let mut covered = 0;
+        for r in 0..400u64 {
+            let base = (0x8000 + r) * REGION_LINES;
+            for &o in &pattern {
+                let line = LineAddr::new(base + o);
+                if predicted.contains(&line) {
+                    covered += 1;
+                }
+                out.clear();
+                p.on_access(&AccessCtx { pc: 0x400def, line, hit: false }, &mut out);
+                for req in &out {
+                    predicted.insert(req.line);
+                }
+            }
+        }
+        assert!(covered > 500, "SMS coverage {covered}/1600");
+    }
+
+    #[test]
+    fn different_pcs_have_different_signatures() {
+        assert_ne!(Sms::signature(0x400100, 3), Sms::signature(0x400104, 3));
+        assert_ne!(Sms::signature(0x400100, 3), Sms::signature(0x400100, 4));
+    }
+
+    #[test]
+    fn sparse_footprints_not_stored() {
+        let mut p = Sms::new();
+        let mut out = Vec::new();
+        // Touch single lines in many regions: nothing worth storing.
+        for r in 0..200u64 {
+            let line = LineAddr::new((0x100 + r) * REGION_LINES + 7);
+            out.clear();
+            p.on_access(&AccessCtx { pc: 0x400abc, line, hit: false }, &mut out);
+        }
+        // Revisit: no recall expected.
+        let mut total = 0;
+        for r in 0..200u64 {
+            let line = LineAddr::new((0x100 + r) * REGION_LINES + 7);
+            out.clear();
+            p.on_access(&AccessCtx { pc: 0x400abc, line, hit: false }, &mut out);
+            total += out.len();
+        }
+        assert_eq!(total, 0, "single-line footprints must not be recalled");
+    }
+
+    #[test]
+    fn storage_near_20kb() {
+        let kb = Sms::new().storage_bits() as f64 / 8.0 / 1024.0;
+        assert!((15.0..40.0).contains(&kb), "SMS storage {kb} KB (paper: 20 KB)");
+    }
+}

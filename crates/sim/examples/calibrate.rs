@@ -1,0 +1,55 @@
+//! Calibration harness used during development: headline shape of the
+//! paper's main result across the default suite.
+
+use hermes::{HermesConfig, PredictorKind};
+use hermes_prefetch::PrefetcherKind;
+use hermes_sim::{system::run_one, SystemConfig};
+use hermes_trace::suite;
+
+fn main() {
+    let (w, s) = (30_000u64, 150_000u64);
+    let mut g = [vec![], vec![], vec![], vec![]];
+    for spec in suite::default_suite().iter() {
+        let base =
+            run_one(SystemConfig::baseline_1c().with_prefetcher(PrefetcherKind::None), spec, w, s);
+        let pythia = run_one(SystemConfig::baseline_1c(), spec, w, s);
+        let hermes = run_one(
+            SystemConfig::baseline_1c().with_hermes(HermesConfig::hermes_o(PredictorKind::Popet)),
+            spec, w, s,
+        );
+        let ideal = run_one(
+            SystemConfig::baseline_1c().with_hermes(HermesConfig::hermes_o(PredictorKind::Ideal)),
+            spec, w, s,
+        );
+        let b = base.cores[0].ipc();
+        let ratios = [pythia.cores[0].ipc() / b, hermes.cores[0].ipc() / b, ideal.cores[0].ipc() / b];
+        for (i, r) in ratios.iter().enumerate() {
+            g[i].push(*r);
+        }
+        g[3].push(hermes.cores[0].pred.accuracy());
+        println!(
+            "{:20} pythia={:+6.1}% p+hO={:+6.1}%vsP p+ideal={:+6.1}%vsP acc={:3.0}% cov={:3.0}% reads p={} i={} (d/p/h {} {} {} drop {})",
+            spec.name,
+            (ratios[0] - 1.0) * 100.0,
+            (ratios[1] / ratios[0] - 1.0) * 100.0,
+            (ratios[2] / ratios[0] - 1.0) * 100.0,
+            hermes.cores[0].pred.accuracy() * 100.0,
+            hermes.cores[0].pred.coverage() * 100.0,
+            pythia.dram.total_reads(),
+            ideal.dram.total_reads(),
+            ideal.dram.reads_demand,
+            ideal.dram.reads_prefetch,
+            ideal.dram.reads_hermes,
+            ideal.dram.hermes_dropped,
+        );
+    }
+    let geo = |v: &Vec<f64>| {
+        let s: f64 = v.iter().map(|x: &f64| x.ln()).sum();
+        (s / v.len() as f64).exp()
+    };
+    println!(
+        "GEOMEAN: pythia {:.3}  pythia+hermesO {:.3}  pythia+ideal {:.3}  mean acc {:.2}",
+        geo(&g[0]), geo(&g[1]), geo(&g[2]),
+        g[3].iter().sum::<f64>() / g[3].len() as f64
+    );
+}

@@ -1,0 +1,27 @@
+use hermes::{HermesConfig, PredictorKind};
+use hermes_prefetch::PrefetcherKind;
+use hermes_sim::{system::run_one, SystemConfig};
+use hermes_trace::suite;
+
+fn main() {
+    for name in ["cactus-like", "ligra-pagerank", "ligra-components"] {
+        let spec = suite::default_suite().into_iter().find(|w| w.name == name).unwrap();
+        let (w, s) = (30_000u64, 150_000u64);
+        for (label, cfg) in [
+            ("none      ", SystemConfig::baseline_1c().with_prefetcher(PrefetcherKind::None)),
+            ("ideal-only", SystemConfig::baseline_1c().with_prefetcher(PrefetcherKind::None).with_hermes(HermesConfig::hermes_o(PredictorKind::Ideal))),
+            ("pythia    ", SystemConfig::baseline_1c()),
+            ("pyth+ideal", SystemConfig::baseline_1c().with_hermes(HermesConfig::hermes_o(PredictorKind::Ideal))),
+        ] {
+            let r = run_one(cfg, &spec, w, s);
+            let c = &r.cores[0];
+            println!(
+                "{name:16} {label}: ipc={:.3} offchip_lat={:6.1} served llc={:5} dram={:5} reads={:5} rowhit%={:4.1} pf_useful={}",
+                c.ipc(), c.avg_offchip_latency(), c.core.served_llc, c.core.served_dram,
+                r.dram.total_reads(),
+                100.0 * r.dram.row_hits as f64 / (r.dram.row_hits + r.dram.row_empty + r.dram.row_conflicts).max(1) as f64,
+                c.hier.prefetches_useful,
+            );
+        }
+    }
+}

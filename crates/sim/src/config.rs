@@ -1,0 +1,198 @@
+//! System configuration: the paper's Table 4 with builder-style sweeps
+//! for every sensitivity study in §8.4 and Appendix B.
+
+use hermes::{HermesConfig, PopetConfig};
+use hermes_cache::{CacheConfig, ReplacementKind};
+use hermes_cpu::CoreConfig;
+use hermes_dram::DramConfig;
+use hermes_prefetch::PrefetcherKind;
+
+/// Complete description of a simulated system.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Number of cores (1 or 8 in the paper).
+    pub cores: usize,
+    /// Core pipeline configuration.
+    pub core: CoreConfig,
+    /// L1D configuration; `latency` is the load-to-use latency of an L1
+    /// hit (5 cycles).
+    pub l1: CacheConfig,
+    /// L2 configuration; `latency` is the *additional* cycles past L1
+    /// (10, for a 15-cycle L2 load-to-use).
+    pub l2: CacheConfig,
+    /// Shared LLC configuration *per core* (3 MB/core); `latency` is the
+    /// additional cycles past L2 (40, for a 55-cycle LLC load-to-use).
+    pub llc_per_core: CacheConfig,
+    /// Main memory.
+    pub dram: DramConfig,
+    /// Data prefetcher at the LLC (one instance per core).
+    pub prefetcher: PrefetcherKind,
+    /// Hermes configuration.
+    pub hermes: HermesConfig,
+    /// POPET configuration (feature set, table sizes, thresholds) used
+    /// when `hermes.predictor` is POPET.
+    pub popet: PopetConfig,
+    /// Cycles a retry waits when an MSHR is full.
+    pub mshr_retry: u32,
+}
+
+impl SystemConfig {
+    /// The single-core baseline of Table 4 — Pythia at the LLC, Hermes
+    /// disabled.
+    pub fn baseline_1c() -> Self {
+        Self {
+            cores: 1,
+            core: CoreConfig::baseline(),
+            l1: CacheConfig::new("L1D", 48 * 1024, 12, ReplacementKind::Lru, 16).with_latency(5),
+            l2: CacheConfig::new("L2", 1280 * 1024, 20, ReplacementKind::Lru, 48).with_latency(10),
+            llc_per_core: CacheConfig::new("LLC", 3 << 20, 12, ReplacementKind::Ship, 64)
+                .with_latency(40),
+            dram: DramConfig::single_core(),
+            prefetcher: PrefetcherKind::Pythia,
+            hermes: HermesConfig::disabled(),
+            popet: PopetConfig::paper(),
+            mshr_retry: 4,
+        }
+    }
+
+    /// The eight-core configuration: shared 24 MB LLC, 4 DRAM channels.
+    pub fn baseline_8c() -> Self {
+        Self { cores: 8, dram: DramConfig::eight_core(), ..Self::baseline_1c() }
+    }
+
+    /// Replaces the prefetcher (Fig. 17b sweep).
+    pub fn with_prefetcher(mut self, kind: PrefetcherKind) -> Self {
+        self.prefetcher = kind;
+        self
+    }
+
+    /// Replaces the Hermes configuration.
+    pub fn with_hermes(mut self, hermes: HermesConfig) -> Self {
+        self.hermes = hermes;
+        self
+    }
+
+    /// Replaces the POPET configuration (feature ablations of Fig. 10/11,
+    /// the τ_act sweep of Fig. 17).
+    pub fn with_popet(mut self, popet: PopetConfig) -> Self {
+        self.popet = popet;
+        self
+    }
+
+    /// Replaces the ROB size (Fig. 19 sweep).
+    pub fn with_rob(mut self, rob: usize) -> Self {
+        self.core = self.core.with_rob(rob);
+        self
+    }
+
+    /// Replaces the per-core LLC size (Fig. 20 sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the size does not yield a power-of-two set count.
+    pub fn with_llc_size(mut self, bytes_per_core: u64) -> Self {
+        self.llc_per_core = CacheConfig::new(
+            "LLC",
+            bytes_per_core,
+            self.llc_per_core.ways,
+            self.llc_per_core.replacement,
+            self.llc_per_core.mshrs,
+        )
+        .with_latency(self.llc_per_core.latency);
+        self
+    }
+
+    /// Replaces the post-L2 LLC latency (Fig. 17d sweep: the paper varies
+    /// the LLC access latency with L1/L2 unchanged).
+    pub fn with_llc_latency(mut self, additional_cycles: u32) -> Self {
+        self.llc_per_core.latency = additional_cycles;
+        self
+    }
+
+    /// Replaces the DRAM transfer rate (Fig. 17a sweep).
+    pub fn with_mtps(mut self, mtps: u64) -> Self {
+        self.dram = self.dram.clone().with_mtps(mtps);
+        self
+    }
+
+    /// Total one-way latency from issue to the memory controller: the
+    /// cycles Hermes can shave off an off-chip load (55 in the baseline).
+    pub fn hierarchy_latency(&self) -> u32 {
+        self.l1.latency + self.l2.latency + self.llc_per_core.latency
+    }
+
+    /// The LLC shared by all cores (size scaled by core count, Table 4's
+    /// "3 MB/core").
+    pub fn shared_llc(&self) -> CacheConfig {
+        CacheConfig::new(
+            "LLC",
+            self.llc_per_core.size_bytes * self.cores as u64,
+            self.llc_per_core.ways,
+            self.llc_per_core.replacement,
+            self.llc_per_core.mshrs * self.cores,
+        )
+        .with_latency(self.llc_per_core.latency)
+    }
+
+    /// Validates the composite configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent parameters.
+    pub fn validate(&self) {
+        assert!(self.cores >= 1);
+        self.core.validate();
+        self.dram.validate();
+        let _ = self.shared_llc();
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::baseline_1c()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes::PredictorKind;
+
+    #[test]
+    fn baseline_matches_table4() {
+        let c = SystemConfig::baseline_1c();
+        assert_eq!(c.l1.sets(), 64);
+        assert_eq!(c.l2.sets(), 1024);
+        assert_eq!(c.llc_per_core.sets(), 4096);
+        assert_eq!(c.hierarchy_latency(), 55);
+        assert_eq!(c.prefetcher, PrefetcherKind::Pythia);
+        assert!(!c.hermes.enabled());
+        c.validate();
+    }
+
+    #[test]
+    fn eight_core_scales_llc() {
+        let c = SystemConfig::baseline_8c();
+        assert_eq!(c.shared_llc().size_bytes, 24 << 20);
+        assert_eq!(c.dram.channels, 4);
+        c.validate();
+    }
+
+    #[test]
+    fn sweep_builders() {
+        let c = SystemConfig::baseline_1c()
+            .with_prefetcher(PrefetcherKind::Bingo)
+            .with_hermes(HermesConfig::hermes_o(PredictorKind::Popet))
+            .with_rob(256)
+            .with_llc_size(6 << 20)
+            .with_llc_latency(50)
+            .with_mtps(1600);
+        assert_eq!(c.prefetcher, PrefetcherKind::Bingo);
+        assert!(c.hermes.enabled());
+        assert_eq!(c.core.rob_size, 256);
+        assert_eq!(c.llc_per_core.size_bytes, 6 << 20);
+        assert_eq!(c.hierarchy_latency(), 65);
+        assert_eq!(c.dram.mtps, 1600);
+        c.validate();
+    }
+}

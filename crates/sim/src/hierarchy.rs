@@ -1,0 +1,605 @@
+//! The memory-hierarchy engine: per-core L1D/L2, shared LLC, prefetchers,
+//! off-chip predictors, the Hermes datapath, and DRAM — implementing the
+//! core-facing [`MemoryPort`].
+//!
+//! ## Load path timing
+//!
+//! Latencies follow Table 4's load-to-use numbers: an L1 hit completes at
+//! issue+5, an L2 hit at issue+15, an LLC hit at issue+55; an LLC miss
+//! enters the memory controller's read queue at issue+55 and completes
+//! when DRAM delivers. A Hermes request for a predicted-off-chip load
+//! enters the read queue at issue+6 (Hermes-O) or issue+18 (Hermes-P)
+//! instead — the regular miss later *merges* with it at the controller,
+//! which is precisely how Hermes hides the on-chip hierarchy latency
+//! (§6.2.1). A completed Hermes read that no demand merged into is
+//! dropped without filling any cache (§6.2.2), keeping the hierarchy
+//! coherent on a misprediction.
+//!
+//! ## Fills and evictions
+//!
+//! DRAM returns fill LLC+L2+L1 along the return path; LLC-hit data fills
+//! L2+L1; prefetches fill only the LLC (they are LLC prefetchers, Table
+//! 4). Dirty evictions propagate downward and become DRAM writebacks.
+//! TTP observes every fill and every LLC eviction; the active prefetcher
+//! observes LLC demand accesses and receives usefulness feedback.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use hermes::{
+    Hmp, LoadContext, OffChipPredictor, Popet, Prediction, PredictorKind, PredictorStats, Ttp,
+};
+use hermes_cache::{CacheArray, MshrTable};
+use hermes_cpu::{LoadIssue, MemoryPort, ServedBy, StoreIssue};
+use hermes_dram::{Completion, MemoryController, ReqKind};
+use hermes_prefetch::{self as pf, AccessCtx, PrefetchReq, Prefetcher};
+use hermes_types::{Cycle, LineAddr};
+
+use crate::config::SystemConfig;
+use crate::translate::translate;
+
+/// Maximum prefetch candidates accepted per triggering access.
+const MAX_PF_PER_ACCESS: usize = 32;
+
+/// LLC MSHR registers held back from prefetches so demands never starve.
+const PF_MSHR_RESERVE: usize = 8;
+
+/// A requester waiting on an L1 miss.
+#[derive(Debug, Clone, Copy)]
+struct L1Waiter {
+    /// Core load token; `None` for stores (write-allocate fetches).
+    token: Option<u64>,
+    is_store: bool,
+}
+
+/// A core waiting on an LLC miss; `None` marks prefetch-only entries.
+type LlcWaiter = Option<(usize, u64)>; // (core, trigger pc)
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    LookupL2 { core: usize, line: LineAddr, pc: u64, retried: bool },
+    LookupLlc { core: usize, line: LineAddr, pc: u64, retried: bool },
+    HermesIssue { core: usize, line: LineAddr },
+    CompleteLoad { core: usize, token: u64, served: ServedBy },
+}
+
+#[derive(Debug)]
+struct HeapEntry {
+    at: Cycle,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// What the predictor said about an in-flight load, kept until training.
+#[derive(Debug, Clone, Copy)]
+struct LoadRec {
+    ctx: LoadContext,
+    pred: Prediction,
+    issue: Cycle,
+}
+
+enum PredictorImpl {
+    None,
+    Popet(Box<Popet>),
+    Hmp(Box<Hmp>),
+    Ttp(Box<Ttp>),
+    /// Oracle: resolved by peeking the hierarchy at prediction time.
+    Ideal,
+}
+
+/// Per-core hierarchy statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoreHierStats {
+    /// Demand accesses reaching the LLC.
+    pub llc_demand_accesses: u64,
+    /// Demand accesses missing the LLC (the MPKI numerator).
+    pub llc_demand_misses: u64,
+    /// Hermes requests issued to the memory controller.
+    pub hermes_requests: u64,
+    /// Prefetches issued to DRAM on behalf of this core.
+    pub prefetches_issued: u64,
+    /// Prefetched lines this core demanded (useful prefetches).
+    pub prefetches_useful: u64,
+    /// L1D accesses (power model).
+    pub l1_accesses: u64,
+    /// L2 accesses (power model).
+    pub l2_accesses: u64,
+    /// Sum over off-chip loads of total latency (issue -> data).
+    pub offchip_latency_sum: u64,
+    /// Sum over off-chip loads of the on-chip portion (issue -> MC).
+    pub offchip_onchip_portion_sum: u64,
+    /// Off-chip demand loads observed at the hierarchy.
+    pub offchip_loads: u64,
+}
+
+/// See [module docs](self).
+pub struct Hierarchy {
+    cfg: SystemConfig,
+    l1: Vec<CacheArray>,
+    l2: Vec<CacheArray>,
+    llc: CacheArray,
+    l1_mshr: Vec<MshrTable<L1Waiter>>,
+    l2_mshr: Vec<MshrTable<()>>,
+    llc_mshr: MshrTable<LlcWaiter>,
+    dram: MemoryController,
+    prefetchers: Vec<Box<dyn Prefetcher>>,
+    predictors: Vec<PredictorImpl>,
+    pred_stats: Vec<PredictorStats>,
+    loads: HashMap<u64, LoadRec>,
+    events: BinaryHeap<Reverse<HeapEntry>>,
+    seq: u64,
+    finished: Vec<(usize, u64, ServedBy)>,
+    stats: Vec<CoreHierStats>,
+    dram_buf: Vec<Completion>,
+    pf_buf: Vec<PrefetchReq>,
+    /// Deferred L1 accesses waiting on a free MSHR:
+    /// (retry_at, core, line, token, is_store, pc).
+    retry_l1: Vec<(Cycle, usize, LineAddr, Option<u64>, bool, u64)>,
+}
+
+fn key(core: usize, token: u64) -> u64 {
+    ((core as u64) << 48) | token
+}
+
+fn pc_sig(pc: u64) -> u16 {
+    (hermes_types::mix64(pc) & 0x3FFF) as u16
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy for `cfg`.
+    pub fn new(cfg: SystemConfig) -> Self {
+        cfg.validate();
+        let n = cfg.cores;
+        let predictors = (0..n)
+            .map(|_| match cfg.hermes.predictor {
+                PredictorKind::None => PredictorImpl::None,
+                PredictorKind::Popet => PredictorImpl::Popet(Box::new(Popet::new(cfg.popet.clone()))),
+                PredictorKind::Hmp => PredictorImpl::Hmp(Box::new(Hmp::new())),
+                PredictorKind::Ttp => PredictorImpl::Ttp(Box::default()),
+                PredictorKind::Ideal => PredictorImpl::Ideal,
+            })
+            .collect();
+        Self {
+            l1: (0..n).map(|_| CacheArray::new(&cfg.l1)).collect(),
+            l2: (0..n).map(|_| CacheArray::new(&cfg.l2)).collect(),
+            llc: CacheArray::new(&cfg.shared_llc()),
+            l1_mshr: (0..n).map(|_| MshrTable::new(cfg.l1.mshrs)).collect(),
+            l2_mshr: (0..n).map(|_| MshrTable::new(cfg.l2.mshrs)).collect(),
+            llc_mshr: MshrTable::new(cfg.shared_llc().mshrs),
+            dram: MemoryController::new(cfg.dram.clone()),
+            prefetchers: (0..n).map(|_| pf::build(cfg.prefetcher)).collect(),
+            predictors,
+            pred_stats: vec![PredictorStats::default(); n],
+            loads: HashMap::new(),
+            events: BinaryHeap::new(),
+            seq: 0,
+            finished: Vec::new(),
+            stats: vec![CoreHierStats::default(); n],
+            dram_buf: Vec::new(),
+            pf_buf: Vec::new(),
+            retry_l1: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Per-core hierarchy statistics.
+    pub fn core_stats(&self) -> &[CoreHierStats] {
+        &self.stats
+    }
+
+    /// Per-core predictor confusion matrices.
+    pub fn predictor_stats(&self) -> &[PredictorStats] {
+        &self.pred_stats
+    }
+
+    /// DRAM statistics.
+    pub fn dram_stats(&self) -> &hermes_dram::controller::DramStats {
+        self.dram.stats()
+    }
+
+    /// Zeroes accumulated statistics (warmup boundary). Microarchitectural
+    /// state (caches, predictors, prefetchers) is preserved.
+    pub fn reset_stats(&mut self) {
+        for s in &mut self.stats {
+            *s = CoreHierStats::default();
+        }
+        for s in &mut self.pred_stats {
+            *s = PredictorStats::default();
+        }
+        // Statistics only: in-flight reads must survive the boundary or
+        // their waiters (MSHRs, cores) would strand.
+        self.dram.reset_stats();
+    }
+
+    fn schedule(&mut self, at: Cycle, ev: Ev) {
+        self.seq += 1;
+        self.events.push(Reverse(HeapEntry { at, seq: self.seq, ev }));
+    }
+
+    fn predict(&mut self, core: usize, ctx: &LoadContext) -> Prediction {
+        match &mut self.predictors[core] {
+            PredictorImpl::None => Prediction::negative(),
+            PredictorImpl::Popet(p) => p.predict(ctx),
+            PredictorImpl::Hmp(h) => h.predict(ctx),
+            PredictorImpl::Ttp(t) => t.predict(ctx),
+            PredictorImpl::Ideal => {
+                let present = self.l1[core].probe(ctx.pline)
+                    || self.l2[core].probe(ctx.pline)
+                    || self.llc.probe(ctx.pline);
+                Prediction { go_offchip: !present, meta: hermes::predictor::PredictionMeta::None }
+            }
+        }
+    }
+
+    fn train(&mut self, core: usize, rec: &LoadRec, went_offchip: bool) {
+        self.pred_stats[core].record(rec.pred.go_offchip, went_offchip);
+        match &mut self.predictors[core] {
+            PredictorImpl::Popet(p) => p.train(&rec.ctx, &rec.pred, went_offchip),
+            PredictorImpl::Hmp(h) => h.train(&rec.ctx, &rec.pred, went_offchip),
+            PredictorImpl::Ttp(t) => t.train(&rec.ctx, &rec.pred, went_offchip),
+            PredictorImpl::None | PredictorImpl::Ideal => {}
+        }
+    }
+
+    fn notify_fill(&mut self, core: usize, line: LineAddr) {
+        if let PredictorImpl::Ttp(t) = &mut self.predictors[core] {
+            t.on_cache_fill(line);
+        }
+    }
+
+    fn notify_llc_eviction(&mut self, line: LineAddr) {
+        for p in &mut self.predictors {
+            if let PredictorImpl::Ttp(t) = p {
+                t.on_llc_eviction(line);
+            }
+        }
+    }
+
+    /// Completes a demand load: trains the predictor and queues the
+    /// core callback.
+    fn finish_demand(&mut self, core: usize, token: u64, served: ServedBy, now: Cycle) {
+        if let Some(rec) = self.loads.remove(&key(core, token)) {
+            let offchip = served.is_offchip();
+            if self.cfg.hermes.enabled() {
+                self.train(core, &rec, offchip);
+            }
+            if offchip {
+                let s = &mut self.stats[core];
+                s.offchip_loads += 1;
+                s.offchip_latency_sum += now.saturating_sub(rec.issue);
+                s.offchip_onchip_portion_sum += self.cfg.hierarchy_latency() as u64;
+            }
+        }
+        self.finished.push((core, token, served));
+    }
+
+    /// L1 access for a load or store at `now`.
+    fn access_l1(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        token: Option<u64>,
+        is_store: bool,
+        pc: u64,
+        now: Cycle,
+    ) {
+        self.stats[core].l1_accesses += 1;
+        let res = self.l1[core].access(line, pc_sig(pc));
+        if res.hit {
+            if is_store {
+                self.l1[core].mark_dirty(line);
+            }
+            if let Some(tok) = token {
+                let at = now + self.cfg.l1.latency as Cycle;
+                self.schedule(at, Ev::CompleteLoad { core, token: tok, served: ServedBy::L1 });
+            }
+            return;
+        }
+        match self.l1_mshr[core].allocate(line, L1Waiter { token, is_store }, false) {
+            Ok(true) => {
+                let at = now + (self.cfg.l1.latency + self.cfg.l2.latency) as Cycle;
+                self.schedule(at, Ev::LookupL2 { core, line, pc, retried: false });
+            }
+            Ok(false) => {}
+            Err(_) => {
+                // Structural stall: retry the whole L1 access after the
+                // retry delay (the repeated tag lookup is charged to the
+                // power model).
+                let at = now + self.cfg.mshr_retry as Cycle;
+                self.retry_l1.push((at, core, line, token, is_store, pc));
+            }
+        }
+    }
+
+    fn lookup_l2(&mut self, core: usize, line: LineAddr, pc: u64, retried: bool, now: Cycle) {
+        if !retried {
+            self.stats[core].l2_accesses += 1;
+        }
+        let res = self.l2[core].access(line, pc_sig(pc));
+        if res.hit {
+            self.complete_l1_path(core, line, ServedBy::L2, now);
+            return;
+        }
+        match self.l2_mshr[core].allocate(line, (), false) {
+            Ok(true) => {
+                let at = now + self.cfg.llc_per_core.latency as Cycle;
+                self.schedule(at, Ev::LookupLlc { core, line, pc, retried: false });
+            }
+            Ok(false) => {}
+            Err(_) => {
+                let at = now + self.cfg.mshr_retry as Cycle;
+                self.schedule(at, Ev::LookupL2 { core, line, pc, retried: true });
+            }
+        }
+    }
+
+    fn lookup_llc(&mut self, core: usize, line: LineAddr, pc: u64, retried: bool, now: Cycle) {
+        let res = self.llc.access(line, pc_sig(pc));
+        if !retried {
+            self.stats[core].llc_demand_accesses += 1;
+            if res.first_demand_on_prefetch {
+                self.stats[core].prefetches_useful += 1;
+                self.prefetchers[core].on_prefetch_hit(line);
+            }
+            // Prefetcher observes every demand access at this level.
+            let mut buf = std::mem::take(&mut self.pf_buf);
+            buf.clear();
+            self.prefetchers[core].on_access(&AccessCtx { pc, line, hit: res.hit }, &mut buf);
+            buf.truncate(MAX_PF_PER_ACCESS);
+            for req in &buf {
+                self.issue_prefetch(core, line, req.line, now);
+            }
+            self.pf_buf = buf;
+        }
+
+        if res.hit {
+            self.fill_l2(core, line, false, now);
+            self.complete_l2_path(core, line, ServedBy::Llc, now);
+            return;
+        }
+        if !retried {
+            self.stats[core].llc_demand_misses += 1;
+        }
+        let was_prefetch_only = self.llc_mshr.is_prefetch_only(line);
+        match self.llc_mshr.allocate(line, Some((core, pc)), false) {
+            Ok(true) => {
+                let _ = self.dram.enqueue_read(line, now, ReqKind::Demand);
+            }
+            Ok(false) => {
+                // Merged into an outstanding miss; if it was a pure
+                // prefetch, that prefetch was accurate but late.
+                if was_prefetch_only == Some(true) {
+                    self.prefetchers[core].on_late_prefetch(line);
+                }
+            }
+            Err(_) => {
+                let at = now + self.cfg.mshr_retry as Cycle;
+                self.schedule(at, Ev::LookupLlc { core, line, pc, retried: true });
+            }
+        }
+    }
+
+    /// Issues one prefetch candidate, enforcing the same-physical-page
+    /// rule (the next virtual page's frame is unknowable to hardware, so
+    /// crossing a page boundary fetches unrelated data) and an MSHR
+    /// reservation so prefetches cannot starve demand misses.
+    fn issue_prefetch(&mut self, core: usize, trigger: LineAddr, line: LineAddr, now: Cycle) {
+        if line.page_number() != trigger.page_number() {
+            return;
+        }
+        if self.llc_mshr.in_use() + PF_MSHR_RESERVE >= self.llc_mshr.capacity() {
+            return;
+        }
+        if self.llc.probe(line) || self.llc_mshr.contains(line) {
+            return;
+        }
+        if self.llc_mshr.allocate(line, None, true) == Ok(true) {
+            self.stats[core].prefetches_issued += 1;
+            // May merge into an in-flight read (e.g. a Hermes request to
+            // the same line) at the controller — no duplicate traffic,
+            // but the prefetcher keeps its feedback loop.
+            let _ = self.dram.enqueue_read(line, now, ReqKind::Prefetch);
+        }
+    }
+
+    /// Fills the LLC, handling eviction side effects.
+    fn fill_llc(&mut self, line: LineAddr, dirty: bool, prefetched: bool, sig: u16, now: Cycle) {
+        if let Some(ev) = self.llc.fill(line, dirty, prefetched, sig) {
+            if ev.was_unused_prefetch {
+                for p in &mut self.prefetchers {
+                    p.on_unused_eviction(ev.line);
+                }
+            }
+            self.notify_llc_eviction(ev.line);
+            if ev.dirty {
+                self.dram.enqueue_write(ev.line, now);
+            }
+        }
+        // TTP is a core-side structure (§7.2): it observes fills returning
+        // to the core, not prefetch fills happening inside the LLC. This
+        // blindness to prefetched lines is precisely what destroys its
+        // accuracy under a high-coverage prefetcher (paper Fig. 9).
+        if !prefetched {
+            for c in 0..self.cfg.cores {
+                self.notify_fill(c, line);
+            }
+        }
+    }
+
+    /// Fills a core's L2, propagating dirty evictions to the LLC.
+    fn fill_l2(&mut self, core: usize, line: LineAddr, dirty: bool, now: Cycle) {
+        if let Some(ev) = self.l2[core].fill(line, dirty, false, 0) {
+            if ev.dirty
+                && !self.llc.mark_dirty(ev.line) {
+                    self.fill_llc(ev.line, true, false, 0, now);
+                }
+        }
+        self.notify_fill(core, line);
+    }
+
+    /// Fills a core's L1 and completes all waiters registered in its L1
+    /// MSHR for `line`.
+    fn complete_l1_path(&mut self, core: usize, line: LineAddr, served: ServedBy, now: Cycle) {
+        let Some((waiters, _)) = self.l1_mshr[core].complete(line) else {
+            return;
+        };
+        let any_store = waiters.iter().any(|w| w.is_store);
+        if let Some(ev) = self.l1[core].fill(line, any_store, false, 0) {
+            if ev.dirty
+                && !self.l2[core].mark_dirty(ev.line) {
+                    self.fill_l2(core, ev.line, true, now);
+                }
+        }
+        self.notify_fill(core, line);
+        for w in waiters {
+            if let Some(tok) = w.token {
+                self.finish_demand(core, tok, served, now);
+            }
+        }
+    }
+
+    /// Completes an L2 miss (fills L2 already done by caller for hits;
+    /// for DRAM fills the caller fills L2 first) and then the L1 path.
+    fn complete_l2_path(&mut self, core: usize, line: LineAddr, served: ServedBy, now: Cycle) {
+        let completed = self.l2_mshr[core].complete(line);
+        debug_assert!(completed.is_some(), "L2 path completion without MSHR entry");
+        self.complete_l1_path(core, line, served, now);
+    }
+
+    fn handle_dram_completion(&mut self, c: Completion, now: Cycle) {
+        if let Some((waiters, prefetch_only)) = self.llc_mshr.complete(c.line) {
+            let sig = waiters
+                .iter()
+                .flatten()
+                .next()
+                .map(|&(_, pc)| pc_sig(pc))
+                .unwrap_or(0);
+            self.fill_llc(c.line, false, prefetch_only, sig, now);
+            for w in waiters.into_iter().flatten() {
+                let (core, _pc) = w;
+                self.fill_l2(core, c.line, false, now);
+                self.complete_l2_path(core, c.line, ServedBy::Dram, now);
+            }
+        } else {
+            // A Hermes read no demand ever merged into: dropped without
+            // filling any cache (§6.2.2).
+            debug_assert!(
+                c.hermes_initiated && !c.demanded,
+                "unmatched DRAM completion that is not a dropped Hermes read"
+            );
+        }
+    }
+
+    fn handle_event(&mut self, ev: Ev, now: Cycle) {
+        match ev {
+            Ev::LookupL2 { core, line, pc, retried } => self.lookup_l2(core, line, pc, retried, now),
+            Ev::LookupLlc { core, line, pc, retried } => {
+                self.lookup_llc(core, line, pc, retried, now)
+            }
+            Ev::HermesIssue { core, line } => {
+                self.stats[core].hermes_requests += 1;
+                let _ = self.dram.enqueue_read(line, now, ReqKind::Hermes);
+            }
+            Ev::CompleteLoad { core, token, served } => {
+                self.finish_demand(core, token, served, now);
+            }
+        }
+    }
+
+    /// Advances the hierarchy to `now`: processes due events and DRAM
+    /// completions. Finished loads accumulate in the internal buffer
+    /// drained by [`Hierarchy::drain_finished`].
+    pub fn tick(&mut self, now: Cycle) {
+        // Retries first (they were scheduled in a side queue).
+        let mut i = 0;
+        while i < self.retry_l1.len() {
+            if self.retry_l1[i].0 <= now {
+                let (_, core, line, token, is_store, pc) = self.retry_l1.swap_remove(i);
+                self.access_l1(core, line, token, is_store, pc, now);
+            } else {
+                i += 1;
+            }
+        }
+        while let Some(Reverse(entry)) = self.events.peek() {
+            if entry.at > now {
+                break;
+            }
+            let Reverse(entry) = self.events.pop().expect("peeked");
+            self.handle_event(entry.ev, now);
+        }
+        let mut buf = std::mem::take(&mut self.dram_buf);
+        self.dram.pop_completions(now, &mut buf);
+        for c in buf.drain(..) {
+            self.handle_dram_completion(c, now);
+        }
+        self.dram_buf = buf;
+    }
+
+    /// Drains (core, token, served) completions for delivery to cores.
+    pub fn drain_finished(&mut self, out: &mut Vec<(usize, u64, ServedBy)>) {
+        out.clear();
+        out.append(&mut self.finished);
+    }
+
+    /// Oracle visibility for tests: whether a line is present at any level
+    /// for `core`.
+    pub fn present_anywhere(&self, core: usize, line: LineAddr) -> bool {
+        self.l1[core].probe(line) || self.l2[core].probe(line) || self.llc.probe(line)
+    }
+
+    /// Prefetcher storage in bits (Table 6 rows).
+    pub fn prefetcher_storage_bits(&self) -> usize {
+        self.prefetchers.first().map(|p| p.storage_bits()).unwrap_or(0)
+    }
+
+}
+
+impl MemoryPort for Hierarchy {
+    fn issue_load(&mut self, req: LoadIssue, now: Cycle) {
+        let paddr = translate(req.core, req.vaddr);
+        let pline = paddr.line();
+        let ctx = LoadContext { pc: req.pc, vaddr: req.vaddr, pline };
+        if self.cfg.hermes.enabled() {
+            let pred = self.predict(req.core, &ctx);
+            if pred.go_offchip && !self.cfg.hermes.passive {
+                let at = now + self.cfg.hermes.issue_latency as Cycle;
+                self.schedule(at, Ev::HermesIssue { core: req.core, line: pline });
+            }
+            self.loads.insert(key(req.core, req.token), LoadRec { ctx, pred, issue: now });
+        } else {
+            self.loads.insert(key(req.core, req.token), LoadRec {
+                ctx,
+                pred: Prediction::negative(),
+                issue: now,
+            });
+        }
+        self.access_l1(req.core, pline, Some(req.token), false, req.pc, now);
+    }
+
+    fn issue_store(&mut self, req: StoreIssue, now: Cycle) {
+        let pline = translate(req.core, req.vaddr).line();
+        self.access_l1(req.core, pline, None, true, req.pc, now);
+    }
+}

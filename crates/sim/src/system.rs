@@ -1,0 +1,247 @@
+//! The top-level simulation runner.
+
+use hermes_cpu::{Core, ServedBy};
+use hermes_trace::WorkloadSpec;
+use hermes_types::Cycle;
+
+use crate::config::SystemConfig;
+use crate::hierarchy::Hierarchy;
+use crate::power::{PowerBreakdown, PowerModel};
+use crate::stats::{CoreRunStats, RunStats};
+
+/// A full simulated system: cores plus the shared memory hierarchy.
+///
+/// See the crate docs for an end-to-end example. The run methodology
+/// follows §7 of the paper: warm up, reset statistics, measure until every
+/// core has retired the measurement quota (cores that finish early keep
+/// executing so multi-core contention stays live, as the paper's replay
+/// rule prescribes).
+pub struct System {
+    cores: Vec<Core>,
+    hierarchy: Hierarchy,
+    specs: Vec<WorkloadSpec>,
+    cycle: Cycle,
+    finished_buf: Vec<(usize, u64, ServedBy)>,
+}
+
+impl System {
+    /// Builds a system; workload `i % workloads.len()` runs on core `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workloads` is empty.
+    pub fn new(cfg: SystemConfig, workloads: &[WorkloadSpec]) -> Self {
+        assert!(!workloads.is_empty(), "need at least one workload");
+        cfg.validate();
+        let cores = (0..cfg.cores)
+            .map(|i| {
+                let spec = &workloads[i % workloads.len()];
+                Core::new(i, cfg.core.clone(), spec.build())
+            })
+            .collect();
+        let specs: Vec<WorkloadSpec> =
+            (0..cfg.cores).map(|i| workloads[i % workloads.len()].clone()).collect();
+        Self { cores, hierarchy: Hierarchy::new(cfg), specs, cycle: 0, finished_buf: Vec::new() }
+    }
+
+    fn step(&mut self) {
+        let now = self.cycle;
+        self.hierarchy.tick(now);
+        self.hierarchy.drain_finished(&mut self.finished_buf);
+        // Move completions out to appease the borrow checker cheaply.
+        let completions = std::mem::take(&mut self.finished_buf);
+        for &(core, token, served) in &completions {
+            self.cores[core].finish_load(token, now, served);
+        }
+        self.finished_buf = completions;
+        for core in &mut self.cores {
+            core.tick(now, &mut self.hierarchy);
+        }
+        self.cycle += 1;
+    }
+
+    /// Runs `warmup` instructions per core untimed (statistics discarded),
+    /// then measures until every core has retired `sim` instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation fails to make forward progress (a cycle
+    /// budget of 400 CPI per instruction is exceeded), which indicates a
+    /// protocol bug rather than a slow workload.
+    pub fn run(&mut self, warmup: u64, sim: u64) -> RunStats {
+        assert!(sim > 0, "measurement window must be nonzero");
+        let n = self.cores.len();
+        let budget = (warmup + sim) * 400 + 2_000_000;
+
+        // Phase 1: warmup.
+        while self.cores.iter().any(|c| c.retired() < warmup) {
+            self.step();
+            assert!(self.cycle < budget, "no forward progress during warmup");
+        }
+        for c in &mut self.cores {
+            c.reset_stats();
+        }
+        self.hierarchy.reset_stats();
+        let measure_start = self.cycle;
+
+        // Phase 2: measurement.
+        let mut finish_cycle: Vec<Option<Cycle>> = vec![None; n];
+        let mut snapshots: Vec<Option<CoreRunStats>> = vec![None; n];
+        while snapshots.iter().any(|s| s.is_none()) {
+            self.step();
+            assert!(self.cycle < measure_start + budget, "no forward progress during measurement");
+            for i in 0..n {
+                if snapshots[i].is_none() && self.cores[i].retired() >= sim {
+                    finish_cycle[i] = Some(self.cycle);
+                    snapshots[i] = Some(CoreRunStats {
+                        workload: self.specs[i].name.clone(),
+                        category: self.specs[i].category,
+                        instructions: sim,
+                        cycles: self.cycle - measure_start,
+                        core: *self.cores[i].stats(),
+                        hier: self.hierarchy.core_stats()[i],
+                        pred: self.hierarchy.predictor_stats()[i],
+                    });
+                }
+            }
+        }
+        let cores: Vec<CoreRunStats> =
+            snapshots.into_iter().map(|s| s.expect("loop exits when all set")).collect();
+
+        let dram = *self.hierarchy.dram_stats();
+        let instructions: u64 = cores.iter().map(|c| c.instructions).sum();
+        let predictions: u64 = cores.iter().map(|c| c.pred.total()).sum();
+        let pf_accesses: u64 = cores.iter().map(|c| c.hier.llc_demand_accesses).sum();
+        let power = PowerBreakdown::compute(
+            &PowerModel::default(),
+            &cores.iter().map(|c| c.hier).collect::<Vec<_>>(),
+            &dram,
+            instructions,
+            predictions,
+            pf_accesses,
+        );
+        RunStats { total_cycles: self.cycle - measure_start, cores, dram, power }
+    }
+
+    /// The hierarchy (for oracle-style inspection in tests).
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// Current simulation cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+}
+
+/// Convenience: build-and-run a single-workload system.
+pub fn run_one(cfg: SystemConfig, spec: &WorkloadSpec, warmup: u64, sim: u64) -> RunStats {
+    System::new(cfg, std::slice::from_ref(spec)).run(warmup, sim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes::{HermesConfig, PredictorKind};
+    use hermes_prefetch::PrefetcherKind;
+    use hermes_trace::suite;
+
+    fn small_cfg() -> SystemConfig {
+        SystemConfig::baseline_1c().with_prefetcher(PrefetcherKind::None)
+    }
+
+    #[test]
+    fn baseline_run_produces_sane_stats() {
+        let spec = &suite::smoke_suite()[0]; // pointer chase
+        let stats = run_one(small_cfg(), spec, 2_000, 10_000);
+        let c = &stats.cores[0];
+        assert_eq!(c.instructions, 10_000);
+        assert!(c.cycles > 0);
+        assert!(c.ipc() > 0.01 && c.ipc() < 6.0, "IPC {}", c.ipc());
+        assert!(c.core.loads > 0);
+        assert!(c.hier.llc_demand_misses > 0, "chase must miss LLC");
+        assert!(stats.dram.reads_demand > 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let spec = &suite::smoke_suite()[0];
+        let a = run_one(small_cfg(), spec, 1_000, 5_000);
+        let b = run_one(small_cfg(), spec, 1_000, 5_000);
+        assert_eq!(a.cores[0].cycles, b.cores[0].cycles);
+        assert_eq!(a.dram.reads_demand, b.dram.reads_demand);
+    }
+
+    #[test]
+    fn stream_hits_after_warmup_with_prefetcher() {
+        let spec = &suite::smoke_suite()[1]; // stream
+        let nopf = run_one(small_cfg(), spec, 5_000, 20_000);
+        let pf = run_one(
+            small_cfg().with_prefetcher(PrefetcherKind::Streamer),
+            spec,
+            5_000,
+            20_000,
+        );
+        assert!(
+            pf.cores[0].ipc() > nopf.cores[0].ipc() * 1.05,
+            "streamer must speed up a stream: {} vs {}",
+            pf.cores[0].ipc(),
+            nopf.cores[0].ipc()
+        );
+    }
+
+    #[test]
+    fn hermes_with_ideal_predictor_speeds_up_chase() {
+        let spec = &suite::smoke_suite()[0]; // pointer chase: off-chip bound
+        let base = run_one(small_cfg(), spec, 2_000, 10_000);
+        let hermes = run_one(
+            small_cfg().with_hermes(HermesConfig::hermes_o(PredictorKind::Ideal)),
+            spec,
+            2_000,
+            10_000,
+        );
+        assert!(
+            hermes.cores[0].ipc() > base.cores[0].ipc() * 1.05,
+            "ideal Hermes must accelerate a chase: {} vs {}",
+            hermes.cores[0].ipc(),
+            base.cores[0].ipc()
+        );
+    }
+
+    #[test]
+    fn popet_accuracy_reasonable_on_chase() {
+        let spec = &suite::smoke_suite()[0];
+        let stats = run_one(
+            small_cfg().with_hermes(HermesConfig::hermes_o(PredictorKind::Popet)),
+            spec,
+            10_000,
+            30_000,
+        );
+        let p = stats.cores[0].pred;
+        assert!(p.total() > 0);
+        assert!(p.accuracy() > 0.5, "POPET accuracy {} on a chase", p.accuracy());
+        assert!(p.coverage() > 0.5, "POPET coverage {} on a chase", p.coverage());
+    }
+
+    #[test]
+    fn multicore_completes_all_cores() {
+        let cfg = SystemConfig {
+            cores: 2,
+            ..SystemConfig::baseline_1c().with_prefetcher(PrefetcherKind::None)
+        };
+        let specs = suite::smoke_suite();
+        let stats = System::new(cfg, &specs[0..2]).run(1_000, 5_000);
+        assert_eq!(stats.cores.len(), 2);
+        for c in &stats.cores {
+            assert_eq!(c.instructions, 5_000);
+            assert!(c.cycles > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_sim_window_rejected() {
+        let spec = suite::smoke_suite().remove(0);
+        let _ = run_one(small_cfg(), &spec, 0, 0);
+    }
+}

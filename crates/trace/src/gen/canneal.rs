@@ -1,0 +1,170 @@
+//! Random element-swap workload (PARSEC `canneal` class).
+//!
+//! Simulated-annealing element swaps: two random elements are picked, their
+//! descriptors loaded, a dependent field of each chased, costs compared
+//! with a data-dependent branch, and (sometimes) both written back. Random
+//! dependent loads over a >LLC working set with ~50/50 branches — PARSEC's
+//! least prefetchable member.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use hermes_types::VirtAddr;
+
+use super::{pc, Layout};
+use crate::instr::Instr;
+use crate::source::TraceSource;
+
+/// See [module docs](self).
+#[derive(Debug)]
+pub struct Canneal {
+    name: String,
+    elem_base: u64,
+    loc_base: u64,
+    elems: u64,
+    rng: SmallRng,
+    slot: u32,
+    a: u64,
+    b: u64,
+    accept: bool,
+}
+
+impl Canneal {
+    /// A swap loop over `elems` 64 B element descriptors (rounded up to a
+    /// power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elems < 16`.
+    pub fn new(elems: u64, seed: u64) -> Self {
+        assert!(elems >= 16);
+        let l = Layout::new();
+        Self {
+            name: format!("canneal_{}k", elems >> 10),
+            elem_base: l.region(24),
+            loc_base: l.region(25),
+            elems: elems.next_power_of_two(),
+            rng: SmallRng::seed_from_u64(seed ^ 0x414E_4E4C),
+            slot: 0,
+            a: 0,
+            b: 0,
+            accept: false,
+        }
+    }
+}
+
+impl TraceSource for Canneal {
+    fn next_instr(&mut self) -> Instr {
+        match self.slot {
+            0 => {
+                self.a = self.rng.gen::<u64>() & (self.elems - 1);
+                self.b = self.rng.gen::<u64>() & (self.elems - 1);
+                self.accept = self.rng.gen::<bool>();
+                self.slot = 1;
+                Instr::load(pc(110), VirtAddr::new(self.elem_base + self.a * 64), Some(2), [
+                    Some(1),
+                    None,
+                ])
+            }
+            1 => {
+                self.slot = 2;
+                Instr::load(pc(111), VirtAddr::new(self.elem_base + self.b * 64), Some(3), [
+                    Some(1),
+                    None,
+                ])
+            }
+            // Dependent location loads (pointer field chase).
+            2 => {
+                self.slot = 3;
+                Instr::load(pc(112), VirtAddr::new(self.loc_base + self.a * 64), Some(4), [
+                    Some(2),
+                    None,
+                ])
+            }
+            3 => {
+                self.slot = 4;
+                Instr::load(pc(113), VirtAddr::new(self.loc_base + self.b * 64), Some(5), [
+                    Some(3),
+                    None,
+                ])
+            }
+            4 => {
+                self.slot = 5;
+                Instr::fp(pc(114), Some(24), [Some(4), Some(5)], 3)
+            }
+            // Accept/reject: data-dependent ~50/50 branch.
+            5 => {
+                self.slot = if self.accept { 6 } else { 8 };
+                Instr::branch(pc(115), self.accept, Some(24))
+            }
+            6 => {
+                self.slot = 7;
+                Instr::store(pc(116), VirtAddr::new(self.loc_base + self.a * 64), [
+                    Some(5),
+                    Some(1),
+                ])
+            }
+            7 => {
+                self.slot = 8;
+                Instr::store(pc(117), VirtAddr::new(self.loc_base + self.b * 64), [
+                    Some(4),
+                    Some(1),
+                ])
+            }
+            _ => {
+                self.slot = 0;
+                Instr::branch(pc(118), true, None)
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swap_loop_shape() {
+        let mut g = Canneal::new(1 << 16, 1);
+        let pcs: Vec<u64> = (0..6).map(|_| g.next_instr().pc).collect();
+        assert_eq!(pcs[0], pc(110));
+        assert_eq!(pcs[4], pc(114));
+        assert_eq!(pcs[5], pc(115));
+    }
+
+    #[test]
+    fn accept_branch_is_balanced() {
+        let mut g = Canneal::new(1 << 12, 2);
+        let (mut taken, mut total) = (0, 0);
+        for _ in 0..50_000 {
+            let i = g.next_instr();
+            if i.pc == pc(115) {
+                total += 1;
+                if i.branch.unwrap().taken {
+                    taken += 1;
+                }
+            }
+        }
+        let r = taken as f64 / total as f64;
+        assert!(r > 0.4 && r < 0.6);
+    }
+
+    #[test]
+    fn stores_only_on_accept() {
+        let mut g = Canneal::new(1 << 12, 3);
+        let mut last_accept = false;
+        for _ in 0..10_000 {
+            let i = g.next_instr();
+            if i.pc == pc(115) {
+                last_accept = i.branch.unwrap().taken;
+            }
+            if i.is_store() {
+                assert!(last_accept, "store emitted after rejected swap");
+            }
+        }
+    }
+}

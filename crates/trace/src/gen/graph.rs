@@ -1,0 +1,414 @@
+//! CSR graph-processing workloads (Ligra class: BFS, PageRank, Components,
+//! Radii, Triangle).
+//!
+//! A synthetic power-law graph is materialised in CSR form at construction
+//! time; kernels then walk it the way Ligra's push-style operators do:
+//!
+//! * the *offsets* array is read with unit stride (prefetchable),
+//! * the *edge* array is streamed per-vertex (short bursts, prefetchable),
+//! * the *per-vertex data* array (`rank`, `visited`, `comp`) is gathered at
+//!   random neighbour indices — the irregular, off-chip-heavy load that
+//!   prefetchers miss and POPET learns to flag by PC.
+//!
+//! Target skew is quadratic (hubs get most edges), so low-id vertices stay
+//! cache-resident while the long tail misses — reuse behaviour that gives
+//! the off-chip predictor a learnable, non-trivial decision boundary.
+
+use std::collections::VecDeque;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use hermes_types::VirtAddr;
+
+use super::{pc, Layout};
+use crate::instr::Instr;
+use crate::source::TraceSource;
+
+/// Which Ligra-style kernel to emulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphKernel {
+    /// Frontier-based breadth-first search (also used for Radii with
+    /// periodic multi-source restarts).
+    Bfs,
+    /// Dense per-vertex sweep accumulating neighbour ranks.
+    PageRank,
+    /// Label propagation with data-dependent branches.
+    Components,
+    /// Adjacency-list intersection (two simultaneous edge streams).
+    Triangle,
+}
+
+impl GraphKernel {
+    fn as_str(self) -> &'static str {
+        match self {
+            GraphKernel::Bfs => "bfs",
+            GraphKernel::PageRank => "pagerank",
+            GraphKernel::Components => "components",
+            GraphKernel::Triangle => "triangle",
+        }
+    }
+}
+
+/// Compressed-sparse-row graph materialised host-side.
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    offsets: Vec<u32>,
+    edges: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Synthesises a graph with `vertices` vertices and roughly
+    /// `avg_degree` edges per vertex, with quadratically-skewed targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vertices < 2` or `avg_degree == 0`.
+    pub fn synth(vertices: u32, avg_degree: u32, seed: u64) -> Self {
+        assert!(vertices >= 2 && avg_degree >= 1);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x6741_5048);
+        let mut offsets = Vec::with_capacity(vertices as usize + 1);
+        let mut edges = Vec::new();
+        offsets.push(0u32);
+        for _ in 0..vertices {
+            let r: f64 = rng.gen();
+            let deg = 1 + (r * r * (2 * avg_degree) as f64) as u32;
+            let mut adj: Vec<u32> = (0..deg)
+                .map(|_| {
+                    let t: f64 = rng.gen();
+                    ((t * t * t * vertices as f64) as u32).min(vertices - 1)
+                })
+                .collect();
+            adj.sort_unstable();
+            adj.dedup();
+            edges.extend_from_slice(&adj);
+            offsets.push(edges.len() as u32);
+        }
+        Self { offsets, edges }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Number of (directed) edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    fn adj(&self, u: u32) -> &[u32] {
+        &self.edges[self.offsets[u as usize] as usize..self.offsets[u as usize + 1] as usize]
+    }
+}
+
+/// A graph kernel as a [`TraceSource`]. See [module docs](self).
+#[derive(Debug)]
+pub struct GraphWorkload {
+    name: String,
+    graph: CsrGraph,
+    kernel: GraphKernel,
+    queue: VecDeque<Instr>,
+    // Address bases.
+    off_base: u64,
+    edge_base: u64,
+    data_base: u64,
+    data2_base: u64,
+    // Kernel cursors.
+    u: u32,
+    frontier: VecDeque<u32>,
+    visited: Vec<bool>,
+    rng: SmallRng,
+    restart_every: u32,
+    pops_since_restart: u32,
+}
+
+impl GraphWorkload {
+    /// Wraps a synthesised graph with the given kernel.
+    pub fn new(kernel: GraphKernel, vertices: u32, avg_degree: u32, seed: u64) -> Self {
+        let graph = CsrGraph::synth(vertices, avg_degree, seed);
+        let l = Layout::new();
+        let visited = vec![false; vertices as usize];
+        Self {
+            name: format!("ligra_{}_{}v", kernel.as_str(), vertices),
+            graph,
+            kernel,
+            queue: VecDeque::with_capacity(64),
+            off_base: l.region(12),
+            edge_base: l.region(13),
+            data_base: l.region(14),
+            data2_base: l.region(15),
+            u: 0,
+            frontier: VecDeque::new(),
+            visited,
+            rng: SmallRng::seed_from_u64(seed ^ 0x4C49_4752),
+            restart_every: u32::MAX,
+            pops_since_restart: 0,
+        }
+    }
+
+    /// BFS variant with periodic multi-source restarts, emulating Ligra's
+    /// Radii computation (which runs BFS from many sources).
+    pub fn new_radii(vertices: u32, avg_degree: u32, seed: u64) -> Self {
+        let mut w = Self::new(GraphKernel::Bfs, vertices, avg_degree, seed);
+        w.name = format!("ligra_radii_{}v", vertices);
+        w.restart_every = (vertices / 8).max(64);
+        w
+    }
+
+    fn off_addr(&self, u: u32) -> u64 {
+        self.off_base + u as u64 * 8
+    }
+
+    fn edge_addr(&self, idx: usize) -> u64 {
+        self.edge_base + idx as u64 * 4
+    }
+
+    fn data_addr(&self, v: u32) -> u64 {
+        self.data_base + v as u64 * 8
+    }
+
+    fn refill_pagerank(&mut self) {
+        let u = self.u;
+        self.u = (self.u + 1) % self.graph.num_vertices();
+        let start = self.graph.offsets[u as usize] as usize;
+        self.queue.push_back(Instr::load(pc(40), VirtAddr::new(self.off_addr(u)), Some(2), [Some(1), None]));
+        // Cap per-vertex work so a hub vertex cannot starve the queue.
+        let adj = self.graph.adj(u);
+        for (k, &t) in adj.iter().take(32).enumerate() {
+            self.queue.push_back(Instr::load(
+                pc(41),
+                VirtAddr::new(self.edge_addr(start + k)),
+                Some(3),
+                [Some(2), None],
+            ));
+            self.queue.push_back(Instr::load(pc(42), VirtAddr::new(self.data_addr(t)), Some(4), [
+                Some(3),
+                None,
+            ]));
+            self.queue.push_back(Instr::fp(pc(43), Some(24), [Some(4), Some(24)], 4));
+        }
+        self.queue.push_back(Instr::store(
+            pc(44),
+            VirtAddr::new(self.data2_base + u as u64 * 8),
+            [Some(24), Some(1)],
+        ));
+        self.queue.push_back(Instr::branch(pc(45), true, None));
+    }
+
+    fn refill_components(&mut self) {
+        let u = self.u;
+        self.u = (self.u + 1) % self.graph.num_vertices();
+        let start = self.graph.offsets[u as usize] as usize;
+        self.queue.push_back(Instr::load(pc(60), VirtAddr::new(self.off_addr(u)), Some(2), [Some(1), None]));
+        self.queue.push_back(Instr::load(pc(61), VirtAddr::new(self.data_addr(u)), Some(5), [
+            Some(2),
+            None,
+        ]));
+        let adj: Vec<u32> = self.graph.adj(u).iter().take(32).copied().collect();
+        for (k, &t) in adj.iter().enumerate() {
+            self.queue.push_back(Instr::load(
+                pc(62),
+                VirtAddr::new(self.edge_addr(start + k)),
+                Some(3),
+                [Some(2), None],
+            ));
+            self.queue.push_back(Instr::load(pc(63), VirtAddr::new(self.data_addr(t)), Some(4), [
+                Some(3),
+                None,
+            ]));
+            // Label comparison: direction depends on loaded data -> modelled
+            // as a hard-to-predict branch (labels keep shrinking early on).
+            let taken = t < u; // stable but irregular pattern per (u,t)
+            self.queue.push_back(Instr::branch(pc(64), taken, Some(4)));
+            if taken {
+                self.queue.push_back(Instr::store(pc(65), VirtAddr::new(self.data_addr(u)), [
+                    Some(4),
+                    Some(1),
+                ]));
+            }
+        }
+        self.queue.push_back(Instr::branch(pc(66), true, None));
+    }
+
+    fn refill_bfs(&mut self) {
+        self.pops_since_restart += 1;
+        if self.frontier.is_empty() || self.pops_since_restart >= self.restart_every {
+            // New (re)start: clear visited lazily by generation trick would
+            // complicate; visited is host-side only, reset is cheap.
+            self.pops_since_restart = 0;
+            for v in self.visited.iter_mut() {
+                *v = false;
+            }
+            let s = self.rng.gen_range(0..self.graph.num_vertices());
+            self.frontier.push_back(s);
+            self.visited[s as usize] = true;
+        }
+        let u = self.frontier.pop_front().expect("frontier refilled above");
+        let start = self.graph.offsets[u as usize] as usize;
+        let adj: Vec<u32> = self.graph.adj(u).iter().take(32).copied().collect();
+        self.queue.push_back(Instr::load(pc(50), VirtAddr::new(self.off_addr(u)), Some(2), [Some(1), None]));
+        for (k, &t) in adj.iter().enumerate() {
+            self.queue.push_back(Instr::load(
+                pc(51),
+                VirtAddr::new(self.edge_addr(start + k)),
+                Some(3),
+                [Some(2), None],
+            ));
+            self.queue.push_back(Instr::load(pc(52), VirtAddr::new(self.data_addr(t)), Some(4), [
+                Some(3),
+                None,
+            ]));
+            let unvisited = !self.visited[t as usize];
+            self.queue.push_back(Instr::branch(pc(53), unvisited, Some(4)));
+            if unvisited {
+                self.visited[t as usize] = true;
+                self.frontier.push_back(t);
+                self.queue.push_back(Instr::store(pc(54), VirtAddr::new(self.data_addr(t)), [
+                    Some(4),
+                    Some(1),
+                ]));
+            }
+        }
+        self.queue.push_back(Instr::branch(pc(55), true, None));
+    }
+
+    fn refill_triangle(&mut self) {
+        let u = self.u;
+        self.u = (self.u + 1) % self.graph.num_vertices();
+        let start_u = self.graph.offsets[u as usize] as usize;
+        let adj_u: Vec<u32> = self.graph.adj(u).iter().take(8).copied().collect();
+        // Pre-compute intersection walk host-side, then emit its loads.
+        let mut steps: Vec<(usize, usize)> = Vec::new();
+        for (k, &v) in adj_u.iter().enumerate() {
+            if v <= u {
+                continue;
+            }
+            let start_v = self.graph.offsets[v as usize] as usize;
+            let adj_v = self.graph.adj(v);
+            let (mut i, mut j) = (0usize, 0usize);
+            let mut guard = 0;
+            while i < adj_u.len() && j < adj_v.len().min(16) && guard < 24 {
+                steps.push((start_u + i, start_v + j));
+                if adj_u[i] < adj_v[j] {
+                    i += 1;
+                } else {
+                    j += 1;
+                }
+                guard += 1;
+            }
+            let _ = k;
+        }
+        self.queue.push_back(Instr::load(pc(70), VirtAddr::new(self.off_addr(u)), Some(2), [Some(1), None]));
+        for (ei, ej) in steps {
+            self.queue.push_back(Instr::load(pc(71), VirtAddr::new(self.edge_addr(ei)), Some(3), [
+                Some(2),
+                None,
+            ]));
+            self.queue.push_back(Instr::load(pc(72), VirtAddr::new(self.edge_addr(ej)), Some(4), [
+                Some(2),
+                None,
+            ]));
+            self.queue.push_back(Instr::branch(pc(73), (ei ^ ej) & 1 == 0, Some(4)));
+        }
+        self.queue.push_back(Instr::branch(pc(74), true, None));
+    }
+}
+
+impl TraceSource for GraphWorkload {
+    fn next_instr(&mut self) -> Instr {
+        while self.queue.is_empty() {
+            match self.kernel {
+                GraphKernel::PageRank => self.refill_pagerank(),
+                GraphKernel::Components => self.refill_components(),
+                GraphKernel::Bfs => self.refill_bfs(),
+                GraphKernel::Triangle => self.refill_triangle(),
+            }
+        }
+        self.queue.pop_front().expect("non-empty after refill")
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_well_formed() {
+        let g = CsrGraph::synth(1000, 8, 1);
+        assert_eq!(g.num_vertices(), 1000);
+        assert!(g.num_edges() > 1000);
+        for u in 0..1000 {
+            for &t in g.adj(u) {
+                assert!(t < 1000);
+            }
+        }
+    }
+
+    #[test]
+    fn targets_skewed_to_hubs() {
+        let g = CsrGraph::synth(10_000, 8, 2);
+        let low = g.edges.iter().filter(|&&t| t < 2500).count();
+        // Quadratic skew puts ~half the mass in the first quarter.
+        assert!(low * 2 > g.num_edges(), "skew too weak: {}/{}", low, g.num_edges());
+    }
+
+    #[test]
+    fn pagerank_emits_gather_loads() {
+        let mut w = GraphWorkload::new(GraphKernel::PageRank, 500, 6, 3);
+        let mut gather = 0;
+        for _ in 0..2000 {
+            let i = w.next_instr();
+            if i.pc == pc(42) {
+                gather += 1;
+            }
+        }
+        assert!(gather > 100);
+    }
+
+    #[test]
+    fn bfs_restarts_when_frontier_empties() {
+        let mut w = GraphWorkload::new(GraphKernel::Bfs, 200, 4, 4);
+        // Run long enough to exhaust several BFS trees.
+        for _ in 0..50_000 {
+            let _ = w.next_instr();
+        }
+        // Must not hang or panic; frontier logic self-restarts.
+    }
+
+    #[test]
+    fn triangle_reads_two_edge_streams() {
+        let mut w = GraphWorkload::new(GraphKernel::Triangle, 500, 8, 5);
+        let (mut a, mut b) = (0, 0);
+        for _ in 0..5000 {
+            let i = w.next_instr();
+            if i.pc == pc(71) {
+                a += 1;
+            }
+            if i.pc == pc(72) {
+                b += 1;
+            }
+        }
+        assert!(a > 50 && b > 50);
+    }
+
+    #[test]
+    fn radii_named_and_restarting() {
+        let w = GraphWorkload::new_radii(300, 4, 6);
+        assert!(w.name().contains("radii"));
+        assert!(w.restart_every < u32::MAX);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = GraphWorkload::new(GraphKernel::Components, 400, 5, 9);
+        let mut b = GraphWorkload::new(GraphKernel::Components, 400, 5, 9);
+        for _ in 0..500 {
+            assert_eq!(a.next_instr(), b.next_instr());
+        }
+    }
+}

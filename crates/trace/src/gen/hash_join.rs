@@ -1,0 +1,157 @@
+//! Hash-join probe workload (database / CVP "server" class).
+//!
+//! Streams a probe relation sequentially while hitting a hash table at
+//! random buckets, occasionally chasing a short collision chain. The mix of
+//! a prefetchable stream (probe keys) with unprefetchable dependent lookups
+//! (bucket + chain) is characteristic of the commercial traces in the
+//! paper's CVP category.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use hermes_types::VirtAddr;
+
+use super::{pc, Layout, RegRotor};
+use crate::instr::Instr;
+use crate::source::TraceSource;
+
+/// See [module docs](self).
+#[derive(Debug)]
+pub struct HashJoin {
+    name: String,
+    probe_base: u64,
+    ht_base: u64,
+    chain_base: u64,
+    ht_lines: u64,
+    probe_len: u64,
+    i: u64,
+    slot: u32,
+    bucket: u64,
+    chain_left: u32,
+    rng: SmallRng,
+    rot: RegRotor,
+}
+
+impl HashJoin {
+    /// A probe loop over a hash table of `ht_bytes` (rounded to a power of
+    /// two) and a probe relation of `probe_len` 8 B keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ht_bytes < 4096` or `probe_len == 0`.
+    pub fn new(ht_bytes: u64, probe_len: u64, seed: u64) -> Self {
+        assert!(ht_bytes >= 4096 && probe_len > 0);
+        let l = Layout::new();
+        Self {
+            name: format!("hashjoin_{}MB", ht_bytes >> 20),
+            probe_base: l.region(16),
+            ht_base: l.region(17),
+            chain_base: l.region(18),
+            ht_lines: ht_bytes.next_power_of_two() / 64,
+            probe_len,
+            i: 0,
+            slot: 0,
+            bucket: 0,
+            chain_left: 0,
+            rng: SmallRng::seed_from_u64(seed ^ 0x4A4F_494E),
+            rot: RegRotor::new(8, 6),
+        }
+    }
+}
+
+impl TraceSource for HashJoin {
+    fn next_instr(&mut self) -> Instr {
+        match self.slot {
+            // Sequential probe-key load (prefetchable stream).
+            0 => {
+                let addr = self.probe_base + (self.i % self.probe_len) * 8;
+                self.i += 1;
+                self.slot = 1;
+                let r = self.rot.next_reg();
+                Instr::load(pc(80), VirtAddr::new(addr), Some(r), [Some(1), None])
+            }
+            // Hash computation.
+            1 => {
+                self.bucket = self.rng.gen::<u64>() % self.ht_lines;
+                self.slot = 2;
+                Instr::alu(pc(81), Some(5), [Some(8), None])
+            }
+            // Bucket load (random, dependent on hash).
+            2 => {
+                let addr = self.ht_base + self.bucket * 64;
+                // ~30% of probes walk a 1-2 element collision chain.
+                self.chain_left = match self.rng.gen::<u8>() % 10 {
+                    0..=6 => 0,
+                    7 | 8 => 1,
+                    _ => 2,
+                };
+                self.slot = 3;
+                Instr::load(pc(82), VirtAddr::new(addr), Some(6), [Some(5), None])
+            }
+            // Match check branch; taken when no chain remains.
+            3 => {
+                let done = self.chain_left == 0;
+                self.slot = if done { 5 } else { 4 };
+                Instr::branch(pc(83), done, Some(6))
+            }
+            // Chain-node load (dependent pointer chase).
+            4 => {
+                let addr = self.chain_base + (self.rng.gen::<u64>() % self.ht_lines) * 64;
+                self.chain_left -= 1;
+                self.slot = 3;
+                Instr::load(pc(84), VirtAddr::new(addr), Some(6), [Some(6), None])
+            }
+            _ => {
+                self.slot = 0;
+                Instr::branch(pc(85), true, None)
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_streaming_and_random_loads() {
+        let mut g = HashJoin::new(1 << 22, 1 << 16, 1);
+        let (mut seq, mut rnd) = (0, 0);
+        for _ in 0..5000 {
+            let i = g.next_instr();
+            match i.pc {
+                x if x == pc(80) => seq += 1,
+                x if x == pc(82) || x == pc(84) => rnd += 1,
+                _ => {}
+            }
+        }
+        assert!(seq > 100 && rnd > 100);
+    }
+
+    #[test]
+    fn chain_loads_are_dependent() {
+        let mut g = HashJoin::new(1 << 20, 1024, 2);
+        for _ in 0..10_000 {
+            let i = g.next_instr();
+            if i.pc == pc(84) {
+                assert_eq!(i.src_regs[0], Some(6));
+                assert_eq!(i.dst_reg, Some(6));
+                return;
+            }
+        }
+        panic!("no chain load observed");
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = HashJoin::new(1 << 20, 512, 3);
+        let mut b = HashJoin::new(1 << 20, 512, 3);
+        for _ in 0..300 {
+            assert_eq!(a.next_instr(), b.next_instr());
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Phase-alternating composite workload.
+//!
+//! Switches between two sub-workloads every `period` instructions. POPET's
+//! saturation-guarded training (§6.1.2: "helping POPET to quickly adapt its
+//! learning to program phase changes") exists exactly for this pattern, so
+//! the suite includes phase-changing mixes to exercise it.
+
+use crate::instr::Instr;
+use crate::source::TraceSource;
+
+/// See [module docs](self).
+pub struct MixedPhase {
+    name: String,
+    a: Box<dyn TraceSource>,
+    b: Box<dyn TraceSource>,
+    period: u64,
+    emitted: u64,
+    in_a: bool,
+}
+
+/// PC relocation applied to phase B's instructions: two program phases are
+/// different code in a real binary, so their static PCs must not collide.
+const B_PC_OFFSET: u64 = 0x8_0000;
+
+impl MixedPhase {
+    /// Alternates `a` and `b` every `period` instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn new(a: Box<dyn TraceSource>, b: Box<dyn TraceSource>, period: u64) -> Self {
+        assert!(period > 0);
+        let name = format!("mixed_{}_{}", a.name(), b.name());
+        Self { name, a, b, period, emitted: 0, in_a: true }
+    }
+}
+
+impl std::fmt::Debug for MixedPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MixedPhase")
+            .field("name", &self.name)
+            .field("period", &self.period)
+            .field("in_a", &self.in_a)
+            .finish()
+    }
+}
+
+impl TraceSource for MixedPhase {
+    fn next_instr(&mut self) -> Instr {
+        self.emitted += 1;
+        if self.emitted.is_multiple_of(self.period) {
+            self.in_a = !self.in_a;
+        }
+        if self.in_a {
+            self.a.next_instr()
+        } else {
+            let mut i = self.b.next_instr();
+            i.pc += B_PC_OFFSET;
+            i
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::pointer_chase::PointerChase;
+    use crate::gen::stream::StreamSweep;
+
+    #[test]
+    fn phases_alternate() {
+        let a = Box::new(PointerChase::new(1024, 0, 1));
+        let b = Box::new(StreamSweep::new(1 << 16, 4, true, 1));
+        let mut m = MixedPhase::new(a, b, 100);
+        let mut first_phase_pcs = std::collections::HashSet::new();
+        for _ in 0..99 {
+            first_phase_pcs.insert(m.next_instr().pc);
+        }
+        let mut second_phase_pcs = std::collections::HashSet::new();
+        for _ in 0..99 {
+            second_phase_pcs.insert(m.next_instr().pc);
+        }
+        assert!(first_phase_pcs.is_disjoint(&second_phase_pcs));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_period_rejected() {
+        let a = Box::new(PointerChase::new(64, 0, 1));
+        let b = Box::new(PointerChase::new(64, 0, 2));
+        let _ = MixedPhase::new(a, b, 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Synthetic workload generators.
+//!
+//! Each submodule implements one workload *class*; [`crate::suite`] maps the
+//! paper's five workload categories onto parameterised instances of these
+//! classes. All generators are deterministic given their seed.
+
+pub mod canneal;
+pub mod dilute;
+pub mod graph;
+pub mod hash_join;
+pub mod mixed;
+pub mod pointer_chase;
+pub mod random_access;
+pub mod server;
+pub mod stencil;
+pub mod stream;
+pub mod streamcluster;
+pub mod strided;
+
+use crate::instr::Reg;
+
+/// Rotating register allocator.
+///
+/// Streaming generators hand out destination registers round-robin from a
+/// window so consecutive loads carry no false dependencies (high memory-
+/// level parallelism), mirroring how compiled streaming code unrolls.
+#[derive(Debug, Clone)]
+pub struct RegRotor {
+    base: Reg,
+    count: Reg,
+    next: Reg,
+}
+
+impl RegRotor {
+    /// A rotor over registers `base .. base + count`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or exceeds the register file.
+    pub fn new(base: Reg, count: Reg) -> Self {
+        assert!(count > 0, "empty register window");
+        assert!((base as usize + count as usize) <= crate::instr::NUM_REGS);
+        Self { base, count, next: 0 }
+    }
+
+    /// Returns the next register in rotation.
+    #[inline]
+    pub fn next_reg(&mut self) -> Reg {
+        let r = self.base + self.next;
+        self.next = (self.next + 1) % self.count;
+        r
+    }
+}
+
+/// Virtual-address-space layout shared by the generators.
+///
+/// Each logical data structure gets its own naturally-aligned 256 MiB
+/// region, so distinct structures never share pages and page-level features
+/// behave as they would in a real process image.
+#[derive(Debug, Clone, Copy)]
+pub struct Layout {
+    base: u64,
+}
+
+impl Layout {
+    /// Region size per data structure.
+    pub const REGION: u64 = 256 << 20;
+
+    /// A layout rooted at the conventional heap base.
+    pub fn new() -> Self {
+        Self { base: 0x1000_0000_0000 }
+    }
+
+    /// Base address of region `idx`.
+    #[inline]
+    pub fn region(&self, idx: u64) -> u64 {
+        self.base + idx * Self::REGION
+    }
+}
+
+impl Default for Layout {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Text-segment base for generated PCs; generators place their static
+/// instructions at `CODE_BASE + slot * 4`.
+pub const CODE_BASE: u64 = 0x40_0000;
+
+/// Computes the PC of static-instruction slot `slot`.
+#[inline]
+pub const fn pc(slot: u64) -> u64 {
+    CODE_BASE + slot * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotor_cycles() {
+        let mut r = RegRotor::new(8, 3);
+        assert_eq!(r.next_reg(), 8);
+        assert_eq!(r.next_reg(), 9);
+        assert_eq!(r.next_reg(), 10);
+        assert_eq!(r.next_reg(), 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rotor_rejects_empty() {
+        let _ = RegRotor::new(8, 0);
+    }
+
+    #[test]
+    fn layout_regions_disjoint() {
+        let l = Layout::new();
+        assert!(l.region(1) - l.region(0) >= Layout::REGION);
+        assert_ne!(l.region(0) >> 12, l.region(1) >> 12); // different pages
+    }
+
+    #[test]
+    fn pcs_word_aligned() {
+        assert_eq!(pc(3) - pc(2), 4);
+        assert_eq!(pc(0), CODE_BASE);
+    }
+}

@@ -1,0 +1,127 @@
+//! Uniform random access (GUPS / `xalancbmk`-style table lookups).
+//!
+//! Independent loads (optionally read-modify-write) hit uniformly random
+//! lines of a table much larger than the LLC. With rotating destination
+//! registers the core extracts maximal MLP, so misses overlap — many become
+//! *non-blocking* in the paper's Fig. 2 terminology. No prefetcher can
+//! cover a uniform stream, making this the Hermes-favourable extreme.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use hermes_types::VirtAddr;
+
+use super::{pc, Layout, RegRotor};
+use crate::instr::Instr;
+use crate::source::TraceSource;
+
+/// See [module docs](self).
+#[derive(Debug)]
+pub struct RandomAccess {
+    name: String,
+    base: u64,
+    line_mask: u64,
+    rng: SmallRng,
+    update: bool,
+    cur_line: u64,
+    slot: u32,
+    rot: RegRotor,
+}
+
+impl RandomAccess {
+    /// Random 8 B accesses over a `table_bytes`-sized table (rounded up to
+    /// a power of two). `update` adds a dependent store (read-modify-write).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_bytes < 128`.
+    pub fn new(table_bytes: u64, update: bool, seed: u64) -> Self {
+        assert!(table_bytes >= 128);
+        let lines = (table_bytes.next_power_of_two()) / 64;
+        Self {
+            name: format!("gups_{}MB", table_bytes >> 20),
+            base: Layout::new().region(8),
+            line_mask: lines - 1,
+            rng: SmallRng::seed_from_u64(seed ^ 0x6A75),
+            update,
+            cur_line: 0,
+            slot: 0,
+            rot: RegRotor::new(8, 12),
+        }
+    }
+}
+
+impl TraceSource for RandomAccess {
+    fn next_instr(&mut self) -> Instr {
+        match self.slot {
+            0 => {
+                self.cur_line = self.rng.gen::<u64>() & self.line_mask;
+                let addr = self.base + self.cur_line * 64 + (self.rng.gen::<u64>() & 7) * 8;
+                self.slot = 1;
+                let r = self.rot.next_reg();
+                Instr::load(pc(30), VirtAddr::new(addr), Some(r), [Some(1), None])
+            }
+            1 => {
+                self.slot = if self.update { 2 } else { 3 };
+                Instr::alu(pc(31), Some(25), [Some(8), Some(25)])
+            }
+            2 => {
+                self.slot = 3;
+                let addr = self.base + self.cur_line * 64;
+                Instr::store(pc(32), VirtAddr::new(addr), [Some(25), Some(1)])
+            }
+            _ => {
+                self.slot = 0;
+                Instr::branch(pc(33), true, None)
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn addresses_spread_over_table() {
+        let mut g = RandomAccess::new(1 << 24, false, 3);
+        let mut lines = HashSet::new();
+        for _ in 0..4000 {
+            let i = g.next_instr();
+            if i.is_load() {
+                lines.insert(i.mem.unwrap().vaddr.line());
+            }
+        }
+        assert!(lines.len() > 900, "poor spread: {}", lines.len());
+    }
+
+    #[test]
+    fn update_mode_stores_same_line() {
+        let mut g = RandomAccess::new(1 << 20, true, 5);
+        let mut last_load_line = None;
+        for _ in 0..50 {
+            let i = g.next_instr();
+            if let Some(m) = i.mem {
+                if i.is_load() {
+                    last_load_line = Some(m.vaddr.line());
+                } else {
+                    assert_eq!(Some(m.vaddr.line()), last_load_line);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = RandomAccess::new(1 << 20, true, 11);
+        let mut b = RandomAccess::new(1 << 20, true, 11);
+        for _ in 0..200 {
+            assert_eq!(a.next_instr(), b.next_instr());
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Branchy server-request mix (CVP integer/server class).
+//!
+//! Emulates request-handler dispatch: a hot, cache-resident code path with
+//! data-dependent branches (poorly predictable), small hot-state accesses,
+//! and occasional cold misses into a large session table and log buffer.
+//! This class has a *low* off-chip rate with bursty misses — the regime in
+//! which an off-chip predictor's false-positive discipline matters most
+//! (the paper's key challenge #1: only ~1/20 loads go off-chip).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use hermes_types::VirtAddr;
+
+use super::{pc, Layout, RegRotor};
+use crate::instr::Instr;
+use crate::source::TraceSource;
+
+/// See [module docs](self).
+#[derive(Debug)]
+pub struct ServerMix {
+    name: String,
+    hot_base: u64,
+    session_base: u64,
+    log_base: u64,
+    hot_lines: u64,
+    session_lines: u64,
+    log_pos: u64,
+    rng: SmallRng,
+    rot: RegRotor,
+    /// Remaining instructions in the current handler, as (phase, count).
+    phase: u32,
+    left: u32,
+    cold_miss_per_mille: u32,
+}
+
+impl ServerMix {
+    /// `hot_bytes` of cache-resident state, `session_bytes` of cold state,
+    /// with `cold_miss_per_mille`/1000 of handler iterations touching the
+    /// cold session table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either size is below 4 KiB.
+    pub fn new(hot_bytes: u64, session_bytes: u64, cold_miss_per_mille: u32, seed: u64) -> Self {
+        assert!(hot_bytes >= 4096 && session_bytes >= 4096);
+        let l = Layout::new();
+        Self {
+            name: format!("server_{}MBcold", session_bytes >> 20),
+            hot_base: l.region(19),
+            session_base: l.region(20),
+            log_base: l.region(21),
+            hot_lines: hot_bytes / 64,
+            session_lines: session_bytes.next_power_of_two() / 64,
+            log_pos: 0,
+            rng: SmallRng::seed_from_u64(seed ^ 0x5345_5256),
+            rot: RegRotor::new(8, 6),
+            phase: 0,
+            left: 0,
+            cold_miss_per_mille,
+        }
+    }
+}
+
+impl TraceSource for ServerMix {
+    fn next_instr(&mut self) -> Instr {
+        match self.phase {
+            // Dispatch: unpredictable branch choosing a handler.
+            0 => {
+                self.left = 4 + (self.rng.gen::<u32>() % 8);
+                self.phase = 1;
+                Instr::branch(pc(90), self.rng.gen::<bool>(), Some(7))
+            }
+            // Hot-state work: loads that mostly hit L1/L2.
+            1 => {
+                self.left -= 1;
+                if self.left == 0 {
+                    self.phase = 2;
+                }
+                if self.rng.gen::<u8>() % 3 == 0 {
+                    let addr = self.hot_base + (self.rng.gen::<u64>() % self.hot_lines) * 64;
+                    let r = self.rot.next_reg();
+                    Instr::load(pc(91), VirtAddr::new(addr), Some(r), [Some(1), None])
+                } else {
+                    Instr::alu(pc(92), Some(7), [Some(8), Some(7)])
+                }
+            }
+            // Possible cold access: session lookup + log append.
+            2 => {
+                self.phase = 3;
+                if self.rng.gen::<u32>() % 1000 < self.cold_miss_per_mille {
+                    let addr = self.session_base + (self.rng.gen::<u64>() % self.session_lines) * 64;
+                    Instr::load(pc(93), VirtAddr::new(addr), Some(6), [Some(7), None])
+                } else {
+                    Instr::alu(pc(94), Some(7), [Some(7), None])
+                }
+            }
+            // Log append: sequential store stream.
+            _ => {
+                let addr = self.log_base + (self.log_pos % (1 << 22)) * 8;
+                self.log_pos += 1;
+                self.phase = 0;
+                Instr::store(pc(95), VirtAddr::new(addr), [Some(7), Some(1)])
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_rate_controls_session_loads() {
+        let count_cold = |pm: u32| {
+            let mut g = ServerMix::new(1 << 16, 1 << 24, pm, 1);
+            (0..50_000).filter(|_| g.next_instr().pc == pc(93)).count()
+        };
+        let low = count_cold(50);
+        let high = count_cold(500);
+        assert!(high > low * 3, "cold knob ineffective: {low} vs {high}");
+    }
+
+    #[test]
+    fn dispatch_branches_are_irregular() {
+        let mut g = ServerMix::new(1 << 16, 1 << 22, 100, 2);
+        let mut taken = 0;
+        let mut total = 0;
+        for _ in 0..20_000 {
+            let i = g.next_instr();
+            if i.pc == pc(90) {
+                total += 1;
+                if i.branch.unwrap().taken {
+                    taken += 1;
+                }
+            }
+        }
+        let ratio = taken as f64 / total as f64;
+        assert!(ratio > 0.35 && ratio < 0.65, "dispatch should be ~50/50, got {ratio}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = ServerMix::new(1 << 16, 1 << 22, 100, 5);
+        let mut b = ServerMix::new(1 << 16, 1 << 22, 100, 5);
+        for _ in 0..1000 {
+            assert_eq!(a.next_instr(), b.next_instr());
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! 3-D stencil sweep (PARSEC `facesim` / HPC grid class).
+//!
+//! A seven-point stencil walks a 3-D grid: unit-stride in x, plane-stride
+//! in z. The x-neighbours hit the same or adjacent lines; the z-neighbours
+//! stride by `nx*ny` elements, giving a second and third constant-stride
+//! stream that spatial prefetchers (Bingo/SMS) capture via footprints.
+
+use hermes_types::VirtAddr;
+
+use super::{pc, Layout, RegRotor};
+use crate::instr::Instr;
+use crate::source::TraceSource;
+
+/// See [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Stencil3d {
+    name: String,
+    in_base: u64,
+    out_base: u64,
+    nx: u64,
+    ny: u64,
+    nz: u64,
+    i: u64,
+    slot: u32,
+    rot: RegRotor,
+}
+
+impl Stencil3d {
+    /// A stencil over an `nx × ny × nz` grid of 8 B cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is below 4.
+    pub fn new(nx: u64, ny: u64, nz: u64, seed: u64) -> Self {
+        assert!(nx >= 4 && ny >= 4 && nz >= 4);
+        let l = Layout::new();
+        Self {
+            name: format!("stencil_{}x{}x{}", nx, ny, nz),
+            in_base: l.region(22),
+            out_base: l.region(23),
+            nx,
+            ny,
+            nz,
+            i: (seed * 1237) % (nx * ny * nz),
+            slot: 0,
+            rot: RegRotor::new(8, 8),
+        }
+    }
+
+    #[inline]
+    fn cell_addr(&self, idx: i64) -> u64 {
+        let n = (self.nx * self.ny * self.nz) as i64;
+        let wrapped = idx.rem_euclid(n) as u64;
+        self.in_base + wrapped * 8
+    }
+}
+
+impl TraceSource for Stencil3d {
+    fn next_instr(&mut self) -> Instr {
+        let i = self.i as i64;
+        let plane = (self.nx * self.ny) as i64;
+        let row = self.nx as i64;
+        // Neighbour offsets of the 7-point stencil; each has a static PC.
+        const N: usize = 7;
+        let offs: [i64; N] = [0, 1, -1, 0, 0, 0, 0];
+        let big: [i64; N] = [0, 0, 0, row, -row, plane, -plane];
+        match self.slot as usize {
+            s if s < N => {
+                let addr = self.cell_addr(i + offs[s] + big[s]);
+                self.slot += 1;
+                let r = self.rot.next_reg();
+                Instr::load(pc(100 + s as u64), VirtAddr::new(addr), Some(r), [Some(1), None])
+            }
+            7 => {
+                self.slot = 8;
+                Instr::fp(pc(107), Some(24), [Some(8), Some(9)], 4)
+            }
+            8 => {
+                self.slot = 9;
+                let addr = self.out_base + self.i * 8;
+                Instr::store(pc(108), VirtAddr::new(addr), [Some(24), Some(1)])
+            }
+            _ => {
+                self.i = (self.i + 1) % (self.nx * self.ny * self.nz);
+                self.slot = 0;
+                Instr::branch(pc(109), true, None)
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_seven_loads_per_cell() {
+        let mut g = Stencil3d::new(32, 32, 32, 0);
+        let loads = (0..10).filter(|_| g.next_instr().is_load()).count();
+        assert_eq!(loads, 7);
+    }
+
+    #[test]
+    fn plane_neighbours_stride_by_plane() {
+        let g = Stencil3d::new(16, 16, 16, 0);
+        let center = g.cell_addr(1000);
+        let up = g.cell_addr(1000 + 256);
+        assert_eq!(up - center, 256 * 8);
+    }
+
+    #[test]
+    fn wraps_grid() {
+        let g = Stencil3d::new(4, 4, 4, 0);
+        // Negative index wraps via rem_euclid.
+        let a = g.cell_addr(-1);
+        assert!(a >= g.in_base);
+    }
+}

@@ -1,0 +1,159 @@
+//! Streaming sweep workload (`lbm` / STREAM-triad class).
+//!
+//! Walks large arrays linearly with 4 B elements: `c[i] = a[i] * s + b[i]`.
+//! Every 16th load of a given array touches a new cache line — exactly the
+//! pattern the paper uses to motivate POPET's *PC ⊕ byte-offset* feature
+//! (§6.1.3, feature 2): only loads with byte offset 0 can go off-chip; the
+//! other 15 hit the line the first one brought in (or the prefetcher ran
+//! ahead of). Loads use rotating registers, so the sweep has high MLP.
+
+use hermes_types::VirtAddr;
+
+use super::{pc, Layout, RegRotor};
+use crate::instr::Instr;
+use crate::source::TraceSource;
+
+/// See [module docs](self).
+#[derive(Debug, Clone)]
+pub struct StreamSweep {
+    name: String,
+    a: u64,
+    b: u64,
+    c: u64,
+    len_elems: u64,
+    elem_size: u64,
+    i: u64,
+    slot: u32,
+    rot: RegRotor,
+    with_store: bool,
+}
+
+impl StreamSweep {
+    /// A triad over arrays of `len_elems` elements of `elem_size` bytes.
+    ///
+    /// `with_store` controls whether the result array is written (pure-read
+    /// sweeps model reduction kernels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elem_size` is not a power of two in `1..=64` or
+    /// `len_elems == 0`.
+    pub fn new(len_elems: u64, elem_size: u64, with_store: bool, seed: u64) -> Self {
+        assert!(len_elems > 0);
+        assert!(elem_size.is_power_of_two() && elem_size <= 64);
+        let l = Layout::new();
+        Self {
+            name: format!("stream_{}x{}B", len_elems, elem_size),
+            a: l.region(1),
+            b: l.region(2),
+            c: l.region(3),
+            len_elems,
+            elem_size,
+            i: seed % len_elems, // start phase varies per seed
+            slot: 0,
+            rot: RegRotor::new(8, 8),
+            with_store,
+        }
+    }
+
+    #[inline]
+    fn off(&self) -> u64 {
+        self.i * self.elem_size
+    }
+}
+
+impl TraceSource for StreamSweep {
+    fn next_instr(&mut self) -> Instr {
+        match self.slot {
+            0 => {
+                self.slot = 1;
+                let r = self.rot.next_reg();
+                Instr::load(pc(0), VirtAddr::new(self.a + self.off()), Some(r), [Some(1), None])
+            }
+            1 => {
+                self.slot = 2;
+                let r = self.rot.next_reg();
+                Instr::load(pc(1), VirtAddr::new(self.b + self.off()), Some(r), [Some(1), None])
+            }
+            2 => {
+                self.slot = if self.with_store { 3 } else { 4 };
+                Instr::fp(pc(2), Some(24), [Some(8), Some(9)], 4)
+            }
+            3 => {
+                self.slot = 4;
+                Instr::store(pc(3), VirtAddr::new(self.c + self.off()), [Some(24), Some(1)])
+            }
+            _ => {
+                self.i += 1;
+                if self.i >= self.len_elems {
+                    self.i = 0;
+                }
+                self.slot = 0;
+                Instr::branch(pc(4), true, None)
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_offsets_cycle_through_line() {
+        let mut g = StreamSweep::new(1 << 20, 4, true, 0);
+        let mut offsets = Vec::new();
+        for _ in 0..(16 * 5) {
+            let i = g.next_instr();
+            if i.is_load() && i.pc == pc(0) {
+                offsets.push(i.mem.unwrap().vaddr.byte_offset_in_line());
+            }
+        }
+        // Consecutive a[] loads advance by 4 bytes; offset 0 recurs each 16.
+        assert_eq!(offsets[0] % 4, 0);
+        for w in offsets.windows(2) {
+            assert_eq!((w[0] + 4) % 64, w[1] % 64);
+        }
+    }
+
+    #[test]
+    fn loads_use_rotating_registers() {
+        let mut g = StreamSweep::new(1024, 4, true, 0);
+        let mut dsts = Vec::new();
+        for _ in 0..20 {
+            let i = g.next_instr();
+            if i.is_load() {
+                dsts.push(i.dst_reg.unwrap());
+            }
+        }
+        // No immediate reuse of the same destination register.
+        for w in dsts.windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn wraps_at_array_end() {
+        let mut g = StreamSweep::new(4, 4, false, 0);
+        let mut first_addrs = Vec::new();
+        for _ in 0..40 {
+            let i = g.next_instr();
+            if i.is_load() && i.pc == pc(0) {
+                first_addrs.push(i.mem.unwrap().vaddr.raw());
+            }
+        }
+        assert_eq!(first_addrs[0], first_addrs[4]);
+    }
+
+    #[test]
+    fn no_store_mode() {
+        let mut g = StreamSweep::new(64, 4, false, 0);
+        for _ in 0..100 {
+            assert!(!g.next_instr().is_store());
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Streaming-clustering workload (PARSEC `streamcluster` class).
+//!
+//! Streams a large point array once per pass while repeatedly re-reading a
+//! small, cache-resident medoid set and doing FP distance work. The stream
+//! gives a steady miss rate; the medoids give a strongly-biased "will hit"
+//! population — together a clean two-class problem for an off-chip
+//! predictor (the paper calls out `streamcluster-6B` as a trace where
+//! Hermes alone beats Pythia).
+
+use hermes_types::VirtAddr;
+
+use super::{pc, Layout, RegRotor};
+use crate::instr::Instr;
+use crate::source::TraceSource;
+
+/// See [module docs](self).
+#[derive(Debug, Clone)]
+pub struct StreamCluster {
+    name: String,
+    points_base: u64,
+    medoid_base: u64,
+    points: u64,
+    medoids: u64,
+    dims: u64,
+    i: u64,
+    k: u64,
+    d: u64,
+    slot: u32,
+    rot: RegRotor,
+}
+
+impl StreamCluster {
+    /// `points` stream points of `dims` 8 B coordinates, compared against
+    /// `medoids` resident centres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points`, `medoids`, or `dims` is zero.
+    pub fn new(points: u64, medoids: u64, dims: u64, seed: u64) -> Self {
+        assert!(points > 0 && medoids > 0 && dims > 0);
+        let l = Layout::new();
+        Self {
+            name: format!("streamcluster_{}k", points >> 10),
+            points_base: l.region(26),
+            medoid_base: l.region(27),
+            points,
+            medoids,
+            dims,
+            i: seed % points,
+            k: 0,
+            d: 0,
+            slot: 0,
+            rot: RegRotor::new(8, 8),
+        }
+    }
+}
+
+impl TraceSource for StreamCluster {
+    fn next_instr(&mut self) -> Instr {
+        match self.slot {
+            // Stream the point coordinate (sequential over a huge array).
+            0 => {
+                let addr = self.points_base + (self.i * self.dims + self.d) * 8;
+                self.slot = 1;
+                let r = self.rot.next_reg();
+                Instr::load(pc(120), VirtAddr::new(addr), Some(r), [Some(1), None])
+            }
+            // Re-read the medoid coordinate (hot, resident).
+            1 => {
+                let addr = self.medoid_base + (self.k * self.dims + self.d) * 8;
+                self.slot = 2;
+                let r = self.rot.next_reg();
+                Instr::load(pc(121), VirtAddr::new(addr), Some(r), [Some(1), None])
+            }
+            2 => {
+                self.slot = 3;
+                Instr::fp(pc(122), Some(24), [Some(8), Some(24)], 4)
+            }
+            _ => {
+                // Advance the (dim, medoid, point) odometer.
+                self.d += 1;
+                if self.d == self.dims {
+                    self.d = 0;
+                    self.k += 1;
+                    if self.k == self.medoids {
+                        self.k = 0;
+                        self.i = (self.i + 1) % self.points;
+                    }
+                }
+                self.slot = 0;
+                Instr::branch(pc(123), true, None)
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn medoid_set_is_small_and_reused() {
+        let mut g = StreamCluster::new(1 << 20, 4, 8, 0);
+        let mut medoid_lines = std::collections::HashSet::new();
+        for _ in 0..5000 {
+            let i = g.next_instr();
+            if i.pc == pc(121) {
+                medoid_lines.insert(i.mem.unwrap().vaddr.line());
+            }
+        }
+        assert!(medoid_lines.len() <= 4 * 8); // 4 medoids x 8 dims x 8B = 4 lines max
+    }
+
+    #[test]
+    fn points_stream_sequentially() {
+        let mut g = StreamCluster::new(1 << 20, 1, 1, 0);
+        let mut addrs = Vec::new();
+        for _ in 0..50 {
+            let i = g.next_instr();
+            if i.pc == pc(120) {
+                addrs.push(i.mem.unwrap().vaddr.raw());
+            }
+        }
+        for w in addrs.windows(2) {
+            assert_eq!(w[1] - w[0], 8);
+        }
+    }
+}

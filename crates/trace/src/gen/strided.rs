@@ -1,0 +1,132 @@
+//! Multi-array strided sweep (`cactusADM` / HPC kernel class).
+//!
+//! Several arrays are walked simultaneously with a constant (per-array)
+//! stride larger than a cache line. Constant strides are the easy case for
+//! stride/offset prefetchers (SPP, MLOP, Bingo all cover it), so this class
+//! is where prefetchers shine and Hermes' *additional* benefit is smallest —
+//! matching the per-trace spread in the paper's Fig. 13.
+
+use hermes_types::VirtAddr;
+
+use super::{pc, Layout, RegRotor};
+use crate::instr::Instr;
+use crate::source::TraceSource;
+
+/// See [module docs](self).
+#[derive(Debug, Clone)]
+pub struct StridedMulti {
+    name: String,
+    bases: Vec<u64>,
+    stride: u64,
+    footprint: u64,
+    pos: Vec<u64>,
+    arr: usize,
+    slot: u32,
+    work: u32,
+    work_left: u32,
+    rot: RegRotor,
+}
+
+impl StridedMulti {
+    /// `arrays` arrays walked with `stride` bytes per step over `footprint`
+    /// bytes each, with `work` ALU ops between loads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrays == 0`, `stride == 0`, or `footprint < stride`.
+    pub fn new(arrays: usize, stride: u64, footprint: u64, work: u32, seed: u64) -> Self {
+        assert!(arrays > 0 && stride > 0 && footprint >= stride);
+        let l = Layout::new();
+        let bases: Vec<u64> = (0..arrays as u64).map(|k| l.region(4 + k)).collect();
+        let pos: Vec<u64> =
+            (0..arrays as u64).map(|k| ((seed ^ k).wrapping_mul(stride)) % footprint).collect();
+        Self {
+            name: format!("strided_{}x{}B", arrays, stride),
+            bases,
+            stride,
+            footprint,
+            pos,
+            arr: 0,
+            slot: 0,
+            work,
+            work_left: 0,
+            rot: RegRotor::new(8, 8),
+        }
+    }
+}
+
+impl TraceSource for StridedMulti {
+    fn next_instr(&mut self) -> Instr {
+        match self.slot {
+            0 => {
+                let addr = self.bases[self.arr] + self.pos[self.arr];
+                self.pos[self.arr] = (self.pos[self.arr] + self.stride) % self.footprint;
+                let load_pc = pc(10 + self.arr as u64); // one static PC per array
+                self.arr = (self.arr + 1) % self.bases.len();
+                self.work_left = self.work;
+                self.slot = if self.work > 0 { 1 } else { 2 };
+                let r = self.rot.next_reg();
+                Instr::load(load_pc, VirtAddr::new(addr), Some(r), [Some(1), None])
+            }
+            1 => {
+                self.work_left -= 1;
+                if self.work_left == 0 {
+                    self.slot = 2;
+                }
+                Instr::fp(pc(20), Some(24), [Some(8), Some(24)], 3)
+            }
+            _ => {
+                self.slot = 0;
+                Instr::branch(pc(21), true, None)
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_is_constant_per_pc() {
+        let mut g = StridedMulti::new(2, 256, 1 << 20, 0, 0);
+        let mut by_pc: std::collections::HashMap<u64, Vec<u64>> = Default::default();
+        for _ in 0..100 {
+            let i = g.next_instr();
+            if let Some(m) = i.mem {
+                by_pc.entry(i.pc).or_default().push(m.vaddr.raw());
+            }
+        }
+        for addrs in by_pc.values() {
+            for w in addrs.windows(2) {
+                assert_eq!(w[1] - w[0], 256);
+            }
+        }
+    }
+
+    #[test]
+    fn arrays_have_distinct_pcs_and_regions() {
+        let mut g = StridedMulti::new(3, 128, 1 << 16, 0, 1);
+        let mut pcs = std::collections::HashSet::new();
+        let mut regions = std::collections::HashSet::new();
+        for _ in 0..30 {
+            let i = g.next_instr();
+            if let Some(m) = i.mem {
+                pcs.insert(i.pc);
+                regions.insert(m.vaddr.raw() / Layout::REGION);
+            }
+        }
+        assert_eq!(pcs.len(), 3);
+        assert_eq!(regions.len(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_arrays() {
+        let _ = StridedMulti::new(0, 64, 1024, 0, 0);
+    }
+}

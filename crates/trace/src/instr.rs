@@ -1,0 +1,171 @@
+//! The simulated instruction format.
+//!
+//! Modeled after ChampSim's trace record, reduced to what the timing model
+//! consumes: a program counter, up to two source registers, one destination
+//! register, at most one memory operand, and branch outcome information.
+
+use hermes_types::VirtAddr;
+
+/// An architectural register name. The simulator models a flat file of
+/// [`NUM_REGS`] registers; generators allocate them to express real data
+/// dependencies (e.g. a pointer-chase load writes the register its own next
+/// iteration reads).
+pub type Reg = u8;
+
+/// Number of architectural registers the trace format may reference.
+pub const NUM_REGS: usize = 64;
+
+/// Whether a memory operand reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemKind {
+    /// A demand load; occupies a load-queue entry and may go off-chip.
+    Load,
+    /// A store; occupies a store-queue entry and retires without waiting
+    /// for the write to reach memory.
+    Store,
+}
+
+/// A single memory operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemOp {
+    /// Virtual address touched.
+    pub vaddr: VirtAddr,
+    /// Load or store.
+    pub kind: MemKind,
+}
+
+/// Branch outcome information carried by the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Branch {
+    /// Ground-truth direction (what the program actually did).
+    pub taken: bool,
+}
+
+/// One traced instruction.
+///
+/// # Example
+///
+/// ```
+/// use hermes_trace::{Instr, MemKind};
+/// use hermes_types::VirtAddr;
+///
+/// let ld = Instr::load(0x400_100, VirtAddr::new(0x7000_0000), Some(3), [Some(3), None]);
+/// assert_eq!(ld.mem.unwrap().kind, MemKind::Load);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Instr {
+    /// Program counter of the instruction.
+    pub pc: u64,
+    /// Source registers this instruction reads (None = unused slot).
+    pub src_regs: [Option<Reg>; 2],
+    /// Destination register written, if any.
+    pub dst_reg: Option<Reg>,
+    /// Memory operand, if any (at most one, like a RISC load/store).
+    pub mem: Option<MemOp>,
+    /// Branch outcome, if this is a conditional branch.
+    pub branch: Option<Branch>,
+    /// Execution latency in cycles once issued (ALU 1, MUL/FP 3–4).
+    pub exec_latency: u8,
+}
+
+impl Instr {
+    /// A plain ALU instruction.
+    pub fn alu(pc: u64, dst: Option<Reg>, srcs: [Option<Reg>; 2]) -> Self {
+        Self { pc, src_regs: srcs, dst_reg: dst, mem: None, branch: None, exec_latency: 1 }
+    }
+
+    /// A longer-latency compute instruction (multiply / FP).
+    pub fn fp(pc: u64, dst: Option<Reg>, srcs: [Option<Reg>; 2], latency: u8) -> Self {
+        Self { pc, src_regs: srcs, dst_reg: dst, mem: None, branch: None, exec_latency: latency }
+    }
+
+    /// A load from `vaddr` into `dst`, reading address registers `srcs`.
+    pub fn load(pc: u64, vaddr: VirtAddr, dst: Option<Reg>, srcs: [Option<Reg>; 2]) -> Self {
+        Self {
+            pc,
+            src_regs: srcs,
+            dst_reg: dst,
+            mem: Some(MemOp { vaddr, kind: MemKind::Load }),
+            branch: None,
+            exec_latency: 1,
+        }
+    }
+
+    /// A store to `vaddr`, reading data/address registers `srcs`.
+    pub fn store(pc: u64, vaddr: VirtAddr, srcs: [Option<Reg>; 2]) -> Self {
+        Self {
+            pc,
+            src_regs: srcs,
+            dst_reg: None,
+            mem: Some(MemOp { vaddr, kind: MemKind::Store }),
+            branch: None,
+            exec_latency: 1,
+        }
+    }
+
+    /// A conditional branch with ground-truth direction `taken`, optionally
+    /// conditioned on a source register.
+    pub fn branch(pc: u64, taken: bool, src: Option<Reg>) -> Self {
+        Self {
+            pc,
+            src_regs: [src, None],
+            dst_reg: None,
+            mem: None,
+            branch: Some(Branch { taken }),
+            exec_latency: 1,
+        }
+    }
+
+    /// Whether this instruction is a demand load.
+    #[inline]
+    pub fn is_load(&self) -> bool {
+        matches!(self.mem, Some(MemOp { kind: MemKind::Load, .. }))
+    }
+
+    /// Whether this instruction is a store.
+    #[inline]
+    pub fn is_store(&self) -> bool {
+        matches!(self.mem, Some(MemOp { kind: MemKind::Store, .. }))
+    }
+
+    /// Whether this instruction is a conditional branch.
+    #[inline]
+    pub fn is_branch(&self) -> bool {
+        self.branch.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_types::VirtAddr;
+
+    #[test]
+    fn constructors_set_kinds() {
+        let a = Instr::alu(0x10, Some(1), [Some(2), Some(3)]);
+        assert!(!a.is_load() && !a.is_store() && !a.is_branch());
+
+        let l = Instr::load(0x14, VirtAddr::new(0x1000), Some(4), [Some(1), None]);
+        assert!(l.is_load() && !l.is_store());
+
+        let s = Instr::store(0x18, VirtAddr::new(0x2000), [Some(4), Some(5)]);
+        assert!(s.is_store() && !s.is_load());
+
+        let b = Instr::branch(0x1c, true, Some(4));
+        assert!(b.is_branch());
+        assert!(b.branch.unwrap().taken);
+    }
+
+    #[test]
+    fn fp_latency_carried() {
+        let f = Instr::fp(0x20, Some(2), [Some(1), None], 4);
+        assert_eq!(f.exec_latency, 4);
+    }
+
+    #[test]
+    fn instr_is_small() {
+        // The trace is the hottest producer in the simulator; keep the
+        // record compact (fits in a cache line with room to spare).
+        assert!(std::mem::size_of::<Instr>() <= 48);
+    }
+}

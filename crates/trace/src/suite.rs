@@ -1,0 +1,478 @@
+//! Workload suite definitions.
+//!
+//! Maps the paper's five workload categories (Table 5: SPEC06, SPEC17,
+//! PARSEC, Ligra, CVP) onto parameterised synthetic generators. Each
+//! [`WorkloadSpec`] is a named, seeded, reproducible stand-in for one
+//! ChampSim trace; [`default_suite`] is the laptop-scale set used by the
+//! experiment binaries by default and [`full_suite`] the extended set
+//! enabled by `--full`.
+
+use crate::gen::canneal::Canneal;
+use crate::gen::graph::{GraphKernel, GraphWorkload};
+use crate::gen::hash_join::HashJoin;
+use crate::gen::mixed::MixedPhase;
+use crate::gen::pointer_chase::PointerChase;
+use crate::gen::random_access::RandomAccess;
+use crate::gen::server::ServerMix;
+use crate::gen::stencil::Stencil3d;
+use crate::gen::stream::StreamSweep;
+use crate::gen::streamcluster::StreamCluster;
+use crate::source::TraceSource;
+
+/// Workload category, matching the paper's Table 5 grouping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    /// SPEC CPU2006-like.
+    Spec06,
+    /// SPEC CPU2017-like.
+    Spec17,
+    /// PARSEC-like.
+    Parsec,
+    /// Ligra graph-processing-like.
+    Ligra,
+    /// CVP-2 commercial-trace-like.
+    Cvp,
+}
+
+impl Category {
+    /// All categories in the paper's presentation order.
+    pub const ALL: [Category; 5] =
+        [Category::Spec06, Category::Spec17, Category::Parsec, Category::Ligra, Category::Cvp];
+
+    /// Short display label as used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Spec06 => "SPEC06",
+            Category::Spec17 => "SPEC17",
+            Category::Parsec => "PARSEC",
+            Category::Ligra => "Ligra",
+            Category::Cvp => "CVP",
+        }
+    }
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Generator configuration for one workload (the serializable "recipe").
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenConfig {
+    /// Pointer chase: (nodes, work_per_hop).
+    PointerChase { nodes: u64, work: u32 },
+    /// Stream triad: (elements, elem_size, with_store).
+    Stream { elems: u64, elem_size: u64, store: bool },
+    /// Strided multi-array: (arrays, stride, footprint, work).
+    Strided { arrays: usize, stride: u64, footprint: u64, work: u32 },
+    /// Random table access: (table_bytes, update).
+    Random { table_bytes: u64, update: bool },
+    /// Graph kernel: (kernel, vertices, avg_degree).
+    Graph { kernel: GraphKernel, vertices: u32, avg_degree: u32 },
+    /// Radii-style multi-source BFS: (vertices, avg_degree).
+    Radii { vertices: u32, avg_degree: u32 },
+    /// Hash join: (ht_bytes, probe_len).
+    HashJoin { ht_bytes: u64, probe_len: u64 },
+    /// Server mix: (hot_bytes, session_bytes, cold_per_mille).
+    Server { hot_bytes: u64, session_bytes: u64, cold_per_mille: u32 },
+    /// 3-D stencil: (nx, ny, nz).
+    Stencil { nx: u64, ny: u64, nz: u64 },
+    /// Stream clustering: (points, medoids, dims).
+    StreamCluster { points: u64, medoids: u64, dims: u64 },
+    /// Canneal swaps: (elems).
+    Canneal { elems: u64 },
+    /// Phase alternation between two sub-configs.
+    Mixed { a: Box<GenConfig>, b: Box<GenConfig>, period: u64 },
+    /// Compute dilution: `work` ALU instructions after every memory
+    /// instruction of the inner config (scales MPKI toward the paper's
+    /// ~8-per-kilo-instruction regime).
+    Diluted { inner: Box<GenConfig>, work: u32 },
+}
+
+/// A named, seeded workload: the unit the experiment harness iterates over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Trace name, e.g. `mcf-like-1`.
+    pub name: String,
+    /// Category the workload reports under.
+    pub category: Category,
+    /// Generator recipe.
+    pub config: GenConfig,
+    /// Seed controlling all randomness in the generator.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Creates a spec.
+    pub fn new(name: impl Into<String>, category: Category, config: GenConfig, seed: u64) -> Self {
+        Self { name: name.into(), category, config, seed }
+    }
+
+    /// Instantiates the generator.
+    pub fn build(&self) -> Box<dyn TraceSource> {
+        build_config(&self.config, self.seed)
+    }
+}
+
+fn build_config(config: &GenConfig, seed: u64) -> Box<dyn TraceSource> {
+    match config {
+        GenConfig::PointerChase { nodes, work } => Box::new(PointerChase::new(*nodes, *work, seed)),
+        GenConfig::Stream { elems, elem_size, store } => {
+            Box::new(StreamSweep::new(*elems, *elem_size, *store, seed))
+        }
+        GenConfig::Strided { arrays, stride, footprint, work } => {
+            Box::new(StridedMulti::new(*arrays, *stride, *footprint, *work, seed))
+        }
+        GenConfig::Random { table_bytes, update } => {
+            Box::new(RandomAccess::new(*table_bytes, *update, seed))
+        }
+        GenConfig::Graph { kernel, vertices, avg_degree } => {
+            Box::new(GraphWorkload::new(*kernel, *vertices, *avg_degree, seed))
+        }
+        GenConfig::Radii { vertices, avg_degree } => {
+            Box::new(GraphWorkload::new_radii(*vertices, *avg_degree, seed))
+        }
+        GenConfig::HashJoin { ht_bytes, probe_len } => {
+            Box::new(HashJoin::new(*ht_bytes, *probe_len, seed))
+        }
+        GenConfig::Server { hot_bytes, session_bytes, cold_per_mille } => {
+            Box::new(ServerMix::new(*hot_bytes, *session_bytes, *cold_per_mille, seed))
+        }
+        GenConfig::Stencil { nx, ny, nz } => Box::new(Stencil3d::new(*nx, *ny, *nz, seed)),
+        GenConfig::StreamCluster { points, medoids, dims } => {
+            Box::new(StreamCluster::new(*points, *medoids, *dims, seed))
+        }
+        GenConfig::Canneal { elems } => Box::new(Canneal::new(*elems, seed)),
+        GenConfig::Mixed { a, b, period } => {
+            Box::new(MixedPhase::new(build_config(a, seed), build_config(b, seed ^ 0x5A5A), *period))
+        }
+        GenConfig::Diluted { inner, work } => {
+            Box::new(crate::gen::dilute::Dilute::new(build_config(inner, seed), *work))
+        }
+    }
+}
+
+use crate::gen::strided::StridedMulti;
+
+const MB: u64 = 1 << 20;
+
+/// The laptop-scale suite: four representative traces per category
+/// (20 total). Used by experiment binaries unless `--full` is passed.
+pub fn default_suite() -> Vec<WorkloadSpec> {
+    use Category::*;
+    use GenConfig::*;
+    let dil = |inner: GenConfig, work: u32| Diluted { inner: Box::new(inner), work };
+    vec![
+        // --- SPEC06-like ---
+        WorkloadSpec::new(
+            "mcf-like",
+            Spec06,
+            dil(PointerChase { nodes: 512 * 1024, work: 3 }, 12),
+            11,
+        ),
+        WorkloadSpec::new(
+            "lbm-like",
+            Spec06,
+            dil(Stream { elems: 4 << 20, elem_size: 4, store: true }, 5),
+            12,
+        ),
+        WorkloadSpec::new(
+            "cactus-like",
+            Spec06,
+            dil(Strided { arrays: 4, stride: 320, footprint: 24 * MB, work: 2 }, 40),
+            13,
+        ),
+        WorkloadSpec::new(
+            "omnetpp-like",
+            Spec06,
+            dil(Random { table_bytes: 12 * MB, update: true }, 16),
+            14,
+        ),
+        // --- SPEC17-like ---
+        WorkloadSpec::new(
+            "mcf_s-like",
+            Spec17,
+            dil(PointerChase { nodes: 1 << 20, work: 2 }, 16),
+            21,
+        ),
+        WorkloadSpec::new(
+            "fotonik3d-like",
+            Spec17,
+            dil(Stencil { nx: 128, ny: 128, nz: 96 }, 4),
+            22,
+        ),
+        WorkloadSpec::new(
+            "xalancbmk_s-like",
+            Spec17,
+            dil(Random { table_bytes: 16 * MB, update: false }, 32),
+            23,
+        ),
+        WorkloadSpec::new(
+            "gcc_s-like",
+            Spec17,
+            dil(
+                Mixed {
+                    a: Box::new(PointerChase { nodes: 128 * 1024, work: 6 }),
+                    b: Box::new(Server {
+                        hot_bytes: 64 << 10,
+                        session_bytes: 16 * MB,
+                        cold_per_mille: 150,
+                    }),
+                    period: 30_000,
+                },
+                6,
+            ),
+            24,
+        ),
+        // --- PARSEC-like ---
+        WorkloadSpec::new("canneal-like", Parsec, dil(Canneal { elems: 96 * 1024 }, 12), 31),
+        WorkloadSpec::new(
+            "streamcluster-like",
+            Parsec,
+            StreamCluster { points: 1 << 20, medoids: 8, dims: 8 },
+            32,
+        ),
+        WorkloadSpec::new("facesim-like", Parsec, dil(Stencil { nx: 96, ny: 96, nz: 96 }, 4), 33),
+        WorkloadSpec::new(
+            "raytrace-like",
+            Parsec,
+            dil(PointerChase { nodes: 192 * 1024, work: 8 }, 16),
+            34,
+        ),
+        // --- Ligra-like ---
+        WorkloadSpec::new(
+            "ligra-bfs",
+            Ligra,
+            dil(Graph { kernel: GraphKernel::Bfs, vertices: 400_000, avg_degree: 8 }, 10),
+            41,
+        ),
+        WorkloadSpec::new(
+            "ligra-pagerank",
+            Ligra,
+            dil(Graph { kernel: GraphKernel::PageRank, vertices: 1_200_000, avg_degree: 8 }, 8),
+            42,
+        ),
+        WorkloadSpec::new(
+            "ligra-components",
+            Ligra,
+            dil(Graph { kernel: GraphKernel::Components, vertices: 1_000_000, avg_degree: 8 }, 8),
+            43,
+        ),
+        WorkloadSpec::new(
+            "ligra-triangle",
+            Ligra,
+            dil(Graph { kernel: GraphKernel::Triangle, vertices: 200_000, avg_degree: 12 }, 4),
+            44,
+        ),
+        // --- CVP-like ---
+        WorkloadSpec::new(
+            "server-int",
+            Cvp,
+            dil(Server { hot_bytes: 128 << 10, session_bytes: 32 * MB, cold_per_mille: 250 }, 2),
+            51,
+        ),
+        WorkloadSpec::new(
+            "server-join",
+            Cvp,
+            dil(HashJoin { ht_bytes: 12 * MB, probe_len: 1 << 18 }, 12),
+            52,
+        ),
+        WorkloadSpec::new(
+            "compute-fp",
+            Cvp,
+            dil(Stream { elems: 6 << 20, elem_size: 8, store: false }, 6),
+            53,
+        ),
+        WorkloadSpec::new(
+            "compute-int",
+            Cvp,
+            dil(
+                Mixed {
+                    a: Box::new(Random { table_bytes: 12 * MB, update: true }),
+                    b: Box::new(Stream { elems: 2 << 20, elem_size: 4, store: true }),
+                    period: 20_000,
+                },
+                16,
+            ),
+            54,
+        ),
+    ]
+}
+
+/// The extended suite (~55 traces): every default trace plus parameter and
+/// seed variants, mirroring how the paper's 110 traces contain several
+/// simpoints per benchmark.
+pub fn full_suite() -> Vec<WorkloadSpec> {
+    use Category::*;
+    use GenConfig::*;
+    let mut v = default_suite();
+    let dil = |inner: GenConfig, work: u32| Diluted { inner: Box::new(inner), work };
+    let extra = vec![
+        WorkloadSpec::new("mcf-like-2", Spec06, dil(PointerChase { nodes: 256 * 1024, work: 5 }, 10), 111),
+        WorkloadSpec::new("libquantum-like", Spec06, dil(Stream { elems: 8 << 20, elem_size: 4, store: false }, 6), 112),
+        WorkloadSpec::new("soplex-like", Spec06, dil(Random { table_bytes: 24 * MB, update: true }, 14), 113),
+        WorkloadSpec::new(
+            "gems-like",
+            Spec06,
+            dil(Strided { arrays: 6, stride: 192, footprint: 24 * MB, work: 3 }, 14),
+            114,
+        ),
+        WorkloadSpec::new("milc-like", Spec06, dil(Stencil { nx: 64, ny: 64, nz: 256 }, 5), 115),
+        WorkloadSpec::new("sphinx-like", Spec06, dil(Stream { elems: 3 << 20, elem_size: 4, store: true }, 8), 116),
+        WorkloadSpec::new("mcf_s-like-2", Spec17, dil(PointerChase { nodes: 2 << 20, work: 1 }, 18), 121),
+        WorkloadSpec::new("roms-like", Spec17, dil(Stream { elems: 5 << 20, elem_size: 8, store: true }, 4), 122),
+        WorkloadSpec::new("cam4-like", Spec17, dil(Strided { arrays: 5, stride: 256, footprint: 20 * MB, work: 4 }, 12), 123),
+        WorkloadSpec::new("pop2-like", Spec17, dil(Stencil { nx: 160, ny: 160, nz: 48 }, 6), 124),
+        WorkloadSpec::new("lbm_s-like", Spec17, dil(Stream { elems: 7 << 20, elem_size: 4, store: true }, 4), 125),
+        WorkloadSpec::new("canneal-like-2", Parsec, dil(Canneal { elems: 192 * 1024 }, 14), 131),
+        WorkloadSpec::new(
+            "streamcluster-like-2",
+            Parsec,
+            StreamCluster { points: 2 << 20, medoids: 16, dims: 4 },
+            132,
+        ),
+        WorkloadSpec::new("dedup-like", Parsec, dil(HashJoin { ht_bytes: 16 * MB, probe_len: 1 << 17 }, 10), 133),
+        WorkloadSpec::new(
+            "ligra-radii",
+            Ligra,
+            dil(Radii { vertices: 300_000, avg_degree: 8 }, 8),
+            141,
+        ),
+        WorkloadSpec::new(
+            "ligra-pagerank-2",
+            Ligra,
+            dil(Graph { kernel: GraphKernel::PageRank, vertices: 800_000, avg_degree: 6 }, 8),
+            142,
+        ),
+        WorkloadSpec::new(
+            "ligra-bfs-2",
+            Ligra,
+            dil(Graph { kernel: GraphKernel::Bfs, vertices: 700_000, avg_degree: 5 }, 10),
+            143,
+        ),
+        WorkloadSpec::new(
+            "ligra-components-2",
+            Ligra,
+            dil(Graph { kernel: GraphKernel::Components, vertices: 600_000, avg_degree: 10 }, 8),
+            144,
+        ),
+        WorkloadSpec::new(
+            "server-int-2",
+            Cvp,
+            dil(Server { hot_bytes: 256 << 10, session_bytes: 32 * MB, cold_per_mille: 180 }, 2),
+            151,
+        ),
+        WorkloadSpec::new("server-join-2", Cvp, dil(HashJoin { ht_bytes: 24 * MB, probe_len: 1 << 19 }, 10), 152),
+        WorkloadSpec::new(
+            "compute-int-2",
+            Cvp,
+            dil(Random { table_bytes: 16 * MB, update: false }, 12),
+            153,
+        ),
+        WorkloadSpec::new(
+            "crypto-like",
+            Cvp,
+            dil(
+                Mixed {
+                    a: Box::new(Stream { elems: 4 << 20, elem_size: 8, store: true }),
+                    b: Box::new(Random { table_bytes: 8 * MB, update: true }),
+                    period: 15_000,
+                },
+                8,
+            ),
+            154,
+        ),
+    ];
+    v.extend(extra);
+    // Seed variants double the count, like multiple simpoints per binary.
+    let variants: Vec<WorkloadSpec> = v
+        .iter()
+        .map(|w| {
+            WorkloadSpec::new(format!("{}-alt", w.name), w.category, w.config.clone(), w.seed + 1000)
+        })
+        .collect();
+    v.extend(variants);
+    v
+}
+
+/// A reduced suite for fast smoke tests (one trace per category, smaller
+/// footprints).
+pub fn smoke_suite() -> Vec<WorkloadSpec> {
+    use Category::*;
+    use GenConfig::*;
+    vec![
+        WorkloadSpec::new("smoke-chase", Spec06, PointerChase { nodes: 64 * 1024, work: 2 }, 1),
+        WorkloadSpec::new("smoke-stream", Spec17, Stream { elems: 1 << 20, elem_size: 4, store: true }, 2),
+        WorkloadSpec::new("smoke-canneal", Parsec, Canneal { elems: 64 * 1024 }, 3),
+        WorkloadSpec::new(
+            "smoke-pagerank",
+            Ligra,
+            Graph { kernel: GraphKernel::PageRank, vertices: 100_000, avg_degree: 6 },
+            4,
+        ),
+        WorkloadSpec::new(
+            "smoke-server",
+            Cvp,
+            Server { hot_bytes: 64 << 10, session_bytes: 12 * MB, cold_per_mille: 200 },
+            5,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn default_suite_covers_all_categories() {
+        let suite = default_suite();
+        let cats: HashSet<Category> = suite.iter().map(|w| w.category).collect();
+        assert_eq!(cats.len(), 5);
+        assert_eq!(suite.len(), 20);
+    }
+
+    #[test]
+    fn names_unique() {
+        for suite in [default_suite(), full_suite(), smoke_suite()] {
+            let names: HashSet<&str> = suite.iter().map(|w| w.name.as_str()).collect();
+            assert_eq!(names.len(), suite.len());
+        }
+    }
+
+    #[test]
+    fn all_specs_build_and_generate() {
+        for w in smoke_suite() {
+            let mut src = w.build();
+            for _ in 0..100 {
+                let _ = src.next_instr();
+            }
+        }
+    }
+
+    #[test]
+    fn full_suite_is_superset() {
+        let d: HashSet<String> = default_suite().into_iter().map(|w| w.name).collect();
+        let f: HashSet<String> = full_suite().into_iter().map(|w| w.name).collect();
+        assert!(d.is_subset(&f));
+        assert!(f.len() > 40);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let w = &default_suite()[0];
+        let mut a = w.build();
+        let mut b = w.build();
+        for _ in 0..200 {
+            assert_eq!(a.next_instr(), b.next_instr());
+        }
+    }
+
+    #[test]
+    fn category_labels() {
+        assert_eq!(Category::Spec06.label(), "SPEC06");
+        assert_eq!(format!("{}", Category::Ligra), "Ligra");
+        assert_eq!(Category::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,178 @@
+//! Summary statistics for the experiment harness.
+//!
+//! The paper reports geometric-mean speedups (Eq. 2 normalisation per
+//! workload, then geomean per category), averages, and box-and-whisker
+//! distributions (Fig. 15a). These helpers compute those summaries.
+
+/// Arithmetic mean of a slice; returns 0.0 for an empty slice.
+///
+/// # Example
+///
+/// ```
+/// use hermes_types::mean;
+/// assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Geometric mean of a slice of positive values; returns 0.0 for an empty
+/// slice.
+///
+/// Used for speedup aggregation exactly as the paper does ("geomean speedup
+/// over the no-prefetching system").
+///
+/// # Panics
+///
+/// Panics (in debug builds) if any value is non-positive — a speedup of
+/// zero or below indicates a broken run.
+///
+/// # Example
+///
+/// ```
+/// use hermes_types::geomean;
+/// let g = geomean(&[1.0, 4.0]);
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    debug_assert!(xs.iter().all(|&x| x > 0.0), "geomean over non-positive value");
+    let log_sum: f64 = xs.iter().map(|&x| x.ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Five-number summary plus mean, matching the box-and-whiskers description
+/// in the paper's Fig. 15 footnote (quartile box, 1.5×IQR whiskers, mean
+/// marked by a cross).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxplotSummary {
+    /// Smallest observation.
+    pub min: f64,
+    /// First quartile (25th percentile).
+    pub q1: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// Third quartile (75th percentile).
+    pub q3: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Arithmetic mean (the "cross" in the paper's plots).
+    pub mean: f64,
+    /// Lower whisker: smallest observation ≥ q1 − 1.5·IQR.
+    pub whisker_lo: f64,
+    /// Upper whisker: largest observation ≤ q3 + 1.5·IQR.
+    pub whisker_hi: f64,
+}
+
+impl BoxplotSummary {
+    /// Computes the summary from raw samples.
+    ///
+    /// Returns `None` for an empty input.
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = samples.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in boxplot samples"));
+        let q = |p: f64| -> f64 {
+            // Linear interpolation between closest ranks.
+            let h = p * (v.len() as f64 - 1.0);
+            let lo = h.floor() as usize;
+            let hi = h.ceil() as usize;
+            if lo == hi {
+                v[lo]
+            } else {
+                v[lo] + (h - lo as f64) * (v[hi] - v[lo])
+            }
+        };
+        let q1 = q(0.25);
+        let median = q(0.5);
+        let q3 = q(0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let whisker_lo = v.iter().copied().find(|&x| x >= lo_fence).unwrap_or(v[0]);
+        let whisker_hi = v
+            .iter()
+            .rev()
+            .copied()
+            .find(|&x| x <= hi_fence)
+            .unwrap_or(v[v.len() - 1]);
+        Some(Self {
+            min: v[0],
+            q1,
+            median,
+            q3,
+            max: v[v.len() - 1],
+            mean: mean(&v),
+            whisker_lo,
+            whisker_hi,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_empty_is_zero() {
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_of_constant() {
+        let g = geomean(&[3.0, 3.0, 3.0]);
+        assert!((g - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_below_arith_mean() {
+        let xs = [1.0, 2.0, 10.0];
+        assert!(geomean(&xs) < mean(&xs));
+    }
+
+    #[test]
+    fn boxplot_simple() {
+        let s = BoxplotSummary::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.mean, 3.0);
+    }
+
+    #[test]
+    fn boxplot_empty_none() {
+        assert!(BoxplotSummary::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn boxplot_whiskers_exclude_outlier() {
+        // 100.0 is an outlier vs the 1..9 cluster.
+        let mut xs: Vec<f64> = (1..=9).map(|x| x as f64).collect();
+        xs.push(100.0);
+        let s = BoxplotSummary::from_samples(&xs).unwrap();
+        assert!(s.whisker_hi < 100.0);
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn boxplot_single_sample() {
+        let s = BoxplotSummary::from_samples(&[7.0]).unwrap();
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.whisker_lo, 7.0);
+        assert_eq!(s.whisker_hi, 7.0);
+    }
+}

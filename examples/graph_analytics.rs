@@ -1,0 +1,92 @@
+//! Graph-analytics scenario: the workload class the paper's Ligra suite
+//! represents. CSR neighbour gathers are irregular and prefetch-hostile —
+//! exactly where off-chip prediction pays — while the offsets/edge arrays
+//! stream nicely for the prefetcher. This example runs BFS and PageRank
+//! stand-ins across three systems and shows where each mechanism earns
+//! its cycles.
+//!
+//! ```sh
+//! cargo run --release --example graph_analytics
+//! ```
+
+use hermes_repro::hermes::{HermesConfig, PredictorKind};
+use hermes_repro::hermes_prefetch::PrefetcherKind;
+use hermes_repro::hermes_sim::{system::run_one, SystemConfig};
+use hermes_repro::hermes_trace::gen::graph::GraphKernel;
+use hermes_repro::hermes_trace::suite::{Category, GenConfig, WorkloadSpec};
+
+fn main() {
+    let workloads = [
+        WorkloadSpec::new(
+            "bfs-1M",
+            Category::Ligra,
+            GenConfig::Diluted {
+                inner: Box::new(GenConfig::Graph {
+                    kernel: GraphKernel::Bfs,
+                    vertices: 600_000,
+                    avg_degree: 8,
+                }),
+                work: 8,
+            },
+            7,
+        ),
+        WorkloadSpec::new(
+            "pagerank-1M",
+            Category::Ligra,
+            GenConfig::Diluted {
+                inner: Box::new(GenConfig::Graph {
+                    kernel: GraphKernel::PageRank,
+                    vertices: 1_000_000,
+                    avg_degree: 8,
+                }),
+                work: 8,
+            },
+            8,
+        ),
+        WorkloadSpec::new(
+            "triangle-200k",
+            Category::Ligra,
+            GenConfig::Diluted {
+                inner: Box::new(GenConfig::Graph {
+                    kernel: GraphKernel::Triangle,
+                    vertices: 200_000,
+                    avg_degree: 12,
+                }),
+                work: 4,
+            },
+            44,
+        ),
+    ];
+
+    println!("{:12} {:>10} {:>10} {:>16} {:>12}", "kernel", "no-pf IPC", "Pythia", "Pythia+Hermes", "POPET acc");
+    for spec in &workloads {
+        let nopf = run_one(
+            SystemConfig::baseline_1c().with_prefetcher(PrefetcherKind::None),
+            spec,
+            20_000,
+            80_000,
+        );
+        let pythia = run_one(SystemConfig::baseline_1c(), spec, 20_000, 80_000);
+        let combo = run_one(
+            SystemConfig::baseline_1c().with_hermes(HermesConfig::hermes_o(PredictorKind::Popet)),
+            spec,
+            20_000,
+            80_000,
+        );
+        println!(
+            "{:12} {:>10.3} {:>10.3} {:>16.3} {:>11.1}%",
+            spec.name,
+            nopf.cores[0].ipc(),
+            pythia.cores[0].ipc(),
+            combo.cores[0].ipc(),
+            combo.cores[0].pred.accuracy() * 100.0,
+        );
+    }
+    println!();
+    println!("Reading the table: Hermes wins where the off-chip gathers are");
+    println!("*predictable* (triangle's long intersection scans); on kernels whose");
+    println!("per-vertex data sits right at the LLC boundary (borderline hit/miss),");
+    println!("POPET's accuracy drops and the speculative traffic eats the gain —");
+    println!("the same per-trace spread the paper's Fig. 13 shows, where Pythia");
+    println!("wins 59 of 110 traces and Hermes the other 51.");
+}

@@ -1,0 +1,38 @@
+//! Off-chip predictor face-off: POPET vs HMP vs TTP vs the Ideal oracle,
+//! measured passively (no Hermes requests issued) on one streaming and one
+//! irregular workload — the paper's Fig. 9 in miniature, plus the per-load
+//! cost/benefit framing of Table 6.
+//!
+//! ```sh
+//! cargo run --release --example predictor_faceoff
+//! ```
+
+use hermes_repro::hermes::{storage, HermesConfig, PredictorKind};
+use hermes_repro::hermes_sim::{system::run_one, SystemConfig};
+use hermes_repro::hermes_trace::suite;
+
+fn main() {
+    let suite = suite::default_suite();
+    let picks = ["lbm-like", "canneal-like"];
+    for name in picks {
+        let spec = suite.iter().find(|w| w.name == name).expect("suite contains pick");
+        println!("=== {} ===", spec.name);
+        println!("{:8} {:>10} {:>10}", "pred", "accuracy", "coverage");
+        for pred in [PredictorKind::Hmp, PredictorKind::Ttp, PredictorKind::Popet, PredictorKind::Ideal] {
+            let cfg = SystemConfig::baseline_1c().with_hermes(HermesConfig::passive(pred));
+            let r = run_one(cfg, spec, 20_000, 80_000);
+            let p = r.cores[0].pred;
+            println!(
+                "{:8} {:>9.1}% {:>9.1}%",
+                pred.label(),
+                p.accuracy() * 100.0,
+                p.coverage() * 100.0
+            );
+        }
+        println!();
+    }
+    println!("Storage budgets (computed, Table 6):");
+    for row in storage::table6_predictors() {
+        println!("  {:34} {:>9.1} KB", row.structure, row.kb());
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: simulate one workload on the paper's baseline system with
+//! and without Hermes, and print the headline numbers.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hermes_repro::hermes::{HermesConfig, PredictorKind};
+use hermes_repro::hermes_sim::{system::run_one, SystemConfig};
+use hermes_repro::hermes_trace::suite;
+
+fn main() {
+    // A pointer-chasing workload (`mcf`-like): the class of irregular,
+    // off-chip-bound code Hermes targets.
+    let spec = &suite::default_suite()[0];
+    println!("workload: {} ({})", spec.name, spec.category);
+
+    let warmup = 20_000;
+    let instr = 100_000;
+
+    // Table 4 baseline: Pythia prefetcher at the LLC, no Hermes.
+    let baseline = run_one(SystemConfig::baseline_1c(), spec, warmup, instr);
+
+    // Same system plus Hermes-O driven by POPET.
+    let hermes = run_one(
+        SystemConfig::baseline_1c().with_hermes(HermesConfig::hermes_o(PredictorKind::Popet)),
+        spec,
+        warmup,
+        instr,
+    );
+
+    let b = &baseline.cores[0];
+    let h = &hermes.cores[0];
+    println!("baseline (Pythia):        IPC {:.3}  LLC MPKI {:.1}", b.ipc(), b.llc_mpki());
+    println!(
+        "Pythia + Hermes-O/POPET:  IPC {:.3}  speedup {:+.1}%",
+        h.ipc(),
+        (h.ipc() / b.ipc() - 1.0) * 100.0
+    );
+    println!(
+        "POPET: accuracy {:.1}%  coverage {:.1}%  over {} loads",
+        h.pred.accuracy() * 100.0,
+        h.pred.coverage() * 100.0,
+        h.pred.total()
+    );
+    println!(
+        "main-memory requests: {} -> {} ({:+.1}%)",
+        baseline.main_memory_requests(),
+        hermes.main_memory_requests(),
+        (hermes.main_memory_requests() as f64 / baseline.main_memory_requests() as f64 - 1.0)
+            * 100.0
+    );
+}

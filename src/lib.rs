@@ -1,0 +1,23 @@
+//! Umbrella crate for the Hermes (MICRO 2022) reproduction workspace.
+//!
+//! This crate exists to host the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); it re-exports the
+//! member crates so examples and tests can use one import root.
+//!
+//! See the individual crates for the actual implementation:
+//!
+//! * [`hermes`] — POPET, HMP, TTP, and the Hermes controller (the paper's
+//!   contribution).
+//! * [`hermes_sim`] — the full-system simulator.
+//! * [`hermes_trace`] — synthetic workload generators.
+//! * [`hermes_cpu`], [`hermes_cache`], [`hermes_dram`] — the substrate.
+//! * [`hermes_prefetch`] — the five baseline data prefetchers.
+
+pub use hermes;
+pub use hermes_cache;
+pub use hermes_cpu;
+pub use hermes_dram;
+pub use hermes_prefetch;
+pub use hermes_sim;
+pub use hermes_trace;
+pub use hermes_types;
