@@ -17,7 +17,8 @@ fn bench_popet(c: &mut Criterion) {
     c.bench_function("popet_predict_train", |b| {
         b.iter(|| {
             i += 1;
-            let ctx = LoadContext::identity(0x400100 + (i % 16) * 4, VirtAddr::new(0x10_0000 + i * 64));
+            let ctx =
+                LoadContext::identity(0x400100 + (i % 16) * 4, VirtAddr::new(0x10_0000 + i * 64));
             let p = popet.predict(black_box(&ctx));
             popet.train(&ctx, &p, i.is_multiple_of(20));
             black_box(p.go_offchip)
@@ -32,7 +33,8 @@ fn bench_hmp_ttp(c: &mut Criterion) {
     c.bench_function("hmp_predict_train", |b| {
         b.iter(|| {
             i += 1;
-            let ctx = LoadContext::identity(0x400100 + (i % 16) * 4, VirtAddr::new(0x20_0000 + i * 64));
+            let ctx =
+                LoadContext::identity(0x400100 + (i % 16) * 4, VirtAddr::new(0x20_0000 + i * 64));
             let p = hmp.predict(black_box(&ctx));
             hmp.train(&ctx, &p, i.is_multiple_of(20));
         })

@@ -17,7 +17,10 @@ fn bench_sim(c: &mut Criterion) {
     let mut g = c.benchmark_group("end_to_end");
     g.throughput(Throughput::Elements(INSTR));
     for (label, cfg) in [
-        ("no-prefetching", SystemConfig::baseline_1c().with_prefetcher(PrefetcherKind::None)),
+        (
+            "no-prefetching",
+            SystemConfig::baseline_1c().with_prefetcher(PrefetcherKind::None),
+        ),
         ("pythia", SystemConfig::baseline_1c()),
         (
             "pythia+hermesO",

@@ -25,7 +25,11 @@ fn main() {
                 continue;
             }
             let n = rows.len() as f64;
-            let offchip: f64 = rows.iter().map(|(_, r)| r.blocking + r.nonblocking).sum::<f64>() / n;
+            let offchip: f64 = rows
+                .iter()
+                .map(|(_, r)| r.blocking + r.nonblocking)
+                .sum::<f64>()
+                / n;
             let base_off: f64 = nopf
                 .iter()
                 .filter(|(s, _)| s.category == cat)
@@ -53,5 +57,10 @@ fn main() {
         pct(tot_py / tot_nopf.max(1.0)),
         pct(blk_py / tot_py.max(1.0)),
     );
-    emit("fig02", "Blocking vs non-blocking off-chip loads", &format!("{}\n{}", t.to_markdown(), summary), &scale);
+    emit(
+        "fig02",
+        "Blocking vs non-blocking off-chip loads",
+        &format!("{}\n{}", t.to_markdown(), summary),
+        &scale,
+    );
 }

@@ -47,5 +47,10 @@ fn main() {
         avg_stall,
         pct(avg_onchip / avg_stall.max(1e-9)),
     );
-    emit("fig03", "Stall cycles caused by off-chip loads", &format!("{}\n{}", t.to_markdown(), summary), &scale);
+    emit(
+        "fig03",
+        "Stall cycles caused by off-chip loads",
+        &format!("{}\n{}", t.to_markdown(), summary),
+        &scale,
+    );
 }

@@ -16,9 +16,18 @@ fn main() {
     let (pt, pc) = configs::pythia();
     let (pit, pic) = configs::pythia_hermes('o', PredictorKind::Ideal);
     let rows_a = vec![
-        ("Ideal Hermes".to_string(), speedups(&base, &run_suite(&it, &ic, &scale))),
-        ("Pythia (baseline)".to_string(), speedups(&base, &run_suite(pt, &pc, &scale))),
-        ("Pythia + Ideal Hermes".to_string(), speedups(&base, &run_suite(&pit, &pic, &scale))),
+        (
+            "Ideal Hermes".to_string(),
+            speedups(&base, &run_suite(&it, &ic, &scale)),
+        ),
+        (
+            "Pythia (baseline)".to_string(),
+            speedups(&base, &run_suite(pt, &pc, &scale)),
+        ),
+        (
+            "Pythia + Ideal Hermes".to_string(),
+            speedups(&base, &run_suite(&pit, &pic, &scale)),
+        ),
     ];
 
     // (b) Each prefetcher with and without Ideal Hermes.
@@ -30,11 +39,16 @@ fn main() {
         let cfg = SystemConfig::baseline_1c().with_prefetcher(pf);
         let tag = format!("{}-only", pf.label());
         let alone = run_suite(&tag, &cfg, &scale);
-        let cfg_h = cfg.clone().with_hermes(HermesConfig::hermes_o(PredictorKind::Ideal));
+        let cfg_h = cfg
+            .clone()
+            .with_hermes(HermesConfig::hermes_o(PredictorKind::Ideal));
         let tag_h = format!("{}+idealhermes", pf.label());
         let with_h = run_suite(&tag_h, &cfg_h, &scale);
         rows_b.push((pf.label().to_string(), speedups(&base, &alone)));
-        rows_b.push((format!("{} + Ideal Hermes", pf.label()), speedups(&base, &with_h)));
+        rows_b.push((
+            format!("{} + Ideal Hermes", pf.label()),
+            speedups(&base, &with_h),
+        ));
     }
 
     let body = format!(
@@ -42,5 +56,10 @@ fn main() {
         speedup_table(&rows_a),
         speedup_table(&rows_b),
     );
-    emit("fig04", "Potential performance of Ideal Hermes (speedup vs no-prefetching)", &body, &scale);
+    emit(
+        "fig04",
+        "Potential performance of Ideal Hermes (speedup vs no-prefetching)",
+        &body,
+        &scale,
+    );
 }

@@ -34,5 +34,10 @@ fn main() {
         pct(hermes_types::mean(&rates)),
         hermes_types::mean(&mpkis),
     );
-    emit("fig05", "Off-chip load rate and LLC MPKI under Pythia", &format!("{}\n{}", t.to_markdown(), summary), &scale);
+    emit(
+        "fig05",
+        "Off-chip load rate and LLC MPKI under Pythia",
+        &format!("{}\n{}", t.to_markdown(), summary),
+        &scale,
+    );
 }

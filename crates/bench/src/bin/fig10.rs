@@ -17,7 +17,11 @@ fn main() {
     let stacked: Vec<(String, Vec<Feature>)> = (2..=5)
         .map(|k| {
             let set: Vec<Feature> = f.iter().take(k).copied().collect();
-            let label = if k == 5 { "All (POPET)".to_string() } else { format!("first {k} stacked") };
+            let label = if k == 5 {
+                "All (POPET)".to_string()
+            } else {
+                format!("first {k} stacked")
+            };
             (label, set)
         })
         .collect();
@@ -28,7 +32,14 @@ fn main() {
         let cfg = SystemConfig::baseline_1c()
             .with_popet(popet)
             .with_hermes(HermesConfig::passive(PredictorKind::Popet));
-        let tag = format!("popet-f{}", feats.iter().map(|x| format!("{:?}", x)).collect::<Vec<_>>().join("-"));
+        let tag = format!(
+            "popet-f{}",
+            feats
+                .iter()
+                .map(|x| format!("{:?}", x))
+                .collect::<Vec<_>>()
+                .join("-")
+        );
         let runs = run_suite(&tag, &cfg, &scale);
         let n = runs.len() as f64;
         let acc: f64 = runs.iter().map(|(_, r)| r.accuracy).sum::<f64>() / n;
@@ -36,5 +47,10 @@ fn main() {
         t.row(&[label.clone(), pct(acc), pct(cov)]);
     }
     let summary = "Shape check vs paper: individual features span a wide accuracy/coverage range, and the full five-feature POPET beats every individual feature on both metrics.";
-    emit("fig10", "POPET features individually and stacked", &format!("{}\n{}", t.to_markdown(), summary), &scale);
+    emit(
+        "fig10",
+        "POPET features individually and stacked",
+        &format!("{}\n{}", t.to_markdown(), summary),
+        &scale,
+    );
 }

@@ -46,5 +46,10 @@ fn main() {
     summary.push_str(
         "(paper: 47/29/20/9/5 across 110 traces — the point being that no single feature dominates, motivating multi-feature learning).",
     );
-    emit("fig11", "Per-trace single-feature accuracy/coverage", &format!("{}\n{}", t.to_markdown(), summary), &scale);
+    emit(
+        "fig11",
+        "Per-trace single-feature accuracy/coverage",
+        &format!("{}\n{}", t.to_markdown(), summary),
+        &scale,
+    );
 }

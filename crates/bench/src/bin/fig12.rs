@@ -17,8 +17,14 @@ fn main() {
             let (t, c) = configs::pythia();
             (t.to_string(), c)
         }),
-        ("Pythia + Hermes-P", configs::pythia_hermes('p', PredictorKind::Popet)),
-        ("Pythia + Hermes-O", configs::pythia_hermes('o', PredictorKind::Popet)),
+        (
+            "Pythia + Hermes-P",
+            configs::pythia_hermes('p', PredictorKind::Popet),
+        ),
+        (
+            "Pythia + Hermes-O",
+            configs::pythia_hermes('o', PredictorKind::Popet),
+        ),
     ] {
         let runs = run_suite(&tag, &cfg, &scale);
         rows.push((label.to_string(), speedups(&base, &runs)));
@@ -30,5 +36,10 @@ fn main() {
         "Geomean speedups over no-prefetching: Hermes-P {:.3}, Hermes-O {:.3}, Pythia {:.3}, Pythia+Hermes-P {:.3}, Pythia+Hermes-O {:.3} (paper: 1.089, 1.115, 1.205, 1.247, 1.256). Shape check: Hermes stacks on Pythia; O beats P.",
         geo(&rows[0].1), geo(&rows[1].1), geo(&rows[2].1), geo(&rows[3].1), geo(&rows[4].1),
     );
-    emit("fig12", "Single-core speedup", &format!("{}\n{}", speedup_table(&rows), summary), &scale);
+    emit(
+        "fig12",
+        "Single-core speedup",
+        &format!("{}\n{}", speedup_table(&rows), summary),
+        &scale,
+    );
 }

@@ -54,5 +54,10 @@ fn main() {
         combo_beats_both,
         rows.len(),
     );
-    emit("fig13", "Per-trace speedups (sorted)", &format!("{}\n{}", t.to_markdown(), summary), &scale);
+    emit(
+        "fig13",
+        "Per-trace speedups (sorted)",
+        &format!("{}\n{}", t.to_markdown(), summary),
+        &scale,
+    );
 }

@@ -11,8 +11,16 @@ fn main() {
 
     let mut rows = Vec::new();
     let (pt, pc) = configs::pythia();
-    rows.push(("Pythia (baseline)".to_string(), speedups(&base, &run_suite(pt, &pc, &scale))));
-    for pred in [PredictorKind::Hmp, PredictorKind::Ttp, PredictorKind::Popet, PredictorKind::Ideal] {
+    rows.push((
+        "Pythia (baseline)".to_string(),
+        speedups(&base, &run_suite(pt, &pc, &scale)),
+    ));
+    for pred in [
+        PredictorKind::Hmp,
+        PredictorKind::Ttp,
+        PredictorKind::Popet,
+        PredictorKind::Ideal,
+    ] {
         let (tag, cfg) = configs::pythia_hermes('o', pred);
         let label = format!("Pythia + Hermes-{}", pred.label());
         rows.push((label, speedups(&base, &run_suite(&tag, &cfg, &scale))));
@@ -30,5 +38,10 @@ fn main() {
         ideal_gain * 100.0,
         100.0 * popet_gain / ideal_gain.max(1e-9),
     );
-    emit("fig14", "Hermes with different off-chip predictors", &format!("{}\n{}", speedup_table(&rows), summary), &scale);
+    emit(
+        "fig14",
+        "Hermes with different off-chip predictors",
+        &format!("{}\n{}", speedup_table(&rows), summary),
+        &scale,
+    );
 }

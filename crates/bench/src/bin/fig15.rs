@@ -53,8 +53,11 @@ fn main() {
     tb.row(&["Pythia + Hermes-O".to_string(), pct(oh_c)]);
 
     let geo_sp = |runs: &[(hermes_trace::WorkloadSpec, hermes_bench::RunLite)]| {
-        let v: Vec<f64> =
-            base.iter().zip(runs).map(|((_, b), (_, x))| x.ipc / b.ipc).collect();
+        let v: Vec<f64> = base
+            .iter()
+            .zip(runs)
+            .map(|((_, b), (_, x))| x.ipc / b.ipc)
+            .collect();
         hermes_types::geomean(&v)
     };
     let summary = format!(
@@ -69,5 +72,10 @@ fn main() {
         tb.to_markdown(),
         summary
     );
-    emit("fig15", "Stall-cycle reduction and memory-request overhead", &body, &scale);
+    emit(
+        "fig15",
+        "Stall-cycle reduction and memory-request overhead",
+        &body,
+        &scale,
+    );
 }

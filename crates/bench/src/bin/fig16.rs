@@ -18,7 +18,10 @@ fn main() {
     let subsuite = scale.sweep_suite();
 
     let configs: Vec<(String, SystemConfig)> = vec![
-        ("no-prefetching".into(), SystemConfig::baseline_8c().with_prefetcher(PrefetcherKind::None)),
+        (
+            "no-prefetching".into(),
+            SystemConfig::baseline_8c().with_prefetcher(PrefetcherKind::None),
+        ),
         ("Pythia".into(), SystemConfig::baseline_8c()),
         (
             "Pythia+Hermes-HMP".into(),
@@ -36,7 +39,13 @@ fn main() {
 
     // speedups[cfg][trace]
     let mut per_cfg: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
-    let mut t = Table::new(&["8-core mix", "Pythia", "+Hermes-HMP", "+Hermes-TTP", "+Hermes-POPET"]);
+    let mut t = Table::new(&[
+        "8-core mix",
+        "Pythia",
+        "+Hermes-HMP",
+        "+Hermes-TTP",
+        "+Hermes-POPET",
+    ]);
     for spec in &subsuite {
         let mut ipcs = Vec::new();
         for (tag, cfg) in &configs {
@@ -55,12 +64,23 @@ fn main() {
         ]);
     }
     let g: Vec<f64> = per_cfg.iter().map(|v| geomean(v)).collect();
-    t.row(&["GEOMEAN".to_string(), f3(g[1]), f3(g[2]), f3(g[3]), f3(g[4])]);
+    t.row(&[
+        "GEOMEAN".to_string(),
+        f3(g[1]),
+        f3(g[2]),
+        f3(g[3]),
+        f3(g[4]),
+    ]);
     let summary = format!(
         "Over Pythia: Hermes-HMP {:+.1}%, Hermes-TTP {:+.1}%, Hermes-POPET {:+.1}% (paper: +0.6%, -2.1%, +5.1%). Shape check: POPET gains under bandwidth pressure; TTP's inaccuracy costs it.",
         (g[2] / g[1] - 1.0) * 100.0,
         (g[3] / g[1] - 1.0) * 100.0,
         (g[4] / g[1] - 1.0) * 100.0,
     );
-    emit("fig16", "Eight-core speedups", &format!("{}\n{}", t.to_markdown(), summary), &scale);
+    emit(
+        "fig16",
+        "Eight-core speedups",
+        &format!("{}\n{}", t.to_markdown(), summary),
+        &scale,
+    );
 }

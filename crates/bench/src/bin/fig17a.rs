@@ -15,10 +15,16 @@ fn main() {
     let mut t = Table::new(&["MTPS", "Hermes-O", "Pythia", "Pythia+Hermes-O"]);
     let mut crossover = None;
     for mtps in mtps_points {
-        let base_cfg =
-            SystemConfig::baseline_1c().with_mtps(mtps).with_prefetcher(PrefetcherKind::None);
+        let base_cfg = SystemConfig::baseline_1c()
+            .with_mtps(mtps)
+            .with_prefetcher(PrefetcherKind::None);
         let cfgs = [
-            ("hermesO-alone", base_cfg.clone().with_hermes(HermesConfig::hermes_o(PredictorKind::Popet))),
+            (
+                "hermesO-alone",
+                base_cfg
+                    .clone()
+                    .with_hermes(HermesConfig::hermes_o(PredictorKind::Popet)),
+            ),
             ("pythia", SystemConfig::baseline_1c().with_mtps(mtps)),
             (
                 "pythia+hermesO",
@@ -42,7 +48,12 @@ fn main() {
         if speedups[0] > speedups[1] && crossover.is_none() {
             crossover = Some(mtps);
         }
-        t.row(&[mtps.to_string(), f3(speedups[0]), f3(speedups[1]), f3(speedups[2])]);
+        t.row(&[
+            mtps.to_string(),
+            f3(speedups[0]),
+            f3(speedups[1]),
+            f3(speedups[2]),
+        ]);
     }
     let summary = match crossover {
         Some(m) => format!(
@@ -50,5 +61,10 @@ fn main() {
         ),
         None => "Hermes+Pythia tops Pythia at every bandwidth point; Hermes-alone crossover not observed at this scale (paper sees it at 200–400 MTPS).".to_string(),
     };
-    emit("fig17a", "Sensitivity to main-memory bandwidth", &format!("{}\n{}", t.to_markdown(), summary), &scale);
+    emit(
+        "fig17a",
+        "Sensitivity to main-memory bandwidth",
+        &format!("{}\n{}", t.to_markdown(), summary),
+        &scale,
+    );
 }

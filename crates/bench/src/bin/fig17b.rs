@@ -12,24 +12,35 @@ fn main() {
     let (bt, bc) = configs::nopf();
     let base = run_suite(bt, &bc, &scale);
 
-    let mut t = Table::new(&["prefetcher", "alone", "+Hermes-P", "+Hermes-O", "Hermes-O gain"]);
+    let mut t = Table::new(&[
+        "prefetcher",
+        "alone",
+        "+Hermes-P",
+        "+Hermes-O",
+        "Hermes-O gain",
+    ]);
     let mut all_positive = true;
     for pf in PrefetcherKind::PAPER_SET {
         let cfg = SystemConfig::baseline_1c().with_prefetcher(pf);
         let sp = |tag: &str, c: &SystemConfig| -> f64 {
             let runs = run_suite(tag, c, &scale);
-            let v: Vec<f64> =
-                base.iter().zip(&runs).map(|((_, b), (_, x))| x.ipc / b.ipc).collect();
+            let v: Vec<f64> = base
+                .iter()
+                .zip(&runs)
+                .map(|((_, b), (_, x))| x.ipc / b.ipc)
+                .collect();
             geomean(&v)
         };
         let alone = sp(&format!("{}-only", pf.label()), &cfg);
         let p = sp(
             &format!("{}+hermesP", pf.label()),
-            &cfg.clone().with_hermes(HermesConfig::hermes_p(PredictorKind::Popet)),
+            &cfg.clone()
+                .with_hermes(HermesConfig::hermes_p(PredictorKind::Popet)),
         );
         let o = sp(
             &format!("{}+hermesO", pf.label()),
-            &cfg.clone().with_hermes(HermesConfig::hermes_o(PredictorKind::Popet)),
+            &cfg.clone()
+                .with_hermes(HermesConfig::hermes_o(PredictorKind::Popet)),
         );
         if o < alone {
             all_positive = false;
@@ -46,5 +57,10 @@ fn main() {
         "Hermes-O on top of every prefetcher: {} (paper: consistent gains of +5.1%..+7.7% across Bingo/SPP/MLOP/SMS and +5.4% on Pythia).",
         if all_positive { "positive for all five" } else { "not uniformly positive at this scale" },
     );
-    emit("fig17b", "Hermes with different baseline prefetchers", &format!("{}\n{}", t.to_markdown(), summary), &scale);
+    emit(
+        "fig17b",
+        "Hermes with different baseline prefetchers",
+        &format!("{}\n{}", t.to_markdown(), summary),
+        &scale,
+    );
 }

@@ -20,7 +20,11 @@ fn main() {
         })
         .collect();
 
-    let mut t = Table::new(&["issue latency (cycles)", "Pythia+Hermes-O speedup", "gain over Pythia"]);
+    let mut t = Table::new(&[
+        "issue latency (cycles)",
+        "Pythia+Hermes-O speedup",
+        "gain over Pythia",
+    ]);
     let mut prev = f64::INFINITY;
     let mut monotone_non_increasing = true;
     for lat in [0u32, 3, 6, 9, 12, 15, 18, 21, 24] {
@@ -49,5 +53,10 @@ fn main() {
         geomean(&pythia_sp),
         if monotone_non_increasing { "monotone shape reproduced" } else { "non-monotone at this scale" },
     );
-    emit("fig17c", "Sensitivity to Hermes request issue latency", &format!("{}\n{}", t.to_markdown(), summary), &scale);
+    emit(
+        "fig17c",
+        "Sensitivity to Hermes request issue latency",
+        &format!("{}\n{}", t.to_markdown(), summary),
+        &scale,
+    );
 }

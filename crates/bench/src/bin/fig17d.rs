@@ -11,7 +11,13 @@ fn main() {
     let scale = Scale::from_args();
     let subsuite = scale.sweep_suite();
 
-    let mut t = Table::new(&["hierarchy latency", "Pythia", "Pythia+Hermes-P", "Pythia+Hermes-O", "Hermes-O gain"]);
+    let mut t = Table::new(&[
+        "hierarchy latency",
+        "Pythia",
+        "Pythia+Hermes-P",
+        "Pythia+Hermes-O",
+        "Hermes-O gain",
+    ]);
     let mut gains = Vec::new();
     for total in [40u32, 45, 50, 55, 60, 65] {
         let llc_lat = total - 15; // L1 (5) + L2 (10) fixed
@@ -28,7 +34,10 @@ fn main() {
                 .collect();
             geomean(&v)
         };
-        let pythia = sp("pythia", &SystemConfig::baseline_1c().with_llc_latency(llc_lat));
+        let pythia = sp(
+            "pythia",
+            &SystemConfig::baseline_1c().with_llc_latency(llc_lat),
+        );
         let hp = sp(
             "pythia+hermesP",
             &SystemConfig::baseline_1c()
@@ -55,5 +64,10 @@ fn main() {
         gains[0] * 100.0,
         gains[gains.len() - 1] * 100.0,
     );
-    emit("fig17d", "Sensitivity to cache-hierarchy access latency", &format!("{}\n{}", t.to_markdown(), summary), &scale);
+    emit(
+        "fig17d",
+        "Sensitivity to cache-hierarchy access latency",
+        &format!("{}\n{}", t.to_markdown(), summary),
+        &scale,
+    );
 }

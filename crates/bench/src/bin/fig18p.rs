@@ -15,7 +15,10 @@ fn main() {
             let (t, c) = configs::pythia();
             (t.to_string(), c)
         }),
-        ("Pythia + Hermes-O", configs::pythia_hermes('o', PredictorKind::Popet)),
+        (
+            "Pythia + Hermes-O",
+            configs::pythia_hermes('o', PredictorKind::Popet),
+        ),
     ];
     let mut t = Table::new(&[
         "config",
@@ -53,5 +56,10 @@ fn main() {
         (summary_vals[1].1 - 1.0) * 100.0,
         (summary_vals[2].1 - 1.0) * 100.0,
     );
-    emit("fig18p", "Normalized dynamic power", &format!("{}\n{}", t.to_markdown(), summary), &scale);
+    emit(
+        "fig18p",
+        "Normalized dynamic power",
+        &format!("{}\n{}", t.to_markdown(), summary),
+        &scale,
+    );
 }

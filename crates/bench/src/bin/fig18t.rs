@@ -46,5 +46,10 @@ fn main() {
         cov_falls,
         covs.len() - 1,
     );
-    emit("fig18t", "Activation-threshold sweep", &format!("{}\n{}", t.to_markdown(), summary), &scale);
+    emit(
+        "fig18t",
+        "Activation-threshold sweep",
+        &format!("{}\n{}", t.to_markdown(), summary),
+        &scale,
+    );
 }

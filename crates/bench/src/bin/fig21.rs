@@ -10,7 +10,11 @@ fn main() {
     let scale = Scale::from_args();
     let mut t = Table::new(&["system", "POPET accuracy", "POPET coverage"]);
     let mut rows = Vec::new();
-    for pf in PrefetcherKind::PAPER_SET.iter().copied().chain([PrefetcherKind::None]) {
+    for pf in PrefetcherKind::PAPER_SET
+        .iter()
+        .copied()
+        .chain([PrefetcherKind::None])
+    {
         let cfg = SystemConfig::baseline_1c()
             .with_prefetcher(pf)
             .with_hermes(HermesConfig::hermes_o(PredictorKind::Popet));
@@ -28,12 +32,21 @@ fn main() {
         t.row(&[label, pct(acc), pct(cov)]);
     }
     let alone = rows.last().expect("ran at least one config");
-    let with_pf_acc =
-        hermes_types::mean(&rows[..rows.len() - 1].iter().map(|r| r.1).collect::<Vec<_>>());
+    let with_pf_acc = hermes_types::mean(
+        &rows[..rows.len() - 1]
+            .iter()
+            .map(|r| r.1)
+            .collect::<Vec<_>>(),
+    );
     let summary = format!(
         "Without a prefetcher POPET reaches {} accuracy vs {} averaged across prefetchers (paper: 88.9% vs 73–80%) — prefetch traffic genuinely makes off-chip prediction harder (§3.2, challenge 2).",
         pct(alone.1),
         pct(with_pf_acc),
     );
-    emit("fig21", "POPET accuracy/coverage vs baseline prefetcher", &format!("{}\n{}", t.to_markdown(), summary), &scale);
+    emit(
+        "fig21",
+        "POPET accuracy/coverage vs baseline prefetcher",
+        &format!("{}\n{}", t.to_markdown(), summary),
+        &scale,
+    );
 }

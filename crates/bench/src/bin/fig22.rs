@@ -27,7 +27,8 @@ fn main() {
         let alone = overhead(&run_suite(&format!("{}-only", pf.label()), &cfg, &scale));
         let with_h = overhead(&run_suite(
             &format!("{}+hermesO", pf.label()),
-            &cfg.clone().with_hermes(HermesConfig::hermes_o(PredictorKind::Popet)),
+            &cfg.clone()
+                .with_hermes(HermesConfig::hermes_o(PredictorKind::Popet)),
             &scale,
         ));
         t.row(&[
@@ -38,5 +39,10 @@ fn main() {
         ]);
     }
     let summary = "Shape check vs paper (Fig. 22): adding Hermes to any prefetcher costs only a few percent extra main-memory requests (paper: +5.8%..+15.6%), far below the prefetchers' own overhead.";
-    emit("fig22", "Main-memory request overhead by prefetcher", &format!("{}\n{}", t.to_markdown(), summary), &scale);
+    emit(
+        "fig22",
+        "Main-memory request overhead by prefetcher",
+        &format!("{}\n{}", t.to_markdown(), summary),
+        &scale,
+    );
 }

@@ -12,10 +12,26 @@ fn main() {
 
     let mut t = Table::new(&["structure", "description", "size (KB)"]);
     for row in storage::table3(&cfg, lq) {
-        t.row(&[row.structure.clone(), row.description.clone(), format!("{:.2}", row.kb())]);
+        t.row(&[
+            row.structure.clone(),
+            row.description.clone(),
+            format!("{:.2}", row.kb()),
+        ]);
     }
     let total_kb = storage::hermes_total_bits(&cfg, lq) as f64 / 8.0 / 1024.0;
-    t.row(&["Total".to_string(), String::new(), format!("{:.2}", total_kb)]);
-    let summary = format!("Total Hermes storage: {:.2} KB per core (paper: 4.0 KB).", total_kb);
-    emit("table3", "Hermes storage overhead", &format!("{}\n{}", t.to_markdown(), summary), &scale);
+    t.row(&[
+        "Total".to_string(),
+        String::new(),
+        format!("{:.2}", total_kb),
+    ]);
+    let summary = format!(
+        "Total Hermes storage: {:.2} KB per core (paper: 4.0 KB).",
+        total_kb
+    );
+    emit(
+        "table3",
+        "Hermes storage overhead",
+        &format!("{}\n{}", t.to_markdown(), summary),
+        &scale,
+    );
 }

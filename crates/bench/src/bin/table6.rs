@@ -9,9 +9,16 @@ fn main() {
     let scale = Scale::from_args();
     let mut t = Table::new(&["mechanism", "size (KB)", "paper (KB)"]);
     for (pred, paper) in storage::table6_predictors().iter().zip(["11", "1536", "4"]) {
-        t.row(&[pred.structure.clone(), format!("{:.1}", pred.kb()), paper.to_string()]);
+        t.row(&[
+            pred.structure.clone(),
+            format!("{:.1}", pred.kb()),
+            paper.to_string(),
+        ]);
     }
-    for (pf, paper) in PrefetcherKind::PAPER_SET.iter().zip(["25.5", "46", "39.3", "8", "20"]) {
+    for (pf, paper) in PrefetcherKind::PAPER_SET
+        .iter()
+        .zip(["25.5", "46", "39.3", "8", "20"])
+    {
         let p = build(*pf);
         t.row(&[
             p.name().to_string(),
@@ -20,5 +27,10 @@ fn main() {
         ]);
     }
     let summary = "Hermes-with-POPET is the smallest mechanism by an order of magnitude over every prefetcher and three orders over TTP, matching the paper's cost argument.";
-    emit("table6", "Storage overhead of all mechanisms", &format!("{}\n{}", t.to_markdown(), summary), &scale);
+    emit(
+        "table6",
+        "Storage overhead of all mechanisms",
+        &format!("{}\n{}", t.to_markdown(), summary),
+        &scale,
+    );
 }

@@ -45,11 +45,29 @@ impl Scale {
         let full = args.iter().any(|a| a == "--full");
         let record = args.iter().any(|a| a == "--record");
         if full {
-            Scale { warmup: 50_000, instr: 250_000, suite: suite::full_suite(), record, sweep_traces: 16 }
+            Scale {
+                warmup: 50_000,
+                instr: 250_000,
+                suite: suite::full_suite(),
+                record,
+                sweep_traces: 16,
+            }
         } else if quick {
-            Scale { warmup: 10_000, instr: 40_000, suite: suite::default_suite(), record, sweep_traces: 6 }
+            Scale {
+                warmup: 10_000,
+                instr: 40_000,
+                suite: suite::default_suite(),
+                record,
+                sweep_traces: 6,
+            }
         } else {
-            Scale { warmup: 20_000, instr: 100_000, suite: suite::default_suite(), record, sweep_traces: 8 }
+            Scale {
+                warmup: 20_000,
+                instr: 100_000,
+                suite: suite::default_suite(),
+                record,
+                sweep_traces: 8,
+            }
         }
     }
 
@@ -229,11 +247,7 @@ pub fn run_cached(tag: &str, cfg: &SystemConfig, spec: &WorkloadSpec, scale: &Sc
 }
 
 /// Runs a configuration across the whole suite; returns (spec, result).
-pub fn run_suite(
-    tag: &str,
-    cfg: &SystemConfig,
-    scale: &Scale,
-) -> Vec<(WorkloadSpec, RunLite)> {
+pub fn run_suite(tag: &str, cfg: &SystemConfig, scale: &Scale) -> Vec<(WorkloadSpec, RunLite)> {
     scale
         .suite
         .iter()
@@ -248,7 +262,10 @@ pub mod configs {
 
     /// (tag, config) for the no-prefetching normalisation baseline.
     pub fn nopf() -> (&'static str, SystemConfig) {
-        ("nopf", SystemConfig::baseline_1c().with_prefetcher(PrefetcherKind::None))
+        (
+            "nopf",
+            SystemConfig::baseline_1c().with_prefetcher(PrefetcherKind::None),
+        )
     }
 
     /// The Table 4 baseline (Pythia, no Hermes).
@@ -330,7 +347,13 @@ mod tests {
 
     #[test]
     fn runlite_kv_round_trip() {
-        let r = RunLite { ipc: 1.25, llc_mpki: 7.5, accuracy: 0.77, cycles: 123.0, ..Default::default() };
+        let r = RunLite {
+            ipc: 1.25,
+            llc_mpki: 7.5,
+            accuracy: 0.77,
+            cycles: 123.0,
+            ..Default::default()
+        };
         let back = RunLite::from_kv(&r.to_kv()).unwrap();
         assert_eq!(r, back);
     }
@@ -339,8 +362,14 @@ mod tests {
     fn kv_rejects_garbage() {
         assert!(RunLite::from_kv("bogus=1\n").is_none());
         assert!(RunLite::from_kv("ipc=notanumber\n").is_none());
-        assert!(RunLite::from_kv("").is_none(), "empty file must be a cache miss");
-        assert!(RunLite::from_kv("ipc=1.0\n").is_none(), "partial file must be a cache miss");
+        assert!(
+            RunLite::from_kv("").is_none(),
+            "empty file must be a cache miss"
+        );
+        assert!(
+            RunLite::from_kv("ipc=1.0\n").is_none(),
+            "partial file must be a cache miss"
+        );
     }
 
     #[test]

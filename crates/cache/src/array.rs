@@ -38,9 +38,21 @@ impl CacheConfig {
         replacement: ReplacementKind,
         mshrs: usize,
     ) -> Self {
-        let cfg = Self { name: name.into(), size_bytes, ways, replacement, mshrs, latency: 0 };
+        let cfg = Self {
+            name: name.into(),
+            size_bytes,
+            ways,
+            replacement,
+            mshrs,
+            latency: 0,
+        };
         let sets = cfg.sets();
-        assert!(sets.is_power_of_two(), "{}: {} sets not a power of two", cfg.name, sets);
+        assert!(
+            sets.is_power_of_two(),
+            "{}: {} sets not a power of two",
+            cfg.name,
+            sets
+        );
         assert!(sets >= 1 && ways >= 1);
         cfg
     }
@@ -160,9 +172,15 @@ impl CacheArray {
                 self.policy.on_hit(idx);
                 let first = self.prefetched[idx] && !self.demanded[idx];
                 self.demanded[idx] = true;
-                AccessResult { hit: true, first_demand_on_prefetch: first }
+                AccessResult {
+                    hit: true,
+                    first_demand_on_prefetch: first,
+                }
             }
-            None => AccessResult { hit: false, first_demand_on_prefetch: false },
+            None => AccessResult {
+                hit: false,
+                first_demand_on_prefetch: false,
+            },
         }
     }
 

@@ -56,7 +56,10 @@ impl<T> MshrTable<T> {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR table needs at least one register");
-        Self { entries: Vec::with_capacity(capacity), capacity }
+        Self {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Registers a miss for `line` carrying `waiter`.
@@ -69,7 +72,12 @@ impl<T> MshrTable<T> {
     ///
     /// Returns [`MshrFull`] when a new entry is needed but no register is
     /// free — the requester must retry later.
-    pub fn allocate(&mut self, line: LineAddr, waiter: T, is_prefetch: bool) -> Result<bool, MshrFull> {
+    pub fn allocate(
+        &mut self,
+        line: LineAddr,
+        waiter: T,
+        is_prefetch: bool,
+    ) -> Result<bool, MshrFull> {
         if let Some(e) = self.entries.iter_mut().find(|e| e.line == line) {
             e.waiters.push(waiter);
             e.prefetch_only &= is_prefetch;
@@ -78,7 +86,11 @@ impl<T> MshrTable<T> {
         if self.entries.len() == self.capacity {
             return Err(MshrFull);
         }
-        self.entries.push(Entry { line, waiters: vec![waiter], prefetch_only: is_prefetch });
+        self.entries.push(Entry {
+            line,
+            waiters: vec![waiter],
+            prefetch_only: is_prefetch,
+        });
         Ok(true)
     }
 
@@ -90,7 +102,10 @@ impl<T> MshrTable<T> {
     /// Whether the outstanding entry for `line` (if any) is still
     /// prefetch-only.
     pub fn is_prefetch_only(&self, line: LineAddr) -> Option<bool> {
-        self.entries.iter().find(|e| e.line == line).map(|e| e.prefetch_only)
+        self.entries
+            .iter()
+            .find(|e| e.line == line)
+            .map(|e| e.prefetch_only)
     }
 
     /// Upgrades an outstanding prefetch-only entry to demand status without

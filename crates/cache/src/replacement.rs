@@ -48,10 +48,13 @@ pub(crate) enum PolicyState {
 impl PolicyState {
     pub(crate) fn new(kind: ReplacementKind, total_lines: usize) -> Self {
         match kind {
-            ReplacementKind::Lru => {
-                PolicyState::Lru { stamps: vec![0; total_lines], clock: 0 }
-            }
-            ReplacementKind::Srrip => PolicyState::Srrip { rrpv: vec![RRPV_MAX; total_lines] },
+            ReplacementKind::Lru => PolicyState::Lru {
+                stamps: vec![0; total_lines],
+                clock: 0,
+            },
+            ReplacementKind::Srrip => PolicyState::Srrip {
+                rrpv: vec![RRPV_MAX; total_lines],
+            },
             ReplacementKind::Ship => PolicyState::Ship {
                 rrpv: vec![RRPV_MAX; total_lines],
                 sig: vec![0; total_lines],
@@ -69,7 +72,12 @@ impl PolicyState {
                 stamps[idx] = *clock;
             }
             PolicyState::Srrip { rrpv } => rrpv[idx] = 0,
-            PolicyState::Ship { rrpv, sig, reused, shct } => {
+            PolicyState::Ship {
+                rrpv,
+                sig,
+                reused,
+                shct,
+            } => {
                 rrpv[idx] = 0;
                 if !reused[idx] {
                     reused[idx] = true;
@@ -87,7 +95,12 @@ impl PolicyState {
                 stamps[idx] = *clock;
             }
             PolicyState::Srrip { rrpv } => rrpv[idx] = RRPV_MAX - 1,
-            PolicyState::Ship { rrpv, sig, reused, shct } => {
+            PolicyState::Ship {
+                rrpv,
+                sig,
+                reused,
+                shct,
+            } => {
                 sig[idx] = signature & ((1 << SHCT_BITS) - 1) as u16;
                 reused[idx] = false;
                 // Zero counter => this signature never shows reuse: insert
@@ -103,7 +116,10 @@ impl PolicyState {
 
     /// Called when `idx` is evicted (to train SHCT on dead lines).
     pub(crate) fn on_evict(&mut self, idx: usize) {
-        if let PolicyState::Ship { sig, reused, shct, .. } = self {
+        if let PolicyState::Ship {
+            sig, reused, shct, ..
+        } = self
+        {
             if !reused[idx] {
                 shct[sig[idx] as usize].decrement();
             }

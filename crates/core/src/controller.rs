@@ -43,24 +43,40 @@ pub struct HermesConfig {
 impl HermesConfig {
     /// Hermes disabled (the baseline system).
     pub fn disabled() -> Self {
-        Self { predictor: PredictorKind::None, issue_latency: 0, passive: false }
+        Self {
+            predictor: PredictorKind::None,
+            issue_latency: 0,
+            passive: false,
+        }
     }
 
     /// Hermes-O with the given predictor.
     pub fn hermes_o(predictor: PredictorKind) -> Self {
-        Self { predictor, issue_latency: HermesVariant::O.issue_latency(), passive: false }
+        Self {
+            predictor,
+            issue_latency: HermesVariant::O.issue_latency(),
+            passive: false,
+        }
     }
 
     /// Hermes-P with the given predictor.
     pub fn hermes_p(predictor: PredictorKind) -> Self {
-        Self { predictor, issue_latency: HermesVariant::P.issue_latency(), passive: false }
+        Self {
+            predictor,
+            issue_latency: HermesVariant::P.issue_latency(),
+            passive: false,
+        }
     }
 
     /// Passive mode: the predictor observes and trains but no Hermes
     /// requests are issued (accuracy/coverage measurement in an otherwise
     /// unmodified system).
     pub fn passive(predictor: PredictorKind) -> Self {
-        Self { predictor, issue_latency: 0, passive: true }
+        Self {
+            predictor,
+            issue_latency: 0,
+            passive: true,
+        }
     }
 
     /// A custom issue latency (the §8.4.3 sweep).

@@ -123,7 +123,10 @@ mod tests {
     #[test]
     fn first_access_bit_changes_key() {
         let a = inputs();
-        let b = FeatureInputs { first_access: false, ..a };
+        let b = FeatureInputs {
+            first_access: false,
+            ..a
+        };
         assert_ne!(
             Feature::PcPlusFirstAccess.key(&a),
             Feature::PcPlusFirstAccess.key(&b)
@@ -133,14 +136,23 @@ mod tests {
             Feature::LineOffsetPlusFirstAccess.key(&b)
         );
         // ... but does not affect the offset-only features.
-        assert_eq!(Feature::PcXorByteOffset.key(&a), Feature::PcXorByteOffset.key(&b));
+        assert_eq!(
+            Feature::PcXorByteOffset.key(&a),
+            Feature::PcXorByteOffset.key(&b)
+        );
     }
 
     #[test]
     fn byte_offset_discriminates_stream_position() {
         let a = inputs();
-        let b = FeatureInputs { byte_offset: 0, ..a };
-        assert_ne!(Feature::PcXorByteOffset.key(&a), Feature::PcXorByteOffset.key(&b));
+        let b = FeatureInputs {
+            byte_offset: 0,
+            ..a
+        };
+        assert_ne!(
+            Feature::PcXorByteOffset.key(&a),
+            Feature::PcXorByteOffset.key(&b)
+        );
     }
 
     #[test]

@@ -89,12 +89,21 @@ impl OffChipPredictor for Hmp {
         let (local, gshare, gskew) = self.indices(ctx.pc);
         Prediction {
             go_offchip: self.vote(local, gshare, gskew),
-            meta: PredictionMeta::Hmp { local, gshare, gskew },
+            meta: PredictionMeta::Hmp {
+                local,
+                gshare,
+                gskew,
+            },
         }
     }
 
     fn train(&mut self, ctx: &LoadContext, pred: &Prediction, went_offchip: bool) {
-        let PredictionMeta::Hmp { local, gshare, gskew } = pred.meta else {
+        let PredictionMeta::Hmp {
+            local,
+            gshare,
+            gskew,
+        } = pred.meta
+        else {
             return;
         };
         self.local_pattern[local as usize].train(went_offchip);
@@ -189,7 +198,10 @@ mod tests {
     #[test]
     fn storage_near_11kb() {
         let kb = Hmp::new().storage_bits() as f64 / 8.0 / 1024.0;
-        assert!((9.0..12.5).contains(&kb), "HMP storage {kb} KB (paper: 11 KB)");
+        assert!(
+            (9.0..12.5).contains(&kb),
+            "HMP storage {kb} KB (paper: 11 KB)"
+        );
     }
 
     #[test]

@@ -129,7 +129,10 @@ mod tests {
         pb.first_access(addr(2, 0));
         pb.first_access(addr(1, 1)); // refresh page 1
         pb.first_access(addr(3, 0)); // evicts page 2
-        assert!(pb.first_access(addr(2, 0)), "evicted page must read as first access");
+        assert!(
+            pb.first_access(addr(2, 0)),
+            "evicted page must read as first access"
+        );
         assert!(!pb.first_access(addr(1, 0)) || pb.len() <= 2);
     }
 

@@ -63,7 +63,10 @@ impl PopetConfig {
     pub fn with_features(features: &[Feature]) -> Self {
         assert!(!features.is_empty() && features.len() <= MAX_FEATURES);
         let mut cfg = Self::paper();
-        cfg.features = features.iter().map(|&f| (f, f.default_table_bits())).collect();
+        cfg.features = features
+            .iter()
+            .map(|&f| (f, f.default_table_bits()))
+            .collect();
         // A subset of features shrinks the attainable |Wσ|; scale the
         // thresholds proportionally so a 1-feature predictor is not
         // permanently below the 5-feature activation threshold.
@@ -110,13 +113,33 @@ impl Popet {
     /// Builds POPET from a configuration.
     pub fn new(cfg: PopetConfig) -> Self {
         assert!(!cfg.features.is_empty() && cfg.features.len() <= MAX_FEATURES);
+        // Cold-start bias: an untrained predictor must not fire speculative
+        // DRAM reads. With τ_act ≤ 0 (the paper's −18), zero-initialised
+        // weights would satisfy Wσ ≥ τ_act on the very first load, so start
+        // every weight at the largest value whose sum still sits below the
+        // activation threshold. Training moves the consulted weights by
+        // ±n per load, so learned behaviour is unaffected after a handful
+        // of outcomes.
+        let n = cfg.features.len() as i32;
+        let cold = if cfg.tau_act <= 0 {
+            (cfg.tau_act - 1).div_euclid(n) as i16
+        } else {
+            0
+        };
+        let mut w0 = SatWeight::new_bits(cfg.weight_bits);
+        w0.set(cold);
         let tables = cfg
             .features
             .iter()
-            .map(|&(_, bits)| vec![SatWeight::new_bits(cfg.weight_bits); 1 << bits])
+            .map(|&(_, bits)| vec![w0; 1 << bits])
             .collect();
         let page_buffer = PageBuffer::new(cfg.page_buffer_entries);
-        Self { cfg, tables, page_buffer, last4_pcs: [0; 4] }
+        Self {
+            cfg,
+            tables,
+            page_buffer,
+            last4_pcs: [0; 4],
+        }
     }
 
     /// The active configuration.
@@ -207,10 +230,7 @@ mod tests {
 
     /// Drives predict+train over a labelled stream; returns (accuracy,
     /// coverage) over the second half (after warmup).
-    fn run_stream(
-        popet: &mut Popet,
-        stream: &[(LoadContext, bool)],
-    ) -> (f64, f64) {
+    fn run_stream(popet: &mut Popet, stream: &[(LoadContext, bool)]) -> (f64, f64) {
         let half = stream.len() / 2;
         let (mut tp, mut fp, mut fneg) = (0u64, 0u64, 0u64);
         for (i, (c, offchip)) in stream.iter().enumerate() {
@@ -225,8 +245,16 @@ mod tests {
             }
             popet.train(c, &p, *offchip);
         }
-        let acc = if tp + fp > 0 { tp as f64 / (tp + fp) as f64 } else { 1.0 };
-        let cov = if tp + fneg > 0 { tp as f64 / (tp + fneg) as f64 } else { 1.0 };
+        let acc = if tp + fp > 0 {
+            tp as f64 / (tp + fp) as f64
+        } else {
+            1.0
+        };
+        let cov = if tp + fneg > 0 {
+            tp as f64 / (tp + fneg) as f64
+        } else {
+            1.0
+        };
         (acc, cov)
     }
 
@@ -303,7 +331,10 @@ mod tests {
         };
         let lo = count_positives(-38);
         let hi = count_positives(2);
-        assert!(lo > hi, "τ=-38 should predict positive more often ({lo} vs {hi})");
+        assert!(
+            lo > hi,
+            "τ=-38 should predict positive more often ({lo} vs {hi})"
+        );
     }
 
     #[test]
@@ -323,7 +354,10 @@ mod tests {
         assert_eq!(cfg.table_bits(), 4 * 1024 * 5 + 128 * 5);
         let p = Popet::default();
         let total_kb = p.storage_bits() as f64 / 8.0 / 1024.0;
-        assert!((3.0..3.5).contains(&total_kb), "POPET storage {total_kb} KB");
+        assert!(
+            (3.0..3.5).contains(&total_kb),
+            "POPET storage {total_kb} KB"
+        );
     }
 
     #[test]
@@ -338,6 +372,122 @@ mod tests {
         // Training twice with opposite outcomes must not panic or corrupt.
         p.train(&c, &pred, true);
         p.train(&c, &pred, false);
+    }
+
+    #[test]
+    fn cold_predictor_defaults_to_not_offchip() {
+        // An untrained POPET must never fire a speculative DRAM read,
+        // whatever the load context looks like.
+        let mut p = Popet::default();
+        for i in 0..64u64 {
+            let c = ctx(0x400000 + i * 4, i * 4096 + (i % 64) * 8);
+            assert!(
+                !p.predict(&c).go_offchip,
+                "cold predictor fired on load {i}"
+            );
+        }
+        // Same for ablated feature subsets, whose thresholds are rescaled.
+        for f in Feature::SELECTED {
+            let mut p = Popet::new(PopetConfig::with_features(&[f]));
+            assert!(
+                !p.predict(&ctx(0x400100, 0x7000)).go_offchip,
+                "{f:?} fired cold"
+            );
+        }
+    }
+
+    #[test]
+    fn activation_threshold_gates_prediction() {
+        // Wσ starts below τ_act; each positive outcome raises it by the
+        // number of consulted features, and go_offchip must flip exactly
+        // when Wσ crosses the threshold.
+        let mut p = Popet::default();
+        let c = ctx(0x4010, 0x123000);
+        let tau = p.config().tau_act;
+        let mut flipped_after = None;
+        let mut prev_wsum = None;
+        for i in 0..10 {
+            let pred = p.predict(&c);
+            let PredictionMeta::Popet { wsum, .. } = pred.meta else {
+                unreachable!()
+            };
+            assert_eq!(
+                pred.go_offchip,
+                (wsum as i32) >= tau,
+                "prediction not Wσ ≥ τ_act"
+            );
+            if let Some(prev) = prev_wsum {
+                assert!(wsum > prev, "positive training must raise Wσ");
+            }
+            prev_wsum = Some(wsum);
+            if pred.go_offchip {
+                flipped_after = Some(i);
+                break;
+            }
+            p.train(&c, &pred, true);
+        }
+        let steps = flipped_after.expect("never crossed the activation threshold");
+        assert!(steps >= 1, "cold predictor was already active");
+        assert!(steps <= 5, "crossing τ_act took {steps} positive outcomes");
+    }
+
+    #[test]
+    fn training_saturates_at_training_thresholds() {
+        // §6.1.2: once Wσ passes T_P (resp. T_N) with a *correct*
+        // prediction, further agreeing outcomes stop moving the weights, so
+        // Wσ parks within one update step of the threshold instead of
+        // railing every weight.
+        let drive = |outcome: bool| -> i32 {
+            let mut p = Popet::default();
+            let c = ctx(0xBEEF, 0x456780);
+            for _ in 0..200 {
+                let pred = p.predict(&c);
+                p.train(&c, &pred, outcome);
+            }
+            let PredictionMeta::Popet { wsum, .. } = p.predict(&c).meta else {
+                unreachable!()
+            };
+            wsum as i32
+        };
+        let n = Feature::SELECTED.len() as i32;
+        let cfg = PopetConfig::paper();
+        let up = drive(true);
+        assert!(
+            up >= cfg.t_pos && up < cfg.t_pos + n,
+            "Wσ after positive stream: {up}"
+        );
+        let down = drive(false);
+        assert!(
+            down <= cfg.t_neg && down > cfg.t_neg - n,
+            "Wσ after negative stream: {down}"
+        );
+    }
+
+    #[test]
+    fn mispredictions_train_past_saturation_thresholds() {
+        // The guard only protects *correct* confident predictions: an
+        // outcome that contradicts the prediction must keep correcting the
+        // weights even when Wσ is beyond the training thresholds.
+        let mut p = Popet::default();
+        let c = ctx(0xCAFE, 0xABC000);
+        for _ in 0..200 {
+            let pred = p.predict(&c);
+            p.train(&c, &pred, true);
+        }
+        // Wσ is parked at/above T_P; the phase now flips to on-chip.
+        let pred = p.predict(&c);
+        assert!(pred.go_offchip);
+        let PredictionMeta::Popet { wsum: before, .. } = pred.meta else {
+            unreachable!()
+        };
+        p.train(&c, &pred, false);
+        let PredictionMeta::Popet { wsum: after, .. } = p.predict(&c).meta else {
+            unreachable!()
+        };
+        assert!(
+            (after as i32) < (before as i32),
+            "misprediction did not move saturated weights: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -360,7 +510,13 @@ mod tests {
             PredictionMeta::Popet { wsum, .. } => wsum,
             _ => unreachable!(),
         };
-        assert!(after <= before + 1, "saturated weights kept growing: {before} -> {after}");
-        assert!(before as i32 >= 40, "stream should saturate past T_P, got {before}");
+        assert!(
+            after <= before + 1,
+            "saturated weights kept growing: {before} -> {after}"
+        );
+        assert!(
+            before as i32 >= 40,
+            "stream should saturate past T_P, got {before}"
+        );
     }
 }

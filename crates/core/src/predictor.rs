@@ -21,7 +21,11 @@ impl LoadContext {
     /// Convenience constructor for contexts whose physical line equals the
     /// virtual line (identity translation), used widely in tests.
     pub fn identity(pc: u64, vaddr: VirtAddr) -> Self {
-        Self { pc, vaddr, pline: vaddr.line() }
+        Self {
+            pc,
+            vaddr,
+            pline: vaddr.line(),
+        }
     }
 }
 
@@ -66,7 +70,10 @@ pub struct Prediction {
 impl Prediction {
     /// A negative prediction with no metadata.
     pub fn negative() -> Self {
-        Self { go_offchip: false, meta: PredictionMeta::None }
+        Self {
+            go_offchip: false,
+            meta: PredictionMeta::None,
+        }
     }
 }
 

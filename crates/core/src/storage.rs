@@ -103,7 +103,10 @@ mod tests {
     fn hermes_total_is_about_4kb() {
         let total = hermes_total_bits(&PopetConfig::paper(), 128);
         let kb = total as f64 / 8.0 / 1024.0;
-        assert!((3.5..4.5).contains(&kb), "Hermes total {kb} KB (paper: 4.0 KB)");
+        assert!(
+            (3.5..4.5).contains(&kb),
+            "Hermes total {kb} KB (paper: 4.0 KB)"
+        );
     }
 
     #[test]
@@ -131,7 +134,11 @@ mod tests {
 
     #[test]
     fn kb_helper() {
-        let r = StorageRow { structure: "x".into(), description: "y".into(), bits: 8192 * 8 };
+        let r = StorageRow {
+            structure: "x".into(),
+            description: "y".into(),
+            bits: 8192 * 8,
+        };
         assert_eq!(r.kb(), 8.0);
     }
 }

@@ -29,7 +29,11 @@ impl TtpConfig {
     /// The paper's configuration: a budget similar to the L2 (1536 KB)
     /// with 16-bit partial tags.
     pub fn paper() -> Self {
-        Self { budget_bytes: 1536 * 1024, tag_bits: 16, ways: 16 }
+        Self {
+            budget_bytes: 1536 * 1024,
+            tag_bits: 16,
+            ways: 16,
+        }
     }
 
     /// Number of sets implied by the budget (rounded down to a power of
@@ -64,7 +68,14 @@ impl Ttp {
         let sets = cfg.sets();
         assert!(sets >= 1);
         let n = sets * cfg.ways;
-        Self { cfg, tags: vec![0; n], valid: vec![false; n], stamps: vec![0; n], clock: 0, sets }
+        Self {
+            cfg,
+            tags: vec![0; n],
+            valid: vec![false; n],
+            stamps: vec![0; n],
+            clock: 0,
+            sets,
+        }
     }
 
     #[inline]
@@ -196,7 +207,11 @@ mod tests {
     fn conflict_eviction_in_small_ttp() {
         // A tiny TTP (1 set x 2 ways) must LRU-evict under pressure,
         // producing the false positives the paper reports.
-        let cfg = TtpConfig { budget_bytes: 2 * 2 * 2, tag_bits: 8, ways: 2 };
+        let cfg = TtpConfig {
+            budget_bytes: 2 * 2 * 2,
+            tag_bits: 8,
+            ways: 2,
+        };
         let mut t = Ttp::new(cfg);
         let s = t.sets;
         // Lines in the same set.
@@ -212,6 +227,9 @@ mod tests {
     fn storage_close_to_budget() {
         let t = Ttp::default();
         let kb = t.storage_bits() as f64 / 8.0 / 1024.0;
-        assert!(kb > 1000.0 && kb < 1700.0, "TTP storage {kb} KB (paper: 1536 KB)");
+        assert!(
+            kb > 1000.0 && kb < 1700.0,
+            "TTP storage {kb} KB (paper: 1536 KB)"
+        );
     }
 }

@@ -75,13 +75,23 @@ impl PerceptronBp {
         [
             hash_index(pc, PBP_TABLE_BITS),
             hash_index(pc ^ (self.ghist & 0x3FF), PBP_TABLE_BITS),
-            hash_index(pc ^ ((self.ghist >> 10) & 0x3FF).rotate_left(13), PBP_TABLE_BITS),
-            hash_index(pc ^ ((self.ghist >> 20) & 0xFF).rotate_left(29), PBP_TABLE_BITS),
+            hash_index(
+                pc ^ ((self.ghist >> 10) & 0x3FF).rotate_left(13),
+                PBP_TABLE_BITS,
+            ),
+            hash_index(
+                pc ^ ((self.ghist >> 20) & 0xFF).rotate_left(29),
+                PBP_TABLE_BITS,
+            ),
         ]
     }
 
     fn sum(&self, idx: &[usize; PBP_TABLES]) -> i32 {
-        self.tables.iter().zip(idx).map(|(t, &i)| t[i].get() as i32).sum()
+        self.tables
+            .iter()
+            .zip(idx)
+            .map(|(t, &i)| t[i].get() as i32)
+            .sum()
     }
 }
 
@@ -124,7 +134,11 @@ pub struct GshareBp {
 impl GshareBp {
     /// A gshare predictor with `2^bits` counters.
     pub fn new(bits: u32) -> Self {
-        Self { counters: vec![SatCounter::new(2); 1 << bits], ghist: 0, bits }
+        Self {
+            counters: vec![SatCounter::new(2); 1 << bits],
+            ghist: 0,
+            bits,
+        }
     }
 
     fn index(&self, pc: u64) -> usize {
@@ -226,7 +240,11 @@ mod tests {
 
     #[test]
     fn build_constructs_each_kind() {
-        for k in [BranchKind::Perceptron, BranchKind::Gshare, BranchKind::AlwaysTaken] {
+        for k in [
+            BranchKind::Perceptron,
+            BranchKind::Gshare,
+            BranchKind::AlwaysTaken,
+        ] {
             let mut bp = build(k);
             let _ = bp.predict(0x400000);
         }

@@ -183,7 +183,15 @@ impl Core {
                 e.state = EntryState::WaitingMem;
                 (self.id, e.pc, e.vaddr)
             };
-            port.issue_load(LoadIssue { core: core_id, token: seq, pc, vaddr }, now);
+            port.issue_load(
+                LoadIssue {
+                    core: core_id,
+                    token: seq,
+                    pc,
+                    vaddr,
+                },
+                now,
+            );
         }
     }
 
@@ -221,7 +229,11 @@ impl Core {
                             self.stats.stores += 1;
                             self.sq_used -= 1;
                             port.issue_store(
-                                StoreIssue { core: self.id, pc: e.pc, vaddr: e.vaddr },
+                                StoreIssue {
+                                    core: self.id,
+                                    pc: e.pc,
+                                    vaddr: e.vaddr,
+                                },
                                 now,
                             );
                         }
@@ -347,7 +359,9 @@ impl Core {
     /// Attempts to compute the entry's execution schedule; no-op unless all
     /// dependencies are resolved.
     fn try_schedule(&mut self, seq: u64) {
-        let Some(idx) = self.entry_index(seq) else { return };
+        let Some(idx) = self.entry_index(seq) else {
+            return;
+        };
         let e = &self.rob[idx];
         if e.state != EntryState::WaitingDeps {
             return;
@@ -387,9 +401,15 @@ impl Core {
     /// Panics if `token` does not name an in-flight load (a memory-system
     /// protocol violation).
     pub fn finish_load(&mut self, token: u64, now: Cycle, served: ServedBy) {
-        let idx = self.entry_index(token).expect("finish_load for unknown token");
+        let idx = self
+            .entry_index(token)
+            .expect("finish_load for unknown token");
         let e = &mut self.rob[idx];
-        assert_eq!(e.state, EntryState::WaitingMem, "finish_load for load not in memory");
+        assert_eq!(
+            e.state,
+            EntryState::WaitingMem,
+            "finish_load for load not in memory"
+        );
         e.state = EntryState::Done(now);
         e.served = Some(served);
         self.on_complete(token, now);
@@ -413,9 +433,13 @@ impl Core {
         // Wake dependents (iteratively; chains can be ROB-deep).
         let mut work = vec![(seq, done)];
         while let Some((producer, at)) = work.pop() {
-            let Some(dependents) = self.waiters.remove(&producer) else { continue };
+            let Some(dependents) = self.waiters.remove(&producer) else {
+                continue;
+            };
             for dep_seq in dependents {
-                let Some(didx) = self.entry_index(dep_seq) else { continue };
+                let Some(didx) = self.entry_index(dep_seq) else {
+                    continue;
+                };
                 for d in self.rob[didx].deps.iter_mut().flatten() {
                     if *d == SrcDep::On(producer) {
                         *d = SrcDep::Ready(at);
@@ -455,12 +479,22 @@ mod tests {
 
     impl StubMem {
         fn new(latency: Cycle, served: ServedBy) -> Self {
-            Self { latency, served, pending: Vec::new(), issued: Vec::new(), stores: Vec::new() }
+            Self {
+                latency,
+                served,
+                pending: Vec::new(),
+                issued: Vec::new(),
+                stores: Vec::new(),
+            }
         }
 
         fn deliver_due(&mut self, now: Cycle, core: &mut Core) {
-            let due: Vec<(Cycle, u64)> =
-                self.pending.iter().copied().filter(|&(t, _)| t <= now).collect();
+            let due: Vec<(Cycle, u64)> = self
+                .pending
+                .iter()
+                .copied()
+                .filter(|&(t, _)| t <= now)
+                .collect();
             self.pending.retain(|&(t, _)| t > now);
             for (_, tok) in due {
                 core.finish_load(tok, now, self.served);
@@ -488,11 +522,14 @@ mod tests {
     }
 
     fn alu_loop() -> Box<dyn TraceSource> {
-        Box::new(VecSource::new("alu", vec![
-            Instr::alu(0x400000, Some(1), [None, None]),
-            Instr::alu(0x400004, Some(2), [None, None]),
-            Instr::alu(0x400008, Some(3), [None, None]),
-        ]))
+        Box::new(VecSource::new(
+            "alu",
+            vec![
+                Instr::alu(0x400000, Some(1), [None, None]),
+                Instr::alu(0x400004, Some(2), [None, None]),
+                Instr::alu(0x400008, Some(3), [None, None]),
+            ],
+        ))
     }
 
     #[test]
@@ -501,17 +538,19 @@ mod tests {
         let mut mem = StubMem::new(5, ServedBy::L1);
         run(&mut core, &mut mem, 1000);
         let ipc = core.stats().ipc(1000);
-        assert!(ipc > 4.0, "independent ALU stream should near fetch width, got {ipc}");
+        assert!(
+            ipc > 4.0,
+            "independent ALU stream should near fetch width, got {ipc}"
+        );
     }
 
     #[test]
     fn dependent_chain_is_serial() {
         // Each instruction depends on the previous: IPC must be ~1.
-        let src = Box::new(VecSource::new("chain", vec![Instr::alu(
-            0x400000,
-            Some(1),
-            [Some(1), None],
-        )]));
+        let src = Box::new(VecSource::new(
+            "chain",
+            vec![Instr::alu(0x400000, Some(1), [Some(1), None])],
+        ));
         let mut core = Core::new(0, CoreConfig::baseline(), src);
         let mut mem = StubMem::new(5, ServedBy::L1);
         run(&mut core, &mut mem, 1000);
@@ -523,12 +562,15 @@ mod tests {
     #[test]
     fn load_latency_gates_dependent_chain() {
         // load r1 <- [r1] pointer chase: IPC limited by memory latency.
-        let src = Box::new(VecSource::new("chase", vec![Instr::load(
-            0x400000,
-            VirtAddr::new(0x1000),
-            Some(1),
-            [Some(1), None],
-        )]));
+        let src = Box::new(VecSource::new(
+            "chase",
+            vec![Instr::load(
+                0x400000,
+                VirtAddr::new(0x1000),
+                Some(1),
+                [Some(1), None],
+            )],
+        ));
         let mut core = Core::new(0, CoreConfig::baseline(), src);
         let mut mem = StubMem::new(100, ServedBy::Dram);
         run(&mut core, &mut mem, 10_000);
@@ -539,12 +581,15 @@ mod tests {
 
     #[test]
     fn independent_loads_overlap() {
-        let src = Box::new(VecSource::new("mlp", vec![
-            Instr::load(0x400000, VirtAddr::new(0x1000), Some(8), [Some(1), None]),
-            Instr::load(0x400004, VirtAddr::new(0x2000), Some(9), [Some(1), None]),
-            Instr::load(0x400008, VirtAddr::new(0x3000), Some(10), [Some(1), None]),
-            Instr::load(0x40000c, VirtAddr::new(0x4000), Some(11), [Some(1), None]),
-        ]));
+        let src = Box::new(VecSource::new(
+            "mlp",
+            vec![
+                Instr::load(0x400000, VirtAddr::new(0x1000), Some(8), [Some(1), None]),
+                Instr::load(0x400004, VirtAddr::new(0x2000), Some(9), [Some(1), None]),
+                Instr::load(0x400008, VirtAddr::new(0x3000), Some(10), [Some(1), None]),
+                Instr::load(0x40000c, VirtAddr::new(0x4000), Some(11), [Some(1), None]),
+            ],
+        ));
         let mut core = Core::new(0, CoreConfig::baseline(), src);
         let mut mem = StubMem::new(100, ServedBy::Dram);
         run(&mut core, &mut mem, 10_000);
@@ -554,12 +599,15 @@ mod tests {
 
     #[test]
     fn offchip_blocking_attribution() {
-        let src = Box::new(VecSource::new("chase", vec![Instr::load(
-            0x400000,
-            VirtAddr::new(0x1000),
-            Some(1),
-            [Some(1), None],
-        )]));
+        let src = Box::new(VecSource::new(
+            "chase",
+            vec![Instr::load(
+                0x400000,
+                VirtAddr::new(0x1000),
+                Some(1),
+                [Some(1), None],
+            )],
+        ));
         let mut core = Core::new(0, CoreConfig::baseline(), src);
         let mut mem = StubMem::new(200, ServedBy::Dram);
         run(&mut core, &mut mem, 5_000);
@@ -571,12 +619,15 @@ mod tests {
 
     #[test]
     fn l1_hits_do_not_count_offchip() {
-        let src = Box::new(VecSource::new("l1", vec![Instr::load(
-            0x400000,
-            VirtAddr::new(0x1000),
-            Some(1),
-            [Some(1), None],
-        )]));
+        let src = Box::new(VecSource::new(
+            "l1",
+            vec![Instr::load(
+                0x400000,
+                VirtAddr::new(0x1000),
+                Some(1),
+                [Some(1), None],
+            )],
+        ));
         let mut core = Core::new(0, CoreConfig::baseline(), src);
         let mut mem = StubMem::new(5, ServedBy::L1);
         run(&mut core, &mut mem, 2_000);
@@ -589,26 +640,35 @@ mod tests {
     fn branch_mispredictions_cost_cycles() {
         // Alternating hard-to-warm pattern vs always-taken: the mispredict
         // penalty must reduce IPC under a cold predictor.
-        let taken_loop = Box::new(VecSource::new("b", vec![
-            Instr::alu(0x400000, Some(1), [None, None]),
-            Instr::branch(0x400004, true, Some(1)),
-        ]));
+        let taken_loop = Box::new(VecSource::new(
+            "b",
+            vec![
+                Instr::alu(0x400000, Some(1), [None, None]),
+                Instr::branch(0x400004, true, Some(1)),
+            ],
+        ));
         let mut warm = Core::new(0, CoreConfig::baseline(), taken_loop);
         let mut mem = StubMem::new(5, ServedBy::L1);
         run(&mut warm, &mut mem, 2_000);
         let warm_ipc = warm.stats().ipc(2_000);
-        assert!(warm_ipc > 2.0, "predictable branches should be near-free, got {warm_ipc}");
+        assert!(
+            warm_ipc > 2.0,
+            "predictable branches should be near-free, got {warm_ipc}"
+        );
         // Misprediction counter sanity.
         assert!(warm.stats().branch_mispredicts < warm.stats().branches / 10);
     }
 
     #[test]
     fn stores_issue_at_retire() {
-        let src = Box::new(VecSource::new("st", vec![Instr::store(
-            0x400000,
-            VirtAddr::new(0x2000),
-            [Some(1), None],
-        )]));
+        let src = Box::new(VecSource::new(
+            "st",
+            vec![Instr::store(
+                0x400000,
+                VirtAddr::new(0x2000),
+                [Some(1), None],
+            )],
+        ));
         let mut core = Core::new(0, CoreConfig::baseline(), src);
         let mut mem = StubMem::new(5, ServedBy::L1);
         run(&mut core, &mut mem, 100);
@@ -618,13 +678,19 @@ mod tests {
 
     #[test]
     fn rob_occupancy_bounded() {
-        let src = Box::new(VecSource::new("chase", vec![Instr::load(
-            0x400000,
-            VirtAddr::new(0x1000),
-            Some(1),
-            [Some(1), None],
-        )]));
-        let cfg = CoreConfig { rob_size: 64, ..CoreConfig::baseline() };
+        let src = Box::new(VecSource::new(
+            "chase",
+            vec![Instr::load(
+                0x400000,
+                VirtAddr::new(0x1000),
+                Some(1),
+                [Some(1), None],
+            )],
+        ));
+        let cfg = CoreConfig {
+            rob_size: 64,
+            ..CoreConfig::baseline()
+        };
         let mut core = Core::new(0, cfg, src);
         let mut mem = StubMem::new(10_000, ServedBy::Dram); // never completes in window
         for now in 0..200 {
@@ -635,19 +701,29 @@ mod tests {
 
     #[test]
     fn lq_bounds_inflight_loads() {
-        let src = Box::new(VecSource::new("mlp", vec![Instr::load(
-            0x400000,
-            VirtAddr::new(0x1000),
-            Some(8),
-            [None, None],
-        )]));
-        let cfg = CoreConfig { lq_size: 4, ..CoreConfig::baseline() };
+        let src = Box::new(VecSource::new(
+            "mlp",
+            vec![Instr::load(
+                0x400000,
+                VirtAddr::new(0x1000),
+                Some(8),
+                [None, None],
+            )],
+        ));
+        let cfg = CoreConfig {
+            lq_size: 4,
+            ..CoreConfig::baseline()
+        };
         let mut core = Core::new(0, cfg, src);
         let mut mem = StubMem::new(10_000, ServedBy::Dram);
         for now in 0..100 {
             core.tick(now, &mut mem);
         }
-        assert!(mem.issued.len() <= 4, "LQ cap violated: {}", mem.issued.len());
+        assert!(
+            mem.issued.len() <= 4,
+            "LQ cap violated: {}",
+            mem.issued.len()
+        );
     }
 
     #[test]
@@ -669,12 +745,15 @@ mod tests {
 
     #[test]
     fn load_issue_carries_pc_and_vaddr() {
-        let src = Box::new(VecSource::new("ld", vec![Instr::load(
-            0xdead0,
-            VirtAddr::new(0xbeef00),
-            Some(2),
-            [None, None],
-        )]));
+        let src = Box::new(VecSource::new(
+            "ld",
+            vec![Instr::load(
+                0xdead0,
+                VirtAddr::new(0xbeef00),
+                Some(2),
+                [None, None],
+            )],
+        ));
         let mut core = Core::new(3, CoreConfig::baseline(), src);
         let mut mem = StubMem::new(5, ServedBy::L1);
         run(&mut core, &mut mem, 20);

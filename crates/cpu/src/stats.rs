@@ -92,14 +92,21 @@ mod tests {
 
     #[test]
     fn ipc_guards_zero_cycles() {
-        let s = CoreStats { retired: 100, ..Default::default() };
+        let s = CoreStats {
+            retired: 100,
+            ..Default::default()
+        };
         assert_eq!(s.ipc(0), 0.0);
         assert_eq!(s.ipc(50), 2.0);
     }
 
     #[test]
     fn stall_average() {
-        let s = CoreStats { served_dram: 4, stall_cycles_offchip: 100, ..Default::default() };
+        let s = CoreStats {
+            served_dram: 4,
+            stall_cycles_offchip: 100,
+            ..Default::default()
+        };
         assert_eq!(s.stalls_per_offchip_load(), 25.0);
     }
 }

@@ -48,7 +48,11 @@ impl DramConfig {
 
     /// The eight-core configuration: 4 channels, 2 ranks per channel.
     pub fn eight_core() -> Self {
-        Self { channels: 4, ranks: 2, ..Self::single_core() }
+        Self {
+            channels: 4,
+            ranks: 2,
+            ..Self::single_core()
+        }
     }
 
     /// Returns a copy with a different transfer rate (Fig. 17a sweep).

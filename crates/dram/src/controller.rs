@@ -142,7 +142,11 @@ impl MemoryController {
         let loc = map_line(&self.cfg, line);
         // Writes drain from a write buffer; defer them so reads win the
         // bank when both arrive together (simplified write-drain policy).
-        let arrival = if is_write { now + 4 * self.cfg.tburst() } else { now };
+        let arrival = if is_write {
+            now + 4 * self.cfg.tburst()
+        } else {
+            now
+        };
 
         // Claim the earliest-free read-queue slot (finite queue => extra
         // queueing delay when oversubscribed).
@@ -172,7 +176,10 @@ impl MemoryController {
             }
             None => {
                 self.stats.row_empty += 1;
-                (self.cfg.trcd() + self.cfg.tcas(), self.cfg.trcd() + self.cfg.tburst())
+                (
+                    self.cfg.trcd() + self.cfg.tcas(),
+                    self.cfg.trcd() + self.cfg.tburst(),
+                )
             }
         };
         let data_at = t0 + access;
@@ -198,7 +205,10 @@ impl MemoryController {
                 ReqKind::Prefetch => inf.prefetch_involved = true,
                 ReqKind::Hermes => {}
             }
-            return EnqueueResult { completes_at: inf.completes_at, merged: true };
+            return EnqueueResult {
+                completes_at: inf.completes_at,
+                merged: true,
+            };
         }
         match kind {
             ReqKind::Demand => self.stats.reads_demand += 1,
@@ -206,14 +216,20 @@ impl MemoryController {
             ReqKind::Hermes => self.stats.reads_hermes += 1,
         }
         let completes_at = self.schedule(line, now, false);
-        self.inflight.insert(line.raw(), Inflight {
-            completes_at,
-            demanded: kind == ReqKind::Demand,
-            hermes_initiated: kind == ReqKind::Hermes,
-            prefetch_involved: kind == ReqKind::Prefetch,
-        });
+        self.inflight.insert(
+            line.raw(),
+            Inflight {
+                completes_at,
+                demanded: kind == ReqKind::Demand,
+                hermes_initiated: kind == ReqKind::Hermes,
+                prefetch_involved: kind == ReqKind::Prefetch,
+            },
+        );
         self.heap.push(Reverse((completes_at, line.raw())));
-        EnqueueResult { completes_at, merged: false }
+        EnqueueResult {
+            completes_at,
+            merged: false,
+        }
     }
 
     /// Enqueues a writeback (fire-and-forget; consumes bank and bus time).
@@ -344,6 +360,76 @@ mod tests {
     }
 
     #[test]
+    fn hermes_losing_race_to_demand_adds_no_traffic() {
+        // The demand load reaches the controller first (e.g. the predictor
+        // fired late); the Hermes request must merge into the demand read
+        // instead of issuing a second one, and nothing is ever dropped.
+        let mut m = mc();
+        let l = LineAddr::new(11);
+        let d = m.enqueue_read(l, 0, ReqKind::Demand);
+        let h = m.enqueue_read(l, 2, ReqKind::Hermes);
+        assert!(h.merged, "late Hermes request must merge");
+        assert_eq!(h.completes_at, d.completes_at);
+        assert_eq!(
+            m.stats().reads_hermes,
+            0,
+            "merged Hermes request is not a DRAM read"
+        );
+        assert_eq!(m.stats().total_reads(), 1);
+        let mut out = Vec::new();
+        m.pop_completions(d.completes_at, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].demanded && !out[0].hermes_initiated);
+        assert_eq!(m.stats().hermes_dropped, 0);
+        assert_eq!(m.stats().demand_merged_into_hermes, 0);
+    }
+
+    #[test]
+    fn dropped_hermes_read_never_double_counts() {
+        // A speculative read whose demand never shows up is dropped exactly
+        // once: one reads_hermes, one hermes_dropped, one completion —
+        // repeated draining must not report or count it again.
+        let mut m = mc();
+        let l = LineAddr::new(13);
+        let r = m.enqueue_read(l, 0, ReqKind::Hermes);
+        let mut out = Vec::new();
+        m.pop_completions(r.completes_at, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(m.stats().reads_hermes, 1);
+        assert_eq!(m.stats().hermes_dropped, 1);
+        assert_eq!(m.stats().total_reads(), 1);
+        m.pop_completions(r.completes_at + 1000, &mut out);
+        assert!(out.is_empty(), "completion reported twice");
+        assert_eq!(m.stats().hermes_dropped, 1, "drop counted twice");
+
+        // A second speculative read to the same line is a genuinely new
+        // access (the dropped data is gone) and accounts independently.
+        let r2 = m.enqueue_read(l, r.completes_at + 2000, ReqKind::Hermes);
+        assert!(!r2.merged, "must not merge with a completed (dropped) read");
+        m.pop_completions(r2.completes_at, &mut out);
+        assert_eq!(m.stats().reads_hermes, 2);
+        assert_eq!(m.stats().hermes_dropped, 2);
+    }
+
+    #[test]
+    fn demand_after_hermes_drop_is_a_fresh_read() {
+        // §6.2.2: dropped data fills no cache, so a demand arriving after
+        // the speculative read completed pays for its own DRAM access and
+        // does not count as "merged into Hermes".
+        let mut m = mc();
+        let l = LineAddr::new(17);
+        let h = m.enqueue_read(l, 0, ReqKind::Hermes);
+        let mut out = Vec::new();
+        m.pop_completions(h.completes_at, &mut out);
+        assert_eq!(m.stats().hermes_dropped, 1);
+        let d = m.enqueue_read(l, h.completes_at + 10, ReqKind::Demand);
+        assert!(!d.merged, "demand must not merge with dropped data");
+        assert_eq!(m.stats().reads_demand, 1);
+        assert_eq!(m.stats().demand_merged_into_hermes, 0);
+        assert_eq!(m.stats().total_reads(), 2, "drop costs one extra read");
+    }
+
+    #[test]
     fn completions_in_time_order() {
         let mut m = mc();
         for i in 0..20u64 {
@@ -372,7 +458,10 @@ mod tests {
 
     #[test]
     fn finite_rq_adds_queueing_delay() {
-        let cfg = DramConfig { rq_capacity: 2, ..DramConfig::single_core() };
+        let cfg = DramConfig {
+            rq_capacity: 2,
+            ..DramConfig::single_core()
+        };
         let mut small = MemoryController::new(cfg);
         let mut latencies = Vec::new();
         for i in 0..8u64 {
@@ -387,12 +476,16 @@ mod tests {
     #[test]
     fn writes_counted_and_consume_bandwidth() {
         let mut m = mc();
-        let before = m.enqueue_read(LineAddr::new(0), 0, ReqKind::Demand).completes_at;
+        let before = m
+            .enqueue_read(LineAddr::new(0), 0, ReqKind::Demand)
+            .completes_at;
         let mut m2 = mc();
         for i in 0..16u64 {
             m2.enqueue_write(LineAddr::new(1000 + i), 0);
         }
-        let after = m2.enqueue_read(LineAddr::new(0), 0, ReqKind::Demand).completes_at;
+        let after = m2
+            .enqueue_read(LineAddr::new(0), 0, ReqKind::Demand)
+            .completes_at;
         assert!(after > before, "writes should delay subsequent reads");
         assert_eq!(m2.stats().writes, 16);
     }
@@ -404,8 +497,12 @@ mod tests {
         let mut last_one = 0;
         let mut last_four = 0;
         for i in 0..64u64 {
-            last_one = one.enqueue_read(LineAddr::new(i), 0, ReqKind::Demand).completes_at;
-            last_four = four.enqueue_read(LineAddr::new(i), 0, ReqKind::Demand).completes_at;
+            last_one = one
+                .enqueue_read(LineAddr::new(i), 0, ReqKind::Demand)
+                .completes_at;
+            last_four = four
+                .enqueue_read(LineAddr::new(i), 0, ReqKind::Demand)
+                .completes_at;
         }
         assert!(last_four < last_one);
     }

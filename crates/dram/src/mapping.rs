@@ -42,7 +42,12 @@ pub fn map_line(cfg: &DramConfig, line: LineAddr) -> DramLocation {
     let after_col = in_channel / cfg.lines_per_row();
     let bank = (after_col % cfg.banks_per_channel() as u64) as usize;
     let row = after_col / cfg.banks_per_channel() as u64;
-    DramLocation { channel, bank, row, column }
+    DramLocation {
+        channel,
+        bank,
+        row,
+        column,
+    }
 }
 
 #[cfg(test)]

@@ -72,8 +72,10 @@ impl Bingo {
         if self.hist_short.len() >= HISTORY_ENTRIES {
             self.hist_short.clear();
         }
-        self.hist_long.insert(Self::long_key(e.trigger_pc, e.region), e.footprint);
-        self.hist_short.insert(Self::short_key(e.trigger_pc, e.trigger_offset), e.footprint);
+        self.hist_long
+            .insert(Self::long_key(e.trigger_pc, e.region), e.footprint);
+        self.hist_short
+            .insert(Self::short_key(e.trigger_pc, e.trigger_offset), e.footprint);
     }
 }
 
@@ -105,7 +107,9 @@ impl Prefetcher for Bingo {
             let base = region * REGION_LINES;
             for bit in 0..REGION_LINES as u8 {
                 if bit != offset && fp & (1 << bit) != 0 {
-                    out.push(PrefetchReq { line: LineAddr::new(base + bit as u64) });
+                    out.push(PrefetchReq {
+                        line: LineAddr::new(base + bit as u64),
+                    });
                 }
             }
         }
@@ -164,7 +168,14 @@ mod tests {
                     covered += 1;
                 }
                 out.clear();
-                p.on_access(&AccessCtx { pc: 0x400abc, line, hit: false }, &mut out);
+                p.on_access(
+                    &AccessCtx {
+                        pc: 0x400abc,
+                        line,
+                        hit: false,
+                    },
+                    &mut out,
+                );
                 for req in &out {
                     predicted.insert(req.line);
                 }
@@ -185,7 +196,14 @@ mod tests {
     fn no_prefetch_without_history() {
         let mut p = Bingo::new();
         let mut out = Vec::new();
-        p.on_access(&AccessCtx { pc: 1, line: LineAddr::new(999), hit: false }, &mut out);
+        p.on_access(
+            &AccessCtx {
+                pc: 1,
+                line: LineAddr::new(999),
+                hit: false,
+            },
+            &mut out,
+        );
         assert!(out.is_empty());
     }
 
@@ -195,7 +213,14 @@ mod tests {
         let _ = footprint_workload(&mut p, 100);
         let mut out = Vec::new();
         let line = LineAddr::new(0x9999 * REGION_LINES + 3);
-        p.on_access(&AccessCtx { pc: 0x400abc, line, hit: false }, &mut out);
+        p.on_access(
+            &AccessCtx {
+                pc: 0x400abc,
+                line,
+                hit: false,
+            },
+            &mut out,
+        );
         for r in &out {
             assert_eq!(r.line.raw() / REGION_LINES, line.raw() / REGION_LINES);
         }
@@ -204,6 +229,9 @@ mod tests {
     #[test]
     fn storage_in_expected_band() {
         let kb = Bingo::new().storage_bits() as f64 / 8.0 / 1024.0;
-        assert!((30.0..70.0).contains(&kb), "Bingo storage {kb} KB (paper: 46 KB)");
+        assert!(
+            (30.0..70.0).contains(&kb),
+            "Bingo storage {kb} KB (paper: 46 KB)"
+        );
     }
 }

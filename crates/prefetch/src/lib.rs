@@ -178,7 +178,14 @@ pub(crate) mod testutil {
                 pf.on_prefetch_hit(line);
             }
             out.clear();
-            pf.on_access(&AccessCtx { pc: 0x400100, line, hit: issued.contains(&line) }, &mut out);
+            pf.on_access(
+                &AccessCtx {
+                    pc: 0x400100,
+                    line,
+                    hit: issued.contains(&line),
+                },
+                &mut out,
+            );
             for r in &out {
                 issued.insert(r.line);
             }
@@ -205,7 +212,14 @@ mod tests {
         ] {
             let mut p = build(k);
             let mut out = Vec::new();
-            p.on_access(&AccessCtx { pc: 1, line: LineAddr::new(100), hit: false }, &mut out);
+            p.on_access(
+                &AccessCtx {
+                    pc: 1,
+                    line: LineAddr::new(100),
+                    hit: false,
+                },
+                &mut out,
+            );
         }
     }
 
@@ -214,7 +228,14 @@ mod tests {
         let mut p = NoPrefetcher;
         let mut out = Vec::new();
         for i in 0..100 {
-            p.on_access(&AccessCtx { pc: 1, line: LineAddr::new(i), hit: false }, &mut out);
+            p.on_access(
+                &AccessCtx {
+                    pc: 1,
+                    line: LineAddr::new(i),
+                    hit: false,
+                },
+                &mut out,
+            );
         }
         assert!(out.is_empty());
         assert_eq!(p.storage_bits(), 0);
@@ -231,7 +252,11 @@ mod tests {
         for k in PrefetcherKind::PAPER_SET {
             let mut p = build(k);
             let cov = testutil::stream_coverage(p.as_mut(), 3000);
-            assert!(cov > 0.5, "{} covered only {cov:.2} of a pure stream", p.name());
+            assert!(
+                cov > 0.5,
+                "{} covered only {cov:.2} of a pure stream",
+                p.name()
+            );
         }
     }
 }

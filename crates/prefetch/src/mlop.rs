@@ -17,8 +17,8 @@ use crate::{AccessCtx, PrefetchReq, Prefetcher};
 const ZONE_LINES: u64 = 64; // 4 KB zones
 const AMT_ENTRIES: usize = 32;
 const OFFSETS: [i64; 26] = [
-    1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24, 32, 40, 48, 56, -1, -2, -3, -4, -6, -8, -12, -16,
-    -24, -32,
+    1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24, 32, 40, 48, 56, -1, -2, -3, -4, -6, -8, -12, -16, -24,
+    -32,
 ];
 const LEVELS: usize = 3;
 const ROUND_LEN: u32 = 256;
@@ -74,7 +74,12 @@ impl Mlop {
             .min_by_key(|(_, z)| if z.valid { z.lru } else { 0 })
             .map(|(i, _)| i)
             .expect("amt nonzero");
-        self.amt[idx] = Zone { zone, bitmap: bit, valid: true, lru: self.clock };
+        self.amt[idx] = Zone {
+            zone,
+            bitmap: bit,
+            valid: true,
+            lru: self.clock,
+        };
     }
 
     fn was_accessed(&self, line: i64) -> bool {
@@ -84,7 +89,9 @@ impl Mlop {
         let line = line as u64;
         let zone = line / ZONE_LINES;
         let bit = 1u64 << (line % ZONE_LINES);
-        self.amt.iter().any(|z| z.valid && z.zone == zone && z.bitmap & bit != 0)
+        self.amt
+            .iter()
+            .any(|z| z.valid && z.zone == zone && z.bitmap & bit != 0)
     }
 }
 
@@ -135,7 +142,9 @@ impl Prefetcher for Mlop {
             if let Some(d) = off {
                 let target = line as i64 + d * (l as i64 + 1);
                 if target >= 0 {
-                    out.push(PrefetchReq { line: LineAddr::new(target as u64) });
+                    out.push(PrefetchReq {
+                        line: LineAddr::new(target as u64),
+                    });
                 }
             }
         }
@@ -170,7 +179,14 @@ mod tests {
         for i in 0..3000u64 {
             let line = LineAddr::new(0x70_0000 + i * 3);
             out.clear();
-            p.on_access(&AccessCtx { pc: 2, line, hit: false }, &mut out);
+            p.on_access(
+                &AccessCtx {
+                    pc: 2,
+                    line,
+                    hit: false,
+                },
+                &mut out,
+            );
             // Ties among stride multiples may select a larger multiple;
             // any forward multiple of 3 lands on the stream.
             if out.iter().any(|r| {
@@ -191,12 +207,22 @@ mod tests {
         for i in 0..4000u64 {
             let line = LineAddr::new(0x90_0000 + i);
             out.clear();
-            p.on_access(&AccessCtx { pc: 2, line, hit: false }, &mut out);
+            p.on_access(
+                &AccessCtx {
+                    pc: 2,
+                    line,
+                    hit: false,
+                },
+                &mut out,
+            );
             for r in &out {
                 deepest = deepest.max(r.line.raw() as i64 - line.raw() as i64);
             }
         }
-        assert!(deepest >= 2, "multi-lookahead never reached depth 2 (deepest {deepest})");
+        assert!(
+            deepest >= 2,
+            "multi-lookahead never reached depth 2 (deepest {deepest})"
+        );
     }
 
     #[test]
@@ -208,7 +234,14 @@ mod tests {
         for _ in 0..2000 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(13);
             out.clear();
-            p.on_access(&AccessCtx { pc: 2, line: LineAddr::new(x >> 18), hit: false }, &mut out);
+            p.on_access(
+                &AccessCtx {
+                    pc: 2,
+                    line: LineAddr::new(x >> 18),
+                    hit: false,
+                },
+                &mut out,
+            );
             issued += out.len();
         }
         // A few rounds may fire before scores decay; it must not stay on.

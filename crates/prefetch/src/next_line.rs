@@ -27,7 +27,9 @@ impl NextLine {
 impl Prefetcher for NextLine {
     fn on_access(&mut self, ctx: &AccessCtx, out: &mut Vec<PrefetchReq>) {
         for d in 1..=self.degree {
-            out.push(PrefetchReq { line: LineAddr::new(ctx.line.raw() + d as u64) });
+            out.push(PrefetchReq {
+                line: LineAddr::new(ctx.line.raw() + d as u64),
+            });
         }
     }
 
@@ -48,7 +50,14 @@ mod tests {
     fn prefetches_next_lines() {
         let mut p = NextLine::new(2);
         let mut out = Vec::new();
-        p.on_access(&AccessCtx { pc: 1, line: LineAddr::new(100), hit: false }, &mut out);
+        p.on_access(
+            &AccessCtx {
+                pc: 1,
+                line: LineAddr::new(100),
+                hit: false,
+            },
+            &mut out,
+        );
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].line.raw(), 101);
         assert_eq!(out[1].line.raw(), 102);

@@ -127,8 +127,13 @@ impl Pythia {
             .min_by_key(|(_, p)| if p.valid { p.lru } else { 0 })
             .map(|(i, _)| i)
             .expect("page table nonzero");
-        self.pages[idx] =
-            PageState { page, last_offset: offset, deltas: [0; 4], valid: true, lru: self.clock };
+        self.pages[idx] = PageState {
+            page,
+            last_offset: offset,
+            deltas: [0; 4],
+            valid: true,
+            lru: self.clock,
+        };
         (0, [0; 4])
     }
 }
@@ -175,10 +180,19 @@ impl Prefetcher for Pythia {
             None
         };
         if let Some(t) = issued {
-            out.push(PrefetchReq { line: LineAddr::new(t) });
+            out.push(PrefetchReq {
+                line: LineAddr::new(t),
+            });
         }
 
-        self.eq.push_back(EqEntry { h1, h2, action, issued, reward: None, next_q: None });
+        self.eq.push_back(EqEntry {
+            h1,
+            h2,
+            action,
+            issued,
+            reward: None,
+            next_q: None,
+        });
         if self.eq.len() > EQ_DEPTH {
             let e = self.eq.pop_front().expect("just checked");
             self.update(&e);
@@ -248,18 +262,24 @@ mod tests {
         for i in 0..2000u64 {
             let line = LineAddr::new(0x200_0000 + i);
             out.clear();
-            p.on_access(&AccessCtx { pc: 0x400111, line, hit: false }, &mut out);
+            p.on_access(
+                &AccessCtx {
+                    pc: 0x400111,
+                    line,
+                    hit: false,
+                },
+                &mut out,
+            );
             for r in &out {
                 // Every prefetch is "used" next access in a pure stream.
                 p.on_prefetch_hit(r.line);
             }
         }
-        let positive = p
-            .q1
-            .iter()
-            .flat_map(|row| row.iter())
-            .filter(|&&q| q > 1.0)
-            .count();
+        let positive =
+            p.q1.iter()
+                .flat_map(|row| row.iter())
+                .filter(|&&q| q > 1.0)
+                .count();
         assert!(positive > 0, "no Q-values learned positive rewards");
     }
 
@@ -273,7 +293,14 @@ mod tests {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(7);
             let line = LineAddr::new(x >> 18);
             out.clear();
-            p.on_access(&AccessCtx { pc: 0x400222, line, hit: false }, &mut out);
+            p.on_access(
+                &AccessCtx {
+                    pc: 0x400222,
+                    line,
+                    hit: false,
+                },
+                &mut out,
+            );
             for r in &out {
                 p.on_unused_eviction(r.line);
             }
@@ -283,7 +310,10 @@ mod tests {
         }
         // On pure noise with explicit negative feedback, Pythia should
         // mostly choose "no prefetch" eventually.
-        assert!(late_issue < 500, "Pythia still issuing {late_issue} on noise");
+        assert!(
+            late_issue < 500,
+            "Pythia still issuing {late_issue} on noise"
+        );
     }
 
     #[test]
@@ -295,7 +325,11 @@ mod tests {
             for i in 0..500u64 {
                 out.clear();
                 p.on_access(
-                    &AccessCtx { pc: 0x1, line: LineAddr::new(0x1000 + i * 2), hit: false },
+                    &AccessCtx {
+                        pc: 0x1,
+                        line: LineAddr::new(0x1000 + i * 2),
+                        hit: false,
+                    },
                     &mut out,
                 );
                 issued.extend(out.iter().map(|r| r.line.raw()));
@@ -308,6 +342,9 @@ mod tests {
     #[test]
     fn storage_near_25kb() {
         let kb = Pythia::new().storage_bits() as f64 / 8.0 / 1024.0;
-        assert!((15.0..35.0).contains(&kb), "Pythia storage {kb} KB (paper: 25.5 KB)");
+        assert!(
+            (15.0..35.0).contains(&kb),
+            "Pythia storage {kb} KB (paper: 25.5 KB)"
+        );
     }
 }

@@ -80,7 +80,12 @@ impl Sms {
                     .min_by_key(|&i| self.pht[i].lru)
                     .expect("PHT_WAYS nonzero")
             });
-        self.pht[idx] = PhtEntry { signature, footprint, valid: true, lru: self.clock };
+        self.pht[idx] = PhtEntry {
+            signature,
+            footprint,
+            valid: true,
+            lru: self.clock,
+        };
     }
 }
 
@@ -108,7 +113,9 @@ impl Prefetcher for Sms {
             let base = region * REGION_LINES;
             for bit in 0..REGION_LINES as u8 {
                 if bit != offset && fp & (1 << bit) != 0 {
-                    out.push(PrefetchReq { line: LineAddr::new(base + bit as u64) });
+                    out.push(PrefetchReq {
+                        line: LineAddr::new(base + bit as u64),
+                    });
                 }
             }
         }
@@ -164,7 +171,14 @@ mod tests {
                     covered += 1;
                 }
                 out.clear();
-                p.on_access(&AccessCtx { pc: 0x400def, line, hit: false }, &mut out);
+                p.on_access(
+                    &AccessCtx {
+                        pc: 0x400def,
+                        line,
+                        hit: false,
+                    },
+                    &mut out,
+                );
                 for req in &out {
                     predicted.insert(req.line);
                 }
@@ -187,14 +201,28 @@ mod tests {
         for r in 0..200u64 {
             let line = LineAddr::new((0x100 + r) * REGION_LINES + 7);
             out.clear();
-            p.on_access(&AccessCtx { pc: 0x400abc, line, hit: false }, &mut out);
+            p.on_access(
+                &AccessCtx {
+                    pc: 0x400abc,
+                    line,
+                    hit: false,
+                },
+                &mut out,
+            );
         }
         // Revisit: no recall expected.
         let mut total = 0;
         for r in 0..200u64 {
             let line = LineAddr::new((0x100 + r) * REGION_LINES + 7);
             out.clear();
-            p.on_access(&AccessCtx { pc: 0x400abc, line, hit: false }, &mut out);
+            p.on_access(
+                &AccessCtx {
+                    pc: 0x400abc,
+                    line,
+                    hit: false,
+                },
+                &mut out,
+            );
             total += out.len();
         }
         assert_eq!(total, 0, "single-line footprints must not be recalled");
@@ -203,6 +231,9 @@ mod tests {
     #[test]
     fn storage_near_20kb() {
         let kb = Sms::new().storage_bits() as f64 / 8.0 / 1024.0;
-        assert!((15.0..40.0).contains(&kb), "SMS storage {kb} KB (paper: 20 KB)");
+        assert!(
+            (15.0..40.0).contains(&kb),
+            "SMS storage {kb} KB (paper: 20 KB)"
+        );
     }
 }

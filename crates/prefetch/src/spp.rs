@@ -57,7 +57,11 @@ impl PtSet {
             self.total /= 2;
         }
         self.total += 1;
-        if let Some(w) = self.ways.iter_mut().find(|w| w.delta == delta && w.count > 0) {
+        if let Some(w) = self
+            .ways
+            .iter_mut()
+            .find(|w| w.delta == delta && w.count > 0)
+        {
             w.count = w.count.saturating_add(1);
             return;
         }
@@ -184,7 +188,13 @@ impl Prefetcher for Spp {
                     .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
                     .map(|(i, _)| i)
                     .expect("ST nonzero");
-                self.st[i] = SigEntry { page, last_offset: offset, signature: 0, valid: true, lru: self.clock };
+                self.st[i] = SigEntry {
+                    page,
+                    last_offset: offset,
+                    signature: 0,
+                    valid: true,
+                    lru: self.clock,
+                };
                 return; // first access to the page: no delta yet
             }
         };
@@ -206,7 +216,9 @@ impl Prefetcher for Spp {
         let mut conf = 1.0f64;
         let mut pos = offset as i64;
         for depth in 0..LOOKAHEAD_MAX {
-            let Some((d, c)) = self.pt[sig as usize].best() else { break };
+            let Some((d, c)) = self.pt[sig as usize].best() else {
+                break;
+            };
             conf *= c;
             if conf < CONF_THRESHOLD {
                 break;
@@ -267,7 +279,14 @@ mod tests {
         for i in 0..2000u64 {
             let line = LineAddr::new(0x40_0000 + i * 2);
             out.clear();
-            p.on_access(&AccessCtx { pc: 7, line, hit: false }, &mut out);
+            p.on_access(
+                &AccessCtx {
+                    pc: 7,
+                    line,
+                    hit: false,
+                },
+                &mut out,
+            );
             if out.iter().any(|r| r.line.raw() == line.raw() + 2) {
                 hits += 1;
             }
@@ -283,7 +302,14 @@ mod tests {
         for i in 0..4000u64 {
             let line = LineAddr::new(0x80_0000 + i);
             out.clear();
-            p.on_access(&AccessCtx { pc: 9, line, hit: false }, &mut out);
+            p.on_access(
+                &AccessCtx {
+                    pc: 9,
+                    line,
+                    hit: false,
+                },
+                &mut out,
+            );
             max_depth = max_depth.max(out.len());
         }
         assert!(max_depth >= 2, "lookahead depth never exceeded 1");
@@ -296,7 +322,14 @@ mod tests {
         for i in 0..5000u64 {
             let line = LineAddr::new(0xC0_0000 + i);
             out.clear();
-            p.on_access(&AccessCtx { pc: 3, line, hit: false }, &mut out);
+            p.on_access(
+                &AccessCtx {
+                    pc: 3,
+                    line,
+                    hit: false,
+                },
+                &mut out,
+            );
             for r in &out {
                 assert_eq!(
                     r.line.page_number(),
@@ -318,7 +351,14 @@ mod tests {
         for i in 0..6000u64 {
             let line = LineAddr::new(0x100_0000 + i);
             out.clear();
-            p.on_access(&AccessCtx { pc: 5, line, hit: false }, &mut out);
+            p.on_access(
+                &AccessCtx {
+                    pc: 5,
+                    line,
+                    hit: false,
+                },
+                &mut out,
+            );
             for r in out.iter() {
                 p.on_unused_eviction(r.line);
             }
@@ -329,12 +369,18 @@ mod tests {
                 late += out.len();
             }
         }
-        assert!(late < early, "PPF did not throttle useless prefetches: {early} -> {late}");
+        assert!(
+            late < early,
+            "PPF did not throttle useless prefetches: {early} -> {late}"
+        );
     }
 
     #[test]
     fn storage_in_expected_band() {
         let kb = Spp::new().storage_bits() as f64 / 8.0 / 1024.0;
-        assert!((20.0..45.0).contains(&kb), "SPP storage {kb} KB (paper: 39.3 KB)");
+        assert!(
+            (20.0..45.0).contains(&kb),
+            "SPP storage {kb} KB (paper: 39.3 KB)"
+        );
     }
 }

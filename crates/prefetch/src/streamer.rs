@@ -50,7 +50,12 @@ impl Streamer {
     /// Panics if any parameter is zero.
     pub fn with_distance(streams: usize, degree: u32, distance: u64) -> Self {
         assert!(streams > 0 && degree > 0 && distance > 0);
-        Self { streams: vec![Stream::default(); streams], degree, distance, clock: 0 }
+        Self {
+            streams: vec![Stream::default(); streams],
+            degree,
+            distance,
+            clock: 0,
+        }
     }
 }
 
@@ -90,7 +95,9 @@ impl Prefetcher for Streamer {
                             break;
                         }
                         s.head = next as u64;
-                        out.push(PrefetchReq { line: LineAddr::new(s.head) });
+                        out.push(PrefetchReq {
+                            line: LineAddr::new(s.head),
+                        });
                     }
                 }
             }
@@ -141,7 +148,14 @@ mod tests {
         let mut max_lead = 0i64;
         for i in 0..40u64 {
             out.clear();
-            p.on_access(&AccessCtx { pc: 1, line: LineAddr::new(1000 + i), hit: false }, &mut out);
+            p.on_access(
+                &AccessCtx {
+                    pc: 1,
+                    line: LineAddr::new(1000 + i),
+                    hit: false,
+                },
+                &mut out,
+            );
             for r in &out {
                 max_lead = max_lead.max(r.line.raw() as i64 - (1000 + i) as i64);
             }
@@ -157,7 +171,14 @@ mod tests {
         for i in 0..20u64 {
             out.clear();
             let line = LineAddr::new(10_000 - i);
-            p.on_access(&AccessCtx { pc: 1, line, hit: false }, &mut out);
+            p.on_access(
+                &AccessCtx {
+                    pc: 1,
+                    line,
+                    hit: false,
+                },
+                &mut out,
+            );
             any_down |= out.iter().any(|r| r.line.raw() < 10_000 - i);
         }
         assert!(any_down, "no downward prefetch");
@@ -171,7 +192,14 @@ mod tests {
         for i in 0..200u64 {
             for base in [0x1000u64, 0x8000, 0x20000] {
                 out.clear();
-                p.on_access(&AccessCtx { pc: 1, line: LineAddr::new(base + i), hit: false }, &mut out);
+                p.on_access(
+                    &AccessCtx {
+                        pc: 1,
+                        line: LineAddr::new(base + i),
+                        hit: false,
+                    },
+                    &mut out,
+                );
                 if out.iter().any(|r| r.line.raw() > base + i) {
                     covered += 1;
                 }
@@ -189,7 +217,14 @@ mod tests {
         for _ in 0..500 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
             out.clear();
-            p.on_access(&AccessCtx { pc: 1, line: LineAddr::new(x >> 20), hit: false }, &mut out);
+            p.on_access(
+                &AccessCtx {
+                    pc: 1,
+                    line: LineAddr::new(x >> 20),
+                    hit: false,
+                },
+                &mut out,
+            );
             total += out.len();
         }
         assert!(total < 200, "streamer too eager on random stream: {total}");

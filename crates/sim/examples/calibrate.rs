@@ -10,19 +10,31 @@ fn main() {
     let (w, s) = (30_000u64, 150_000u64);
     let mut g = [vec![], vec![], vec![], vec![]];
     for spec in suite::default_suite().iter() {
-        let base =
-            run_one(SystemConfig::baseline_1c().with_prefetcher(PrefetcherKind::None), spec, w, s);
+        let base = run_one(
+            SystemConfig::baseline_1c().with_prefetcher(PrefetcherKind::None),
+            spec,
+            w,
+            s,
+        );
         let pythia = run_one(SystemConfig::baseline_1c(), spec, w, s);
         let hermes = run_one(
             SystemConfig::baseline_1c().with_hermes(HermesConfig::hermes_o(PredictorKind::Popet)),
-            spec, w, s,
+            spec,
+            w,
+            s,
         );
         let ideal = run_one(
             SystemConfig::baseline_1c().with_hermes(HermesConfig::hermes_o(PredictorKind::Ideal)),
-            spec, w, s,
+            spec,
+            w,
+            s,
         );
         let b = base.cores[0].ipc();
-        let ratios = [pythia.cores[0].ipc() / b, hermes.cores[0].ipc() / b, ideal.cores[0].ipc() / b];
+        let ratios = [
+            pythia.cores[0].ipc() / b,
+            hermes.cores[0].ipc() / b,
+            ideal.cores[0].ipc() / b,
+        ];
         for (i, r) in ratios.iter().enumerate() {
             g[i].push(*r);
         }
@@ -49,7 +61,9 @@ fn main() {
     };
     println!(
         "GEOMEAN: pythia {:.3}  pythia+hermesO {:.3}  pythia+ideal {:.3}  mean acc {:.2}",
-        geo(&g[0]), geo(&g[1]), geo(&g[2]),
+        geo(&g[0]),
+        geo(&g[1]),
+        geo(&g[2]),
         g[3].iter().sum::<f64>() / g[3].len() as f64
     );
 }

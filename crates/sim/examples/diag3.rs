@@ -5,13 +5,28 @@ use hermes_trace::suite;
 
 fn main() {
     for name in ["cactus-like", "ligra-pagerank", "ligra-components"] {
-        let spec = suite::default_suite().into_iter().find(|w| w.name == name).unwrap();
+        let spec = suite::default_suite()
+            .into_iter()
+            .find(|w| w.name == name)
+            .unwrap();
         let (w, s) = (30_000u64, 150_000u64);
         for (label, cfg) in [
-            ("none      ", SystemConfig::baseline_1c().with_prefetcher(PrefetcherKind::None)),
-            ("ideal-only", SystemConfig::baseline_1c().with_prefetcher(PrefetcherKind::None).with_hermes(HermesConfig::hermes_o(PredictorKind::Ideal))),
+            (
+                "none      ",
+                SystemConfig::baseline_1c().with_prefetcher(PrefetcherKind::None),
+            ),
+            (
+                "ideal-only",
+                SystemConfig::baseline_1c()
+                    .with_prefetcher(PrefetcherKind::None)
+                    .with_hermes(HermesConfig::hermes_o(PredictorKind::Ideal)),
+            ),
             ("pythia    ", SystemConfig::baseline_1c()),
-            ("pyth+ideal", SystemConfig::baseline_1c().with_hermes(HermesConfig::hermes_o(PredictorKind::Ideal))),
+            (
+                "pyth+ideal",
+                SystemConfig::baseline_1c()
+                    .with_hermes(HermesConfig::hermes_o(PredictorKind::Ideal)),
+            ),
         ] {
             let r = run_one(cfg, &spec, w, s);
             let c = &r.cores[0];

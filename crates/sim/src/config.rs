@@ -57,7 +57,11 @@ impl SystemConfig {
 
     /// The eight-core configuration: shared 24 MB LLC, 4 DRAM channels.
     pub fn baseline_8c() -> Self {
-        Self { cores: 8, dram: DramConfig::eight_core(), ..Self::baseline_1c() }
+        Self {
+            cores: 8,
+            dram: DramConfig::eight_core(),
+            ..Self::baseline_1c()
+        }
     }
 
     /// Replaces the prefetcher (Fig. 17b sweep).

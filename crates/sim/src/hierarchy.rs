@@ -57,10 +57,27 @@ type LlcWaiter = Option<(usize, u64)>; // (core, trigger pc)
 
 #[derive(Debug, Clone, Copy)]
 enum Ev {
-    LookupL2 { core: usize, line: LineAddr, pc: u64, retried: bool },
-    LookupLlc { core: usize, line: LineAddr, pc: u64, retried: bool },
-    HermesIssue { core: usize, line: LineAddr },
-    CompleteLoad { core: usize, token: u64, served: ServedBy },
+    LookupL2 {
+        core: usize,
+        line: LineAddr,
+        pc: u64,
+        retried: bool,
+    },
+    LookupLlc {
+        core: usize,
+        line: LineAddr,
+        pc: u64,
+        retried: bool,
+    },
+    HermesIssue {
+        core: usize,
+        line: LineAddr,
+    },
+    CompleteLoad {
+        core: usize,
+        token: u64,
+        served: ServedBy,
+    },
 }
 
 #[derive(Debug)]
@@ -170,7 +187,9 @@ impl Hierarchy {
         let predictors = (0..n)
             .map(|_| match cfg.hermes.predictor {
                 PredictorKind::None => PredictorImpl::None,
-                PredictorKind::Popet => PredictorImpl::Popet(Box::new(Popet::new(cfg.popet.clone()))),
+                PredictorKind::Popet => {
+                    PredictorImpl::Popet(Box::new(Popet::new(cfg.popet.clone())))
+                }
                 PredictorKind::Hmp => PredictorImpl::Hmp(Box::new(Hmp::new())),
                 PredictorKind::Ttp => PredictorImpl::Ttp(Box::default()),
                 PredictorKind::Ideal => PredictorImpl::Ideal,
@@ -235,7 +254,11 @@ impl Hierarchy {
 
     fn schedule(&mut self, at: Cycle, ev: Ev) {
         self.seq += 1;
-        self.events.push(Reverse(HeapEntry { at, seq: self.seq, ev }));
+        self.events.push(Reverse(HeapEntry {
+            at,
+            seq: self.seq,
+            ev,
+        }));
     }
 
     fn predict(&mut self, core: usize, ctx: &LoadContext) -> Prediction {
@@ -248,7 +271,10 @@ impl Hierarchy {
                 let present = self.l1[core].probe(ctx.pline)
                     || self.l2[core].probe(ctx.pline)
                     || self.llc.probe(ctx.pline);
-                Prediction { go_offchip: !present, meta: hermes::predictor::PredictionMeta::None }
+                Prediction {
+                    go_offchip: !present,
+                    meta: hermes::predictor::PredictionMeta::None,
+                }
             }
         }
     }
@@ -313,14 +339,29 @@ impl Hierarchy {
             }
             if let Some(tok) = token {
                 let at = now + self.cfg.l1.latency as Cycle;
-                self.schedule(at, Ev::CompleteLoad { core, token: tok, served: ServedBy::L1 });
+                self.schedule(
+                    at,
+                    Ev::CompleteLoad {
+                        core,
+                        token: tok,
+                        served: ServedBy::L1,
+                    },
+                );
             }
             return;
         }
         match self.l1_mshr[core].allocate(line, L1Waiter { token, is_store }, false) {
             Ok(true) => {
                 let at = now + (self.cfg.l1.latency + self.cfg.l2.latency) as Cycle;
-                self.schedule(at, Ev::LookupL2 { core, line, pc, retried: false });
+                self.schedule(
+                    at,
+                    Ev::LookupL2 {
+                        core,
+                        line,
+                        pc,
+                        retried: false,
+                    },
+                );
             }
             Ok(false) => {}
             Err(_) => {
@@ -345,12 +386,28 @@ impl Hierarchy {
         match self.l2_mshr[core].allocate(line, (), false) {
             Ok(true) => {
                 let at = now + self.cfg.llc_per_core.latency as Cycle;
-                self.schedule(at, Ev::LookupLlc { core, line, pc, retried: false });
+                self.schedule(
+                    at,
+                    Ev::LookupLlc {
+                        core,
+                        line,
+                        pc,
+                        retried: false,
+                    },
+                );
             }
             Ok(false) => {}
             Err(_) => {
                 let at = now + self.cfg.mshr_retry as Cycle;
-                self.schedule(at, Ev::LookupL2 { core, line, pc, retried: true });
+                self.schedule(
+                    at,
+                    Ev::LookupL2 {
+                        core,
+                        line,
+                        pc,
+                        retried: true,
+                    },
+                );
             }
         }
     }
@@ -366,7 +423,14 @@ impl Hierarchy {
             // Prefetcher observes every demand access at this level.
             let mut buf = std::mem::take(&mut self.pf_buf);
             buf.clear();
-            self.prefetchers[core].on_access(&AccessCtx { pc, line, hit: res.hit }, &mut buf);
+            self.prefetchers[core].on_access(
+                &AccessCtx {
+                    pc,
+                    line,
+                    hit: res.hit,
+                },
+                &mut buf,
+            );
             buf.truncate(MAX_PF_PER_ACCESS);
             for req in &buf {
                 self.issue_prefetch(core, line, req.line, now);
@@ -396,7 +460,15 @@ impl Hierarchy {
             }
             Err(_) => {
                 let at = now + self.cfg.mshr_retry as Cycle;
-                self.schedule(at, Ev::LookupLlc { core, line, pc, retried: true });
+                self.schedule(
+                    at,
+                    Ev::LookupLlc {
+                        core,
+                        line,
+                        pc,
+                        retried: true,
+                    },
+                );
             }
         }
     }
@@ -451,10 +523,9 @@ impl Hierarchy {
     /// Fills a core's L2, propagating dirty evictions to the LLC.
     fn fill_l2(&mut self, core: usize, line: LineAddr, dirty: bool, now: Cycle) {
         if let Some(ev) = self.l2[core].fill(line, dirty, false, 0) {
-            if ev.dirty
-                && !self.llc.mark_dirty(ev.line) {
-                    self.fill_llc(ev.line, true, false, 0, now);
-                }
+            if ev.dirty && !self.llc.mark_dirty(ev.line) {
+                self.fill_llc(ev.line, true, false, 0, now);
+            }
         }
         self.notify_fill(core, line);
     }
@@ -467,10 +538,9 @@ impl Hierarchy {
         };
         let any_store = waiters.iter().any(|w| w.is_store);
         if let Some(ev) = self.l1[core].fill(line, any_store, false, 0) {
-            if ev.dirty
-                && !self.l2[core].mark_dirty(ev.line) {
-                    self.fill_l2(core, ev.line, true, now);
-                }
+            if ev.dirty && !self.l2[core].mark_dirty(ev.line) {
+                self.fill_l2(core, ev.line, true, now);
+            }
         }
         self.notify_fill(core, line);
         for w in waiters {
@@ -514,15 +584,27 @@ impl Hierarchy {
 
     fn handle_event(&mut self, ev: Ev, now: Cycle) {
         match ev {
-            Ev::LookupL2 { core, line, pc, retried } => self.lookup_l2(core, line, pc, retried, now),
-            Ev::LookupLlc { core, line, pc, retried } => {
-                self.lookup_llc(core, line, pc, retried, now)
-            }
+            Ev::LookupL2 {
+                core,
+                line,
+                pc,
+                retried,
+            } => self.lookup_l2(core, line, pc, retried, now),
+            Ev::LookupLlc {
+                core,
+                line,
+                pc,
+                retried,
+            } => self.lookup_llc(core, line, pc, retried, now),
             Ev::HermesIssue { core, line } => {
                 self.stats[core].hermes_requests += 1;
                 let _ = self.dram.enqueue_read(line, now, ReqKind::Hermes);
             }
-            Ev::CompleteLoad { core, token, served } => {
+            Ev::CompleteLoad {
+                core,
+                token,
+                served,
+            } => {
                 self.finish_demand(core, token, served, now);
             }
         }
@@ -571,29 +653,51 @@ impl Hierarchy {
 
     /// Prefetcher storage in bits (Table 6 rows).
     pub fn prefetcher_storage_bits(&self) -> usize {
-        self.prefetchers.first().map(|p| p.storage_bits()).unwrap_or(0)
+        self.prefetchers
+            .first()
+            .map(|p| p.storage_bits())
+            .unwrap_or(0)
     }
-
 }
 
 impl MemoryPort for Hierarchy {
     fn issue_load(&mut self, req: LoadIssue, now: Cycle) {
         let paddr = translate(req.core, req.vaddr);
         let pline = paddr.line();
-        let ctx = LoadContext { pc: req.pc, vaddr: req.vaddr, pline };
+        let ctx = LoadContext {
+            pc: req.pc,
+            vaddr: req.vaddr,
+            pline,
+        };
         if self.cfg.hermes.enabled() {
             let pred = self.predict(req.core, &ctx);
             if pred.go_offchip && !self.cfg.hermes.passive {
                 let at = now + self.cfg.hermes.issue_latency as Cycle;
-                self.schedule(at, Ev::HermesIssue { core: req.core, line: pline });
+                self.schedule(
+                    at,
+                    Ev::HermesIssue {
+                        core: req.core,
+                        line: pline,
+                    },
+                );
             }
-            self.loads.insert(key(req.core, req.token), LoadRec { ctx, pred, issue: now });
+            self.loads.insert(
+                key(req.core, req.token),
+                LoadRec {
+                    ctx,
+                    pred,
+                    issue: now,
+                },
+            );
         } else {
-            self.loads.insert(key(req.core, req.token), LoadRec {
-                ctx,
-                pred: Prediction::negative(),
-                issue: now,
-            });
+            self.loads.insert(
+                key(req.core, req.token),
+                LoadRec {
+                    ctx,
+                    pred: Prediction::negative(),
+                    issue: now,
+                },
+            );
         }
         self.access_l1(req.core, pline, Some(req.token), false, req.pc, now);
     }

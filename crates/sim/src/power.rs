@@ -96,7 +96,12 @@ impl PowerBreakdown {
 
     /// Dynamic power relative to a baseline run covering the same work
     /// (the Fig. 18 metric): energy ratio scaled by the cycle ratio.
-    pub fn normalized_power(&self, cycles: u64, baseline: &PowerBreakdown, baseline_cycles: u64) -> f64 {
+    pub fn normalized_power(
+        &self,
+        cycles: u64,
+        baseline: &PowerBreakdown,
+        baseline_cycles: u64,
+    ) -> f64 {
         if baseline.total() == 0.0 || cycles == 0 || baseline_cycles == 0 {
             return 0.0;
         }
@@ -111,8 +116,17 @@ mod tests {
     #[test]
     fn dram_dominates_for_memory_bound_runs() {
         let model = PowerModel::default();
-        let cores = vec![CoreHierStats { l1_accesses: 1000, l2_accesses: 100, llc_demand_accesses: 50, ..Default::default() }];
-        let dram = DramStats { reads_demand: 40, writes: 10, ..Default::default() };
+        let cores = vec![CoreHierStats {
+            l1_accesses: 1000,
+            l2_accesses: 100,
+            llc_demand_accesses: 50,
+            ..Default::default()
+        }];
+        let dram = DramStats {
+            reads_demand: 40,
+            writes: 10,
+            ..Default::default()
+        };
         let p = PowerBreakdown::compute(&model, &cores, &dram, 5000, 1000, 50);
         assert!(p.bus > p.l1 + p.l2 + p.llc);
         assert!(p.total() > 0.0);
@@ -121,16 +135,25 @@ mod tests {
     #[test]
     fn popet_energy_is_tiny() {
         let model = PowerModel::default();
-        let cores = vec![CoreHierStats { l1_accesses: 1000, ..Default::default() }];
+        let cores = vec![CoreHierStats {
+            l1_accesses: 1000,
+            ..Default::default()
+        }];
         let dram = DramStats::default();
         let p = PowerBreakdown::compute(&model, &cores, &dram, 1000, 1000, 0);
-        assert!(p.predictor < 0.2 * p.l1, "POPET must cost far less than L1 traffic");
+        assert!(
+            p.predictor < 0.2 * p.l1,
+            "POPET must cost far less than L1 traffic"
+        );
     }
 
     #[test]
     fn normalized_power_identity() {
         let model = PowerModel::default();
-        let cores = vec![CoreHierStats { l1_accesses: 10, ..Default::default() }];
+        let cores = vec![CoreHierStats {
+            l1_accesses: 10,
+            ..Default::default()
+        }];
         let dram = DramStats::default();
         let p = PowerBreakdown::compute(&model, &cores, &dram, 10, 0, 0);
         assert!((p.normalized_power(100, &p, 100) - 1.0).abs() < 1e-12);

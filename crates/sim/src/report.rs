@@ -20,8 +20,11 @@ pub fn speedup(ipc: f64, ipc_nopref: f64) -> f64 {
 pub fn category_geomeans(samples: &[(Category, f64)]) -> Vec<(String, f64)> {
     let mut out = Vec::new();
     for cat in Category::ALL {
-        let vals: Vec<f64> =
-            samples.iter().filter(|(c, _)| *c == cat).map(|&(_, v)| v).collect();
+        let vals: Vec<f64> = samples
+            .iter()
+            .filter(|(c, _)| *c == cat)
+            .map(|&(_, v)| v)
+            .collect();
         if !vals.is_empty() {
             out.push((cat.label().to_string(), geomean(&vals)));
         }
@@ -36,8 +39,11 @@ pub fn category_geomeans(samples: &[(Category, f64)]) -> Vec<(String, f64)> {
 pub fn category_means(samples: &[(Category, f64)]) -> Vec<(String, f64)> {
     let mut out = Vec::new();
     for cat in Category::ALL {
-        let vals: Vec<f64> =
-            samples.iter().filter(|(c, _)| *c == cat).map(|&(_, v)| v).collect();
+        let vals: Vec<f64> = samples
+            .iter()
+            .filter(|(c, _)| *c == cat)
+            .map(|&(_, v)| v)
+            .collect();
         if !vals.is_empty() {
             out.push((cat.label().to_string(), hermes_types::mean(&vals)));
         }
@@ -57,7 +63,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -94,7 +103,12 @@ impl Table {
             .iter()
             .enumerate()
             .map(|(i, h)| {
-                self.rows.iter().map(|r| r[i].len()).chain(std::iter::once(h.len())).max().unwrap_or(0)
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain(std::iter::once(h.len()))
+                    .max()
+                    .unwrap_or(0)
             })
             .collect();
         let mut s = String::new();

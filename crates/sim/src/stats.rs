@@ -129,7 +129,11 @@ mod tests {
             category: Category::Spec06,
             instructions: 1000,
             cycles: 2000,
-            core: CoreStats { loads: 100, served_dram: 10, ..Default::default() },
+            core: CoreStats {
+                loads: 100,
+                served_dram: 10,
+                ..Default::default()
+            },
             hier: CoreHierStats {
                 llc_demand_misses: 8,
                 offchip_loads: 10,

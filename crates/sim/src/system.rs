@@ -39,9 +39,16 @@ impl System {
                 Core::new(i, cfg.core.clone(), spec.build())
             })
             .collect();
-        let specs: Vec<WorkloadSpec> =
-            (0..cfg.cores).map(|i| workloads[i % workloads.len()].clone()).collect();
-        Self { cores, hierarchy: Hierarchy::new(cfg), specs, cycle: 0, finished_buf: Vec::new() }
+        let specs: Vec<WorkloadSpec> = (0..cfg.cores)
+            .map(|i| workloads[i % workloads.len()].clone())
+            .collect();
+        Self {
+            cores,
+            hierarchy: Hierarchy::new(cfg),
+            specs,
+            cycle: 0,
+            finished_buf: Vec::new(),
+        }
     }
 
     fn step(&mut self) {
@@ -89,7 +96,10 @@ impl System {
         let mut snapshots: Vec<Option<CoreRunStats>> = vec![None; n];
         while snapshots.iter().any(|s| s.is_none()) {
             self.step();
-            assert!(self.cycle < measure_start + budget, "no forward progress during measurement");
+            assert!(
+                self.cycle < measure_start + budget,
+                "no forward progress during measurement"
+            );
             for i in 0..n {
                 if snapshots[i].is_none() && self.cores[i].retired() >= sim {
                     finish_cycle[i] = Some(self.cycle);
@@ -105,8 +115,10 @@ impl System {
                 }
             }
         }
-        let cores: Vec<CoreRunStats> =
-            snapshots.into_iter().map(|s| s.expect("loop exits when all set")).collect();
+        let cores: Vec<CoreRunStats> = snapshots
+            .into_iter()
+            .map(|s| s.expect("loop exits when all set"))
+            .collect();
 
         let dram = *self.hierarchy.dram_stats();
         let instructions: u64 = cores.iter().map(|c| c.instructions).sum();
@@ -120,7 +132,12 @@ impl System {
             predictions,
             pf_accesses,
         );
-        RunStats { total_cycles: self.cycle - measure_start, cores, dram, power }
+        RunStats {
+            total_cycles: self.cycle - measure_start,
+            cores,
+            dram,
+            power,
+        }
     }
 
     /// The hierarchy (for oracle-style inspection in tests).
@@ -219,8 +236,16 @@ mod tests {
         );
         let p = stats.cores[0].pred;
         assert!(p.total() > 0);
-        assert!(p.accuracy() > 0.5, "POPET accuracy {} on a chase", p.accuracy());
-        assert!(p.coverage() > 0.5, "POPET coverage {} on a chase", p.coverage());
+        assert!(
+            p.accuracy() > 0.5,
+            "POPET accuracy {} on a chase",
+            p.accuracy()
+        );
+        assert!(
+            p.coverage() > 0.5,
+            "POPET coverage {} on a chase",
+            p.coverage()
+        );
     }
 
     #[test]

@@ -35,11 +35,17 @@ pub fn write_trace<W: Write>(mut w: W, instrs: &[Instr]) -> io::Result<()> {
         let mut flags = 0u8;
         let mut addr = 0u64;
         match i.mem {
-            Some(MemOp { vaddr, kind: MemKind::Load }) => {
+            Some(MemOp {
+                vaddr,
+                kind: MemKind::Load,
+            }) => {
                 flags |= F_LOAD;
                 addr = vaddr.raw();
             }
-            Some(MemOp { vaddr, kind: MemKind::Store }) => {
+            Some(MemOp {
+                vaddr,
+                kind: MemKind::Store,
+            }) => {
                 flags |= F_STORE;
                 addr = vaddr.raw();
             }
@@ -78,7 +84,10 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<Vec<Instr>> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad trace magic",
+        ));
     }
     let mut nb = [0u8; 4];
     r.read_exact(&mut nb)?;
@@ -92,14 +101,25 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<Vec<Instr>> {
         let flags = rec[16];
         let dereg = |v: u8| if v == 0 { None } else { Some(v - 1) };
         let mem = if flags & F_LOAD != 0 {
-            Some(MemOp { vaddr: VirtAddr::new(addr), kind: MemKind::Load })
+            Some(MemOp {
+                vaddr: VirtAddr::new(addr),
+                kind: MemKind::Load,
+            })
         } else if flags & F_STORE != 0 {
-            Some(MemOp { vaddr: VirtAddr::new(addr), kind: MemKind::Store })
+            Some(MemOp {
+                vaddr: VirtAddr::new(addr),
+                kind: MemKind::Store,
+            })
         } else {
             None
         };
-        let branch =
-            if flags & F_BRANCH != 0 { Some(Branch { taken: flags & F_TAKEN != 0 }) } else { None };
+        let branch = if flags & F_BRANCH != 0 {
+            Some(Branch {
+                taken: flags & F_TAKEN != 0,
+            })
+        } else {
+            None
+        };
         out.push(Instr {
             pc,
             src_regs: [dereg(rec[17]), dereg(rec[18])],
@@ -127,7 +147,12 @@ mod tests {
     fn sample() -> Vec<Instr> {
         vec![
             Instr::alu(0x400000, Some(1), [Some(2), None]),
-            Instr::load(0x400004, VirtAddr::new(0x7fff_0040), Some(3), [Some(1), None]),
+            Instr::load(
+                0x400004,
+                VirtAddr::new(0x7fff_0040),
+                Some(3),
+                [Some(1), None],
+            ),
             Instr::store(0x400008, VirtAddr::new(0x7fff_0080), [Some(3), Some(1)]),
             Instr::branch(0x40000c, true, Some(3)),
             Instr::fp(0x400010, Some(4), [Some(3), Some(2)], 4),

@@ -61,32 +61,40 @@ impl TraceSource for Canneal {
                 self.b = self.rng.gen::<u64>() & (self.elems - 1);
                 self.accept = self.rng.gen::<bool>();
                 self.slot = 1;
-                Instr::load(pc(110), VirtAddr::new(self.elem_base + self.a * 64), Some(2), [
-                    Some(1),
-                    None,
-                ])
+                Instr::load(
+                    pc(110),
+                    VirtAddr::new(self.elem_base + self.a * 64),
+                    Some(2),
+                    [Some(1), None],
+                )
             }
             1 => {
                 self.slot = 2;
-                Instr::load(pc(111), VirtAddr::new(self.elem_base + self.b * 64), Some(3), [
-                    Some(1),
-                    None,
-                ])
+                Instr::load(
+                    pc(111),
+                    VirtAddr::new(self.elem_base + self.b * 64),
+                    Some(3),
+                    [Some(1), None],
+                )
             }
             // Dependent location loads (pointer field chase).
             2 => {
                 self.slot = 3;
-                Instr::load(pc(112), VirtAddr::new(self.loc_base + self.a * 64), Some(4), [
-                    Some(2),
-                    None,
-                ])
+                Instr::load(
+                    pc(112),
+                    VirtAddr::new(self.loc_base + self.a * 64),
+                    Some(4),
+                    [Some(2), None],
+                )
             }
             3 => {
                 self.slot = 4;
-                Instr::load(pc(113), VirtAddr::new(self.loc_base + self.b * 64), Some(5), [
-                    Some(3),
-                    None,
-                ])
+                Instr::load(
+                    pc(113),
+                    VirtAddr::new(self.loc_base + self.b * 64),
+                    Some(5),
+                    [Some(3), None],
+                )
             }
             4 => {
                 self.slot = 5;
@@ -99,17 +107,19 @@ impl TraceSource for Canneal {
             }
             6 => {
                 self.slot = 7;
-                Instr::store(pc(116), VirtAddr::new(self.loc_base + self.a * 64), [
-                    Some(5),
-                    Some(1),
-                ])
+                Instr::store(
+                    pc(116),
+                    VirtAddr::new(self.loc_base + self.a * 64),
+                    [Some(5), Some(1)],
+                )
             }
             7 => {
                 self.slot = 8;
-                Instr::store(pc(117), VirtAddr::new(self.loc_base + self.b * 64), [
-                    Some(4),
-                    Some(1),
-                ])
+                Instr::store(
+                    pc(117),
+                    VirtAddr::new(self.loc_base + self.b * 64),
+                    [Some(4), Some(1)],
+                )
             }
             _ => {
                 self.slot = 0;

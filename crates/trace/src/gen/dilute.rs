@@ -43,7 +43,14 @@ impl Dilute {
     pub fn new(inner: Box<dyn TraceSource>, work_per_mem: u32) -> Self {
         assert!(work_per_mem > 0, "zero dilution: use the inner generator");
         let name = format!("{}+w{}", inner.name(), work_per_mem);
-        Self { name, inner, work_per_mem, pending_work: 0, slot: 0, hot_cursor: 0 }
+        Self {
+            name,
+            inner,
+            work_per_mem,
+            pending_work: 0,
+            slot: 0,
+            hot_cursor: 0,
+        }
     }
 }
 
@@ -74,7 +81,11 @@ impl TraceSource for Dilute {
             }
             // Independent short chains on dedicated registers so the
             // filler adds work, not serial dependencies.
-            return Instr::alu(WORK_PC_BASE + self.slot as u64 * 4, Some(dst), [Some(dst), None]);
+            return Instr::alu(
+                WORK_PC_BASE + self.slot as u64 * 4,
+                Some(dst),
+                [Some(dst), None],
+            );
         }
         let i = self.inner.next_instr();
         if i.mem.is_some() {

@@ -172,7 +172,12 @@ impl GraphWorkload {
         let u = self.u;
         self.u = (self.u + 1) % self.graph.num_vertices();
         let start = self.graph.offsets[u as usize] as usize;
-        self.queue.push_back(Instr::load(pc(40), VirtAddr::new(self.off_addr(u)), Some(2), [Some(1), None]));
+        self.queue.push_back(Instr::load(
+            pc(40),
+            VirtAddr::new(self.off_addr(u)),
+            Some(2),
+            [Some(1), None],
+        ));
         // Cap per-vertex work so a hub vertex cannot starve the queue.
         let adj = self.graph.adj(u);
         for (k, &t) in adj.iter().take(32).enumerate() {
@@ -182,11 +187,14 @@ impl GraphWorkload {
                 Some(3),
                 [Some(2), None],
             ));
-            self.queue.push_back(Instr::load(pc(42), VirtAddr::new(self.data_addr(t)), Some(4), [
-                Some(3),
-                None,
-            ]));
-            self.queue.push_back(Instr::fp(pc(43), Some(24), [Some(4), Some(24)], 4));
+            self.queue.push_back(Instr::load(
+                pc(42),
+                VirtAddr::new(self.data_addr(t)),
+                Some(4),
+                [Some(3), None],
+            ));
+            self.queue
+                .push_back(Instr::fp(pc(43), Some(24), [Some(4), Some(24)], 4));
         }
         self.queue.push_back(Instr::store(
             pc(44),
@@ -200,11 +208,18 @@ impl GraphWorkload {
         let u = self.u;
         self.u = (self.u + 1) % self.graph.num_vertices();
         let start = self.graph.offsets[u as usize] as usize;
-        self.queue.push_back(Instr::load(pc(60), VirtAddr::new(self.off_addr(u)), Some(2), [Some(1), None]));
-        self.queue.push_back(Instr::load(pc(61), VirtAddr::new(self.data_addr(u)), Some(5), [
+        self.queue.push_back(Instr::load(
+            pc(60),
+            VirtAddr::new(self.off_addr(u)),
             Some(2),
-            None,
-        ]));
+            [Some(1), None],
+        ));
+        self.queue.push_back(Instr::load(
+            pc(61),
+            VirtAddr::new(self.data_addr(u)),
+            Some(5),
+            [Some(2), None],
+        ));
         let adj: Vec<u32> = self.graph.adj(u).iter().take(32).copied().collect();
         for (k, &t) in adj.iter().enumerate() {
             self.queue.push_back(Instr::load(
@@ -213,19 +228,22 @@ impl GraphWorkload {
                 Some(3),
                 [Some(2), None],
             ));
-            self.queue.push_back(Instr::load(pc(63), VirtAddr::new(self.data_addr(t)), Some(4), [
-                Some(3),
-                None,
-            ]));
+            self.queue.push_back(Instr::load(
+                pc(63),
+                VirtAddr::new(self.data_addr(t)),
+                Some(4),
+                [Some(3), None],
+            ));
             // Label comparison: direction depends on loaded data -> modelled
             // as a hard-to-predict branch (labels keep shrinking early on).
             let taken = t < u; // stable but irregular pattern per (u,t)
             self.queue.push_back(Instr::branch(pc(64), taken, Some(4)));
             if taken {
-                self.queue.push_back(Instr::store(pc(65), VirtAddr::new(self.data_addr(u)), [
-                    Some(4),
-                    Some(1),
-                ]));
+                self.queue.push_back(Instr::store(
+                    pc(65),
+                    VirtAddr::new(self.data_addr(u)),
+                    [Some(4), Some(1)],
+                ));
             }
         }
         self.queue.push_back(Instr::branch(pc(66), true, None));
@@ -247,7 +265,12 @@ impl GraphWorkload {
         let u = self.frontier.pop_front().expect("frontier refilled above");
         let start = self.graph.offsets[u as usize] as usize;
         let adj: Vec<u32> = self.graph.adj(u).iter().take(32).copied().collect();
-        self.queue.push_back(Instr::load(pc(50), VirtAddr::new(self.off_addr(u)), Some(2), [Some(1), None]));
+        self.queue.push_back(Instr::load(
+            pc(50),
+            VirtAddr::new(self.off_addr(u)),
+            Some(2),
+            [Some(1), None],
+        ));
         for (k, &t) in adj.iter().enumerate() {
             self.queue.push_back(Instr::load(
                 pc(51),
@@ -255,19 +278,23 @@ impl GraphWorkload {
                 Some(3),
                 [Some(2), None],
             ));
-            self.queue.push_back(Instr::load(pc(52), VirtAddr::new(self.data_addr(t)), Some(4), [
-                Some(3),
-                None,
-            ]));
+            self.queue.push_back(Instr::load(
+                pc(52),
+                VirtAddr::new(self.data_addr(t)),
+                Some(4),
+                [Some(3), None],
+            ));
             let unvisited = !self.visited[t as usize];
-            self.queue.push_back(Instr::branch(pc(53), unvisited, Some(4)));
+            self.queue
+                .push_back(Instr::branch(pc(53), unvisited, Some(4)));
             if unvisited {
                 self.visited[t as usize] = true;
                 self.frontier.push_back(t);
-                self.queue.push_back(Instr::store(pc(54), VirtAddr::new(self.data_addr(t)), [
-                    Some(4),
-                    Some(1),
-                ]));
+                self.queue.push_back(Instr::store(
+                    pc(54),
+                    VirtAddr::new(self.data_addr(t)),
+                    [Some(4), Some(1)],
+                ));
             }
         }
         self.queue.push_back(Instr::branch(pc(55), true, None));
@@ -299,17 +326,27 @@ impl GraphWorkload {
             }
             let _ = k;
         }
-        self.queue.push_back(Instr::load(pc(70), VirtAddr::new(self.off_addr(u)), Some(2), [Some(1), None]));
+        self.queue.push_back(Instr::load(
+            pc(70),
+            VirtAddr::new(self.off_addr(u)),
+            Some(2),
+            [Some(1), None],
+        ));
         for (ei, ej) in steps {
-            self.queue.push_back(Instr::load(pc(71), VirtAddr::new(self.edge_addr(ei)), Some(3), [
-                Some(2),
-                None,
-            ]));
-            self.queue.push_back(Instr::load(pc(72), VirtAddr::new(self.edge_addr(ej)), Some(4), [
-                Some(2),
-                None,
-            ]));
-            self.queue.push_back(Instr::branch(pc(73), (ei ^ ej) & 1 == 0, Some(4)));
+            self.queue.push_back(Instr::load(
+                pc(71),
+                VirtAddr::new(self.edge_addr(ei)),
+                Some(3),
+                [Some(2), None],
+            ));
+            self.queue.push_back(Instr::load(
+                pc(72),
+                VirtAddr::new(self.edge_addr(ej)),
+                Some(4),
+                [Some(2), None],
+            ));
+            self.queue
+                .push_back(Instr::branch(pc(73), (ei ^ ej) & 1 == 0, Some(4)));
         }
         self.queue.push_back(Instr::branch(pc(74), true, None));
     }
@@ -354,7 +391,12 @@ mod tests {
         let g = CsrGraph::synth(10_000, 8, 2);
         let low = g.edges.iter().filter(|&&t| t < 2500).count();
         // Quadratic skew puts ~half the mass in the first quarter.
-        assert!(low * 2 > g.num_edges(), "skew too weak: {}/{}", low, g.num_edges());
+        assert!(
+            low * 2 > g.num_edges(),
+            "skew too weak: {}/{}",
+            low,
+            g.num_edges()
+        );
     }
 
     #[test]

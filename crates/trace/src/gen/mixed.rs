@@ -31,7 +31,14 @@ impl MixedPhase {
     pub fn new(a: Box<dyn TraceSource>, b: Box<dyn TraceSource>, period: u64) -> Self {
         assert!(period > 0);
         let name = format!("mixed_{}_{}", a.name(), b.name());
-        Self { name, a, b, period, emitted: 0, in_a: true }
+        Self {
+            name,
+            a,
+            b,
+            period,
+            emitted: 0,
+            in_a: true,
+        }
     }
 }
 

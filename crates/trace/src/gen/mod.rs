@@ -40,7 +40,11 @@ impl RegRotor {
     pub fn new(base: Reg, count: Reg) -> Self {
         assert!(count > 0, "empty register window");
         assert!((base as usize + count as usize) <= crate::instr::NUM_REGS);
-        Self { base, count, next: 0 }
+        Self {
+            base,
+            count,
+            next: 0,
+        }
     }
 
     /// Returns the next register in rotation.
@@ -68,7 +72,9 @@ impl Layout {
 
     /// A layout rooted at the conventional heap base.
     pub fn new() -> Self {
-        Self { base: 0x1000_0000_0000 }
+        Self {
+            base: 0x1000_0000_0000,
+        }
     }
 
     /// Base address of region `idx`.

@@ -4,8 +4,9 @@
 //! `nodes` cache lines: each load's result is the address of the next load,
 //! so there is no memory-level parallelism and every off-chip miss stalls
 //! the ROB — the worst case the paper's Fig. 3 quantifies. The permutation
-//! is an affine map `next = a*cur + c (mod 2^k)` with odd `a`, which is
-//! bijective, needs no backing storage, and produces address deltas that
+//! is an affine map `next = a*cur + c (mod 2^k)` with odd `c` and
+//! `a ≡ 1 (mod 4)` (Hull–Dobell), so the walk visits every node before
+//! repeating, needs no backing storage, and produces address deltas that
 //! defeat delta/offset prefetchers, as irregular pointer chasing does.
 
 use rand::rngs::SmallRng;
@@ -42,9 +43,11 @@ impl PointerChase {
         assert!(nodes >= 2, "need at least two nodes to chase");
         let n = nodes.next_power_of_two();
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0FFEE);
-        // Odd multiplier => bijective affine map modulo a power of two.
-        let mul = (rng.gen::<u64>() | 1) & (n - 1) | 1;
-        let add = rng.gen::<u64>() & (n - 1);
+        // Hull–Dobell: the affine map has full period modulo a power of two
+        // iff `add` is odd and `mul ≡ 1 (mod 4)`. An odd `mul` alone is
+        // bijective but can strand the walk on a short cycle.
+        let mul = ((rng.gen::<u64>() & (n - 1)) & !0b10) | 1;
+        let add = rng.gen::<u64>() & (n - 1) | 1;
         Self {
             name: format!("pointer_chase_{}n", nodes),
             base: Layout::new().region(0),
@@ -81,7 +84,11 @@ impl TraceSource for PointerChase {
                     self.slot = 2;
                 }
                 // Work depends on the loaded pointer (r1), keeping it serial.
-                Instr::alu(pc(1 + (self.work_left % 4) as u64), Some(2), [Some(1), Some(2)])
+                Instr::alu(
+                    pc(1 + (self.work_left % 4) as u64),
+                    Some(2),
+                    [Some(1), Some(2)],
+                )
             }
             _ => {
                 self.slot = 0;

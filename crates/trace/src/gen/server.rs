@@ -89,7 +89,8 @@ impl TraceSource for ServerMix {
             2 => {
                 self.phase = 3;
                 if self.rng.gen::<u32>() % 1000 < self.cold_miss_per_mille {
-                    let addr = self.session_base + (self.rng.gen::<u64>() % self.session_lines) * 64;
+                    let addr =
+                        self.session_base + (self.rng.gen::<u64>() % self.session_lines) * 64;
                     Instr::load(pc(93), VirtAddr::new(addr), Some(6), [Some(7), None])
                 } else {
                     Instr::alu(pc(94), Some(7), [Some(7), None])
@@ -140,7 +141,10 @@ mod tests {
             }
         }
         let ratio = taken as f64 / total as f64;
-        assert!(ratio > 0.35 && ratio < 0.65, "dispatch should be ~50/50, got {ratio}");
+        assert!(
+            ratio > 0.35 && ratio < 0.65,
+            "dispatch should be ~50/50, got {ratio}"
+        );
     }
 
     #[test]

@@ -69,7 +69,12 @@ impl TraceSource for Stencil3d {
                 let addr = self.cell_addr(i + offs[s] + big[s]);
                 self.slot += 1;
                 let r = self.rot.next_reg();
-                Instr::load(pc(100 + s as u64), VirtAddr::new(addr), Some(r), [Some(1), None])
+                Instr::load(
+                    pc(100 + s as u64),
+                    VirtAddr::new(addr),
+                    Some(r),
+                    [Some(1), None],
+                )
             }
             7 => {
                 self.slot = 8;

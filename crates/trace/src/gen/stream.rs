@@ -68,12 +68,22 @@ impl TraceSource for StreamSweep {
             0 => {
                 self.slot = 1;
                 let r = self.rot.next_reg();
-                Instr::load(pc(0), VirtAddr::new(self.a + self.off()), Some(r), [Some(1), None])
+                Instr::load(
+                    pc(0),
+                    VirtAddr::new(self.a + self.off()),
+                    Some(r),
+                    [Some(1), None],
+                )
             }
             1 => {
                 self.slot = 2;
                 let r = self.rot.next_reg();
-                Instr::load(pc(1), VirtAddr::new(self.b + self.off()), Some(r), [Some(1), None])
+                Instr::load(
+                    pc(1),
+                    VirtAddr::new(self.b + self.off()),
+                    Some(r),
+                    [Some(1), None],
+                )
             }
             2 => {
                 self.slot = if self.with_store { 3 } else { 4 };
@@ -81,7 +91,11 @@ impl TraceSource for StreamSweep {
             }
             3 => {
                 self.slot = 4;
-                Instr::store(pc(3), VirtAddr::new(self.c + self.off()), [Some(24), Some(1)])
+                Instr::store(
+                    pc(3),
+                    VirtAddr::new(self.c + self.off()),
+                    [Some(24), Some(1)],
+                )
             }
             _ => {
                 self.i += 1;

@@ -38,8 +38,9 @@ impl StridedMulti {
         assert!(arrays > 0 && stride > 0 && footprint >= stride);
         let l = Layout::new();
         let bases: Vec<u64> = (0..arrays as u64).map(|k| l.region(4 + k)).collect();
-        let pos: Vec<u64> =
-            (0..arrays as u64).map(|k| ((seed ^ k).wrapping_mul(stride)) % footprint).collect();
+        let pos: Vec<u64> = (0..arrays as u64)
+            .map(|k| ((seed ^ k).wrapping_mul(stride)) % footprint)
+            .collect();
         Self {
             name: format!("strided_{}x{}B", arrays, stride),
             bases,

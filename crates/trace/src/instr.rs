@@ -71,12 +71,26 @@ pub struct Instr {
 impl Instr {
     /// A plain ALU instruction.
     pub fn alu(pc: u64, dst: Option<Reg>, srcs: [Option<Reg>; 2]) -> Self {
-        Self { pc, src_regs: srcs, dst_reg: dst, mem: None, branch: None, exec_latency: 1 }
+        Self {
+            pc,
+            src_regs: srcs,
+            dst_reg: dst,
+            mem: None,
+            branch: None,
+            exec_latency: 1,
+        }
     }
 
     /// A longer-latency compute instruction (multiply / FP).
     pub fn fp(pc: u64, dst: Option<Reg>, srcs: [Option<Reg>; 2], latency: u8) -> Self {
-        Self { pc, src_regs: srcs, dst_reg: dst, mem: None, branch: None, exec_latency: latency }
+        Self {
+            pc,
+            src_regs: srcs,
+            dst_reg: dst,
+            mem: None,
+            branch: None,
+            exec_latency: latency,
+        }
     }
 
     /// A load from `vaddr` into `dst`, reading address registers `srcs`.
@@ -85,7 +99,10 @@ impl Instr {
             pc,
             src_regs: srcs,
             dst_reg: dst,
-            mem: Some(MemOp { vaddr, kind: MemKind::Load }),
+            mem: Some(MemOp {
+                vaddr,
+                kind: MemKind::Load,
+            }),
             branch: None,
             exec_latency: 1,
         }
@@ -97,7 +114,10 @@ impl Instr {
             pc,
             src_regs: srcs,
             dst_reg: None,
-            mem: Some(MemOp { vaddr, kind: MemKind::Store }),
+            mem: Some(MemOp {
+                vaddr,
+                kind: MemKind::Store,
+            }),
             branch: None,
             exec_latency: 1,
         }
@@ -119,13 +139,25 @@ impl Instr {
     /// Whether this instruction is a demand load.
     #[inline]
     pub fn is_load(&self) -> bool {
-        matches!(self.mem, Some(MemOp { kind: MemKind::Load, .. }))
+        matches!(
+            self.mem,
+            Some(MemOp {
+                kind: MemKind::Load,
+                ..
+            })
+        )
     }
 
     /// Whether this instruction is a store.
     #[inline]
     pub fn is_store(&self) -> bool {
-        matches!(self.mem, Some(MemOp { kind: MemKind::Store, .. }))
+        matches!(
+            self.mem,
+            Some(MemOp {
+                kind: MemKind::Store,
+                ..
+            })
+        )
     }
 
     /// Whether this instruction is a conditional branch.

@@ -58,8 +58,15 @@ impl VecSource {
     ///
     /// Panics if `instrs` is empty — an empty trace cannot feed a core.
     pub fn new(name: impl Into<String>, instrs: Vec<Instr>) -> Self {
-        assert!(!instrs.is_empty(), "VecSource needs at least one instruction");
-        Self { name: name.into(), instrs, pos: 0 }
+        assert!(
+            !instrs.is_empty(),
+            "VecSource needs at least one instruction"
+        );
+        Self {
+            name: name.into(),
+            instrs,
+            pos: 0,
+        }
     }
 
     /// Number of distinct instructions before the trace wraps.

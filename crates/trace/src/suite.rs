@@ -36,8 +36,13 @@ pub enum Category {
 
 impl Category {
     /// All categories in the paper's presentation order.
-    pub const ALL: [Category; 5] =
-        [Category::Spec06, Category::Spec17, Category::Parsec, Category::Ligra, Category::Cvp];
+    pub const ALL: [Category; 5] = [
+        Category::Spec06,
+        Category::Spec17,
+        Category::Parsec,
+        Category::Ligra,
+        Category::Cvp,
+    ];
 
     /// Short display label as used in the paper's figures.
     pub fn label(self) -> &'static str {
@@ -63,27 +68,52 @@ pub enum GenConfig {
     /// Pointer chase: (nodes, work_per_hop).
     PointerChase { nodes: u64, work: u32 },
     /// Stream triad: (elements, elem_size, with_store).
-    Stream { elems: u64, elem_size: u64, store: bool },
+    Stream {
+        elems: u64,
+        elem_size: u64,
+        store: bool,
+    },
     /// Strided multi-array: (arrays, stride, footprint, work).
-    Strided { arrays: usize, stride: u64, footprint: u64, work: u32 },
+    Strided {
+        arrays: usize,
+        stride: u64,
+        footprint: u64,
+        work: u32,
+    },
     /// Random table access: (table_bytes, update).
     Random { table_bytes: u64, update: bool },
     /// Graph kernel: (kernel, vertices, avg_degree).
-    Graph { kernel: GraphKernel, vertices: u32, avg_degree: u32 },
+    Graph {
+        kernel: GraphKernel,
+        vertices: u32,
+        avg_degree: u32,
+    },
     /// Radii-style multi-source BFS: (vertices, avg_degree).
     Radii { vertices: u32, avg_degree: u32 },
     /// Hash join: (ht_bytes, probe_len).
     HashJoin { ht_bytes: u64, probe_len: u64 },
     /// Server mix: (hot_bytes, session_bytes, cold_per_mille).
-    Server { hot_bytes: u64, session_bytes: u64, cold_per_mille: u32 },
+    Server {
+        hot_bytes: u64,
+        session_bytes: u64,
+        cold_per_mille: u32,
+    },
     /// 3-D stencil: (nx, ny, nz).
     Stencil { nx: u64, ny: u64, nz: u64 },
     /// Stream clustering: (points, medoids, dims).
-    StreamCluster { points: u64, medoids: u64, dims: u64 },
+    StreamCluster {
+        points: u64,
+        medoids: u64,
+        dims: u64,
+    },
     /// Canneal swaps: (elems).
     Canneal { elems: u64 },
     /// Phase alternation between two sub-configs.
-    Mixed { a: Box<GenConfig>, b: Box<GenConfig>, period: u64 },
+    Mixed {
+        a: Box<GenConfig>,
+        b: Box<GenConfig>,
+        period: u64,
+    },
     /// Compute dilution: `work` ALU instructions after every memory
     /// instruction of the inner config (scales MPKI toward the paper's
     /// ~8-per-kilo-instruction regime).
@@ -106,7 +136,12 @@ pub struct WorkloadSpec {
 impl WorkloadSpec {
     /// Creates a spec.
     pub fn new(name: impl Into<String>, category: Category, config: GenConfig, seed: u64) -> Self {
-        Self { name: name.into(), category, config, seed }
+        Self {
+            name: name.into(),
+            category,
+            config,
+            seed,
+        }
     }
 
     /// Instantiates the generator.
@@ -118,38 +153,60 @@ impl WorkloadSpec {
 fn build_config(config: &GenConfig, seed: u64) -> Box<dyn TraceSource> {
     match config {
         GenConfig::PointerChase { nodes, work } => Box::new(PointerChase::new(*nodes, *work, seed)),
-        GenConfig::Stream { elems, elem_size, store } => {
-            Box::new(StreamSweep::new(*elems, *elem_size, *store, seed))
-        }
-        GenConfig::Strided { arrays, stride, footprint, work } => {
-            Box::new(StridedMulti::new(*arrays, *stride, *footprint, *work, seed))
-        }
-        GenConfig::Random { table_bytes, update } => {
-            Box::new(RandomAccess::new(*table_bytes, *update, seed))
-        }
-        GenConfig::Graph { kernel, vertices, avg_degree } => {
-            Box::new(GraphWorkload::new(*kernel, *vertices, *avg_degree, seed))
-        }
-        GenConfig::Radii { vertices, avg_degree } => {
-            Box::new(GraphWorkload::new_radii(*vertices, *avg_degree, seed))
-        }
-        GenConfig::HashJoin { ht_bytes, probe_len } => {
-            Box::new(HashJoin::new(*ht_bytes, *probe_len, seed))
-        }
-        GenConfig::Server { hot_bytes, session_bytes, cold_per_mille } => {
-            Box::new(ServerMix::new(*hot_bytes, *session_bytes, *cold_per_mille, seed))
-        }
+        GenConfig::Stream {
+            elems,
+            elem_size,
+            store,
+        } => Box::new(StreamSweep::new(*elems, *elem_size, *store, seed)),
+        GenConfig::Strided {
+            arrays,
+            stride,
+            footprint,
+            work,
+        } => Box::new(StridedMulti::new(*arrays, *stride, *footprint, *work, seed)),
+        GenConfig::Random {
+            table_bytes,
+            update,
+        } => Box::new(RandomAccess::new(*table_bytes, *update, seed)),
+        GenConfig::Graph {
+            kernel,
+            vertices,
+            avg_degree,
+        } => Box::new(GraphWorkload::new(*kernel, *vertices, *avg_degree, seed)),
+        GenConfig::Radii {
+            vertices,
+            avg_degree,
+        } => Box::new(GraphWorkload::new_radii(*vertices, *avg_degree, seed)),
+        GenConfig::HashJoin {
+            ht_bytes,
+            probe_len,
+        } => Box::new(HashJoin::new(*ht_bytes, *probe_len, seed)),
+        GenConfig::Server {
+            hot_bytes,
+            session_bytes,
+            cold_per_mille,
+        } => Box::new(ServerMix::new(
+            *hot_bytes,
+            *session_bytes,
+            *cold_per_mille,
+            seed,
+        )),
         GenConfig::Stencil { nx, ny, nz } => Box::new(Stencil3d::new(*nx, *ny, *nz, seed)),
-        GenConfig::StreamCluster { points, medoids, dims } => {
-            Box::new(StreamCluster::new(*points, *medoids, *dims, seed))
-        }
+        GenConfig::StreamCluster {
+            points,
+            medoids,
+            dims,
+        } => Box::new(StreamCluster::new(*points, *medoids, *dims, seed)),
         GenConfig::Canneal { elems } => Box::new(Canneal::new(*elems, seed)),
-        GenConfig::Mixed { a, b, period } => {
-            Box::new(MixedPhase::new(build_config(a, seed), build_config(b, seed ^ 0x5A5A), *period))
-        }
-        GenConfig::Diluted { inner, work } => {
-            Box::new(crate::gen::dilute::Dilute::new(build_config(inner, seed), *work))
-        }
+        GenConfig::Mixed { a, b, period } => Box::new(MixedPhase::new(
+            build_config(a, seed),
+            build_config(b, seed ^ 0x5A5A),
+            *period,
+        )),
+        GenConfig::Diluted { inner, work } => Box::new(crate::gen::dilute::Dilute::new(
+            build_config(inner, seed),
+            *work,
+        )),
     }
 }
 
@@ -162,50 +219,99 @@ const MB: u64 = 1 << 20;
 pub fn default_suite() -> Vec<WorkloadSpec> {
     use Category::*;
     use GenConfig::*;
-    let dil = |inner: GenConfig, work: u32| Diluted { inner: Box::new(inner), work };
+    let dil = |inner: GenConfig, work: u32| Diluted {
+        inner: Box::new(inner),
+        work,
+    };
     vec![
         // --- SPEC06-like ---
         WorkloadSpec::new(
             "mcf-like",
             Spec06,
-            dil(PointerChase { nodes: 512 * 1024, work: 3 }, 12),
+            dil(
+                PointerChase {
+                    nodes: 512 * 1024,
+                    work: 3,
+                },
+                12,
+            ),
             11,
         ),
         WorkloadSpec::new(
             "lbm-like",
             Spec06,
-            dil(Stream { elems: 4 << 20, elem_size: 4, store: true }, 5),
+            dil(
+                Stream {
+                    elems: 4 << 20,
+                    elem_size: 4,
+                    store: true,
+                },
+                5,
+            ),
             12,
         ),
         WorkloadSpec::new(
             "cactus-like",
             Spec06,
-            dil(Strided { arrays: 4, stride: 320, footprint: 24 * MB, work: 2 }, 40),
+            dil(
+                Strided {
+                    arrays: 4,
+                    stride: 320,
+                    footprint: 24 * MB,
+                    work: 2,
+                },
+                40,
+            ),
             13,
         ),
         WorkloadSpec::new(
             "omnetpp-like",
             Spec06,
-            dil(Random { table_bytes: 12 * MB, update: true }, 16),
+            dil(
+                Random {
+                    table_bytes: 12 * MB,
+                    update: true,
+                },
+                16,
+            ),
             14,
         ),
         // --- SPEC17-like ---
         WorkloadSpec::new(
             "mcf_s-like",
             Spec17,
-            dil(PointerChase { nodes: 1 << 20, work: 2 }, 16),
+            dil(
+                PointerChase {
+                    nodes: 1 << 20,
+                    work: 2,
+                },
+                16,
+            ),
             21,
         ),
         WorkloadSpec::new(
             "fotonik3d-like",
             Spec17,
-            dil(Stencil { nx: 128, ny: 128, nz: 96 }, 4),
+            dil(
+                Stencil {
+                    nx: 128,
+                    ny: 128,
+                    nz: 96,
+                },
+                4,
+            ),
             22,
         ),
         WorkloadSpec::new(
             "xalancbmk_s-like",
             Spec17,
-            dil(Random { table_bytes: 16 * MB, update: false }, 32),
+            dil(
+                Random {
+                    table_bytes: 16 * MB,
+                    update: false,
+                },
+                32,
+            ),
             23,
         ),
         WorkloadSpec::new(
@@ -213,7 +319,10 @@ pub fn default_suite() -> Vec<WorkloadSpec> {
             Spec17,
             dil(
                 Mixed {
-                    a: Box::new(PointerChase { nodes: 128 * 1024, work: 6 }),
+                    a: Box::new(PointerChase {
+                        nodes: 128 * 1024,
+                        work: 6,
+                    }),
                     b: Box::new(Server {
                         hot_bytes: 64 << 10,
                         session_bytes: 16 * MB,
@@ -226,62 +335,137 @@ pub fn default_suite() -> Vec<WorkloadSpec> {
             24,
         ),
         // --- PARSEC-like ---
-        WorkloadSpec::new("canneal-like", Parsec, dil(Canneal { elems: 96 * 1024 }, 12), 31),
+        WorkloadSpec::new(
+            "canneal-like",
+            Parsec,
+            dil(Canneal { elems: 96 * 1024 }, 12),
+            31,
+        ),
         WorkloadSpec::new(
             "streamcluster-like",
             Parsec,
-            StreamCluster { points: 1 << 20, medoids: 8, dims: 8 },
+            StreamCluster {
+                points: 1 << 20,
+                medoids: 8,
+                dims: 8,
+            },
             32,
         ),
-        WorkloadSpec::new("facesim-like", Parsec, dil(Stencil { nx: 96, ny: 96, nz: 96 }, 4), 33),
+        WorkloadSpec::new(
+            "facesim-like",
+            Parsec,
+            dil(
+                Stencil {
+                    nx: 96,
+                    ny: 96,
+                    nz: 96,
+                },
+                4,
+            ),
+            33,
+        ),
         WorkloadSpec::new(
             "raytrace-like",
             Parsec,
-            dil(PointerChase { nodes: 192 * 1024, work: 8 }, 16),
+            dil(
+                PointerChase {
+                    nodes: 192 * 1024,
+                    work: 8,
+                },
+                16,
+            ),
             34,
         ),
         // --- Ligra-like ---
         WorkloadSpec::new(
             "ligra-bfs",
             Ligra,
-            dil(Graph { kernel: GraphKernel::Bfs, vertices: 400_000, avg_degree: 8 }, 10),
+            dil(
+                Graph {
+                    kernel: GraphKernel::Bfs,
+                    vertices: 400_000,
+                    avg_degree: 8,
+                },
+                10,
+            ),
             41,
         ),
         WorkloadSpec::new(
             "ligra-pagerank",
             Ligra,
-            dil(Graph { kernel: GraphKernel::PageRank, vertices: 1_200_000, avg_degree: 8 }, 8),
+            dil(
+                Graph {
+                    kernel: GraphKernel::PageRank,
+                    vertices: 1_200_000,
+                    avg_degree: 8,
+                },
+                8,
+            ),
             42,
         ),
         WorkloadSpec::new(
             "ligra-components",
             Ligra,
-            dil(Graph { kernel: GraphKernel::Components, vertices: 1_000_000, avg_degree: 8 }, 8),
+            dil(
+                Graph {
+                    kernel: GraphKernel::Components,
+                    vertices: 1_000_000,
+                    avg_degree: 8,
+                },
+                8,
+            ),
             43,
         ),
         WorkloadSpec::new(
             "ligra-triangle",
             Ligra,
-            dil(Graph { kernel: GraphKernel::Triangle, vertices: 200_000, avg_degree: 12 }, 4),
+            dil(
+                Graph {
+                    kernel: GraphKernel::Triangle,
+                    vertices: 200_000,
+                    avg_degree: 12,
+                },
+                4,
+            ),
             44,
         ),
         // --- CVP-like ---
         WorkloadSpec::new(
             "server-int",
             Cvp,
-            dil(Server { hot_bytes: 128 << 10, session_bytes: 32 * MB, cold_per_mille: 250 }, 2),
+            dil(
+                Server {
+                    hot_bytes: 128 << 10,
+                    session_bytes: 32 * MB,
+                    cold_per_mille: 250,
+                },
+                2,
+            ),
             51,
         ),
         WorkloadSpec::new(
             "server-join",
             Cvp,
-            dil(HashJoin { ht_bytes: 12 * MB, probe_len: 1 << 18 }, 12),
+            dil(
+                HashJoin {
+                    ht_bytes: 12 * MB,
+                    probe_len: 1 << 18,
+                },
+                12,
+            ),
             52,
         ),
         WorkloadSpec::new(
             "compute-fp",
             Cvp,
-            dil(Stream { elems: 6 << 20, elem_size: 8, store: false }, 6),
+            dil(
+                Stream {
+                    elems: 6 << 20,
+                    elem_size: 8,
+                    store: false,
+                },
+                6,
+            ),
             53,
         ),
         WorkloadSpec::new(
@@ -289,8 +473,15 @@ pub fn default_suite() -> Vec<WorkloadSpec> {
             Cvp,
             dil(
                 Mixed {
-                    a: Box::new(Random { table_bytes: 12 * MB, update: true }),
-                    b: Box::new(Stream { elems: 2 << 20, elem_size: 4, store: true }),
+                    a: Box::new(Random {
+                        table_bytes: 12 * MB,
+                        update: true,
+                    }),
+                    b: Box::new(Stream {
+                        elems: 2 << 20,
+                        elem_size: 4,
+                        store: true,
+                    }),
                     period: 20_000,
                 },
                 16,
@@ -307,67 +498,267 @@ pub fn full_suite() -> Vec<WorkloadSpec> {
     use Category::*;
     use GenConfig::*;
     let mut v = default_suite();
-    let dil = |inner: GenConfig, work: u32| Diluted { inner: Box::new(inner), work };
+    let dil = |inner: GenConfig, work: u32| Diluted {
+        inner: Box::new(inner),
+        work,
+    };
     let extra = vec![
-        WorkloadSpec::new("mcf-like-2", Spec06, dil(PointerChase { nodes: 256 * 1024, work: 5 }, 10), 111),
-        WorkloadSpec::new("libquantum-like", Spec06, dil(Stream { elems: 8 << 20, elem_size: 4, store: false }, 6), 112),
-        WorkloadSpec::new("soplex-like", Spec06, dil(Random { table_bytes: 24 * MB, update: true }, 14), 113),
+        WorkloadSpec::new(
+            "mcf-like-2",
+            Spec06,
+            dil(
+                PointerChase {
+                    nodes: 256 * 1024,
+                    work: 5,
+                },
+                10,
+            ),
+            111,
+        ),
+        WorkloadSpec::new(
+            "libquantum-like",
+            Spec06,
+            dil(
+                Stream {
+                    elems: 8 << 20,
+                    elem_size: 4,
+                    store: false,
+                },
+                6,
+            ),
+            112,
+        ),
+        WorkloadSpec::new(
+            "soplex-like",
+            Spec06,
+            dil(
+                Random {
+                    table_bytes: 24 * MB,
+                    update: true,
+                },
+                14,
+            ),
+            113,
+        ),
         WorkloadSpec::new(
             "gems-like",
             Spec06,
-            dil(Strided { arrays: 6, stride: 192, footprint: 24 * MB, work: 3 }, 14),
+            dil(
+                Strided {
+                    arrays: 6,
+                    stride: 192,
+                    footprint: 24 * MB,
+                    work: 3,
+                },
+                14,
+            ),
             114,
         ),
-        WorkloadSpec::new("milc-like", Spec06, dil(Stencil { nx: 64, ny: 64, nz: 256 }, 5), 115),
-        WorkloadSpec::new("sphinx-like", Spec06, dil(Stream { elems: 3 << 20, elem_size: 4, store: true }, 8), 116),
-        WorkloadSpec::new("mcf_s-like-2", Spec17, dil(PointerChase { nodes: 2 << 20, work: 1 }, 18), 121),
-        WorkloadSpec::new("roms-like", Spec17, dil(Stream { elems: 5 << 20, elem_size: 8, store: true }, 4), 122),
-        WorkloadSpec::new("cam4-like", Spec17, dil(Strided { arrays: 5, stride: 256, footprint: 20 * MB, work: 4 }, 12), 123),
-        WorkloadSpec::new("pop2-like", Spec17, dil(Stencil { nx: 160, ny: 160, nz: 48 }, 6), 124),
-        WorkloadSpec::new("lbm_s-like", Spec17, dil(Stream { elems: 7 << 20, elem_size: 4, store: true }, 4), 125),
-        WorkloadSpec::new("canneal-like-2", Parsec, dil(Canneal { elems: 192 * 1024 }, 14), 131),
+        WorkloadSpec::new(
+            "milc-like",
+            Spec06,
+            dil(
+                Stencil {
+                    nx: 64,
+                    ny: 64,
+                    nz: 256,
+                },
+                5,
+            ),
+            115,
+        ),
+        WorkloadSpec::new(
+            "sphinx-like",
+            Spec06,
+            dil(
+                Stream {
+                    elems: 3 << 20,
+                    elem_size: 4,
+                    store: true,
+                },
+                8,
+            ),
+            116,
+        ),
+        WorkloadSpec::new(
+            "mcf_s-like-2",
+            Spec17,
+            dil(
+                PointerChase {
+                    nodes: 2 << 20,
+                    work: 1,
+                },
+                18,
+            ),
+            121,
+        ),
+        WorkloadSpec::new(
+            "roms-like",
+            Spec17,
+            dil(
+                Stream {
+                    elems: 5 << 20,
+                    elem_size: 8,
+                    store: true,
+                },
+                4,
+            ),
+            122,
+        ),
+        WorkloadSpec::new(
+            "cam4-like",
+            Spec17,
+            dil(
+                Strided {
+                    arrays: 5,
+                    stride: 256,
+                    footprint: 20 * MB,
+                    work: 4,
+                },
+                12,
+            ),
+            123,
+        ),
+        WorkloadSpec::new(
+            "pop2-like",
+            Spec17,
+            dil(
+                Stencil {
+                    nx: 160,
+                    ny: 160,
+                    nz: 48,
+                },
+                6,
+            ),
+            124,
+        ),
+        WorkloadSpec::new(
+            "lbm_s-like",
+            Spec17,
+            dil(
+                Stream {
+                    elems: 7 << 20,
+                    elem_size: 4,
+                    store: true,
+                },
+                4,
+            ),
+            125,
+        ),
+        WorkloadSpec::new(
+            "canneal-like-2",
+            Parsec,
+            dil(Canneal { elems: 192 * 1024 }, 14),
+            131,
+        ),
         WorkloadSpec::new(
             "streamcluster-like-2",
             Parsec,
-            StreamCluster { points: 2 << 20, medoids: 16, dims: 4 },
+            StreamCluster {
+                points: 2 << 20,
+                medoids: 16,
+                dims: 4,
+            },
             132,
         ),
-        WorkloadSpec::new("dedup-like", Parsec, dil(HashJoin { ht_bytes: 16 * MB, probe_len: 1 << 17 }, 10), 133),
+        WorkloadSpec::new(
+            "dedup-like",
+            Parsec,
+            dil(
+                HashJoin {
+                    ht_bytes: 16 * MB,
+                    probe_len: 1 << 17,
+                },
+                10,
+            ),
+            133,
+        ),
         WorkloadSpec::new(
             "ligra-radii",
             Ligra,
-            dil(Radii { vertices: 300_000, avg_degree: 8 }, 8),
+            dil(
+                Radii {
+                    vertices: 300_000,
+                    avg_degree: 8,
+                },
+                8,
+            ),
             141,
         ),
         WorkloadSpec::new(
             "ligra-pagerank-2",
             Ligra,
-            dil(Graph { kernel: GraphKernel::PageRank, vertices: 800_000, avg_degree: 6 }, 8),
+            dil(
+                Graph {
+                    kernel: GraphKernel::PageRank,
+                    vertices: 800_000,
+                    avg_degree: 6,
+                },
+                8,
+            ),
             142,
         ),
         WorkloadSpec::new(
             "ligra-bfs-2",
             Ligra,
-            dil(Graph { kernel: GraphKernel::Bfs, vertices: 700_000, avg_degree: 5 }, 10),
+            dil(
+                Graph {
+                    kernel: GraphKernel::Bfs,
+                    vertices: 700_000,
+                    avg_degree: 5,
+                },
+                10,
+            ),
             143,
         ),
         WorkloadSpec::new(
             "ligra-components-2",
             Ligra,
-            dil(Graph { kernel: GraphKernel::Components, vertices: 600_000, avg_degree: 10 }, 8),
+            dil(
+                Graph {
+                    kernel: GraphKernel::Components,
+                    vertices: 600_000,
+                    avg_degree: 10,
+                },
+                8,
+            ),
             144,
         ),
         WorkloadSpec::new(
             "server-int-2",
             Cvp,
-            dil(Server { hot_bytes: 256 << 10, session_bytes: 32 * MB, cold_per_mille: 180 }, 2),
+            dil(
+                Server {
+                    hot_bytes: 256 << 10,
+                    session_bytes: 32 * MB,
+                    cold_per_mille: 180,
+                },
+                2,
+            ),
             151,
         ),
-        WorkloadSpec::new("server-join-2", Cvp, dil(HashJoin { ht_bytes: 24 * MB, probe_len: 1 << 19 }, 10), 152),
+        WorkloadSpec::new(
+            "server-join-2",
+            Cvp,
+            dil(
+                HashJoin {
+                    ht_bytes: 24 * MB,
+                    probe_len: 1 << 19,
+                },
+                10,
+            ),
+            152,
+        ),
         WorkloadSpec::new(
             "compute-int-2",
             Cvp,
-            dil(Random { table_bytes: 16 * MB, update: false }, 12),
+            dil(
+                Random {
+                    table_bytes: 16 * MB,
+                    update: false,
+                },
+                12,
+            ),
             153,
         ),
         WorkloadSpec::new(
@@ -375,8 +766,15 @@ pub fn full_suite() -> Vec<WorkloadSpec> {
             Cvp,
             dil(
                 Mixed {
-                    a: Box::new(Stream { elems: 4 << 20, elem_size: 8, store: true }),
-                    b: Box::new(Random { table_bytes: 8 * MB, update: true }),
+                    a: Box::new(Stream {
+                        elems: 4 << 20,
+                        elem_size: 8,
+                        store: true,
+                    }),
+                    b: Box::new(Random {
+                        table_bytes: 8 * MB,
+                        update: true,
+                    }),
                     period: 15_000,
                 },
                 8,
@@ -389,7 +787,12 @@ pub fn full_suite() -> Vec<WorkloadSpec> {
     let variants: Vec<WorkloadSpec> = v
         .iter()
         .map(|w| {
-            WorkloadSpec::new(format!("{}-alt", w.name), w.category, w.config.clone(), w.seed + 1000)
+            WorkloadSpec::new(
+                format!("{}-alt", w.name),
+                w.category,
+                w.config.clone(),
+                w.seed + 1000,
+            )
         })
         .collect();
     v.extend(variants);
@@ -402,19 +805,44 @@ pub fn smoke_suite() -> Vec<WorkloadSpec> {
     use Category::*;
     use GenConfig::*;
     vec![
-        WorkloadSpec::new("smoke-chase", Spec06, PointerChase { nodes: 64 * 1024, work: 2 }, 1),
-        WorkloadSpec::new("smoke-stream", Spec17, Stream { elems: 1 << 20, elem_size: 4, store: true }, 2),
+        WorkloadSpec::new(
+            "smoke-chase",
+            Spec06,
+            PointerChase {
+                nodes: 64 * 1024,
+                work: 2,
+            },
+            1,
+        ),
+        WorkloadSpec::new(
+            "smoke-stream",
+            Spec17,
+            Stream {
+                elems: 1 << 20,
+                elem_size: 4,
+                store: true,
+            },
+            2,
+        ),
         WorkloadSpec::new("smoke-canneal", Parsec, Canneal { elems: 64 * 1024 }, 3),
         WorkloadSpec::new(
             "smoke-pagerank",
             Ligra,
-            Graph { kernel: GraphKernel::PageRank, vertices: 100_000, avg_degree: 6 },
+            Graph {
+                kernel: GraphKernel::PageRank,
+                vertices: 100_000,
+                avg_degree: 6,
+            },
             4,
         ),
         WorkloadSpec::new(
             "smoke-server",
             Cvp,
-            Server { hot_bytes: 64 << 10, session_bytes: 12 * MB, cold_per_mille: 200 },
+            Server {
+                hot_bytes: 64 << 10,
+                session_bytes: 12 * MB,
+                cold_per_mille: 200,
+            },
             5,
         ),
     ]

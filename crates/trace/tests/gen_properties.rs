@@ -1,0 +1,177 @@
+//! Property tests for the trace generators: determinism per seed, seed
+//! sensitivity, and working-set bounds.
+//!
+//! These are the contracts the rest of the system leans on: the simulator's
+//! reproducibility proof rests on generator determinism, figure comparisons
+//! across configurations rest on seed stability, and cache-pressure
+//! reasoning rests on generators staying inside their declared footprints.
+
+use proptest::prelude::*;
+
+use hermes_trace::gen::canneal::Canneal;
+use hermes_trace::gen::pointer_chase::PointerChase;
+use hermes_trace::gen::random_access::RandomAccess;
+use hermes_trace::gen::server::ServerMix;
+use hermes_trace::gen::stream::StreamSweep;
+use hermes_trace::gen::Layout;
+use hermes_trace::{suite, TraceSource};
+
+/// One naturally-aligned region per logical data structure (see
+/// [`Layout`]); generators use indices well below this.
+const MAX_REGION_IDX: u64 = 28;
+
+/// The compute-dilution filler touches a tiny hot "stack" region far above
+/// the heap (see `gen::dilute`).
+const HOT_BASE: u64 = 0x7FFF_0000_0000;
+const HOT_SPAN: u64 = 1 << 20;
+
+fn region(idx: u64) -> u64 {
+    Layout::new().region(idx)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same spec (same seed) ⇒ byte-identical instruction stream, for every
+    /// workload in the default suite (exercising the Mixed/Diluted wrappers
+    /// too, not just the leaf generators).
+    #[test]
+    fn same_seed_same_stream(which in 0usize..20, n in 200usize..800) {
+        let spec = &suite::default_suite()[which];
+        let mut a = spec.build();
+        let mut b = spec.build();
+        for i in 0..n {
+            prop_assert_eq!(a.next_instr(), b.next_instr(), "diverged at instruction {}", i);
+        }
+    }
+
+    /// Different seeds ⇒ observably different streams for every workload in
+    /// the default suite (every generator folds the seed into either its
+    /// RNG stream or its sweep phase).
+    #[test]
+    fn different_seeds_different_streams(which in 0usize..20, bump in 1u64..1000) {
+        let spec = &suite::default_suite()[which];
+        let alt = suite::WorkloadSpec::new(
+            spec.name.clone(),
+            spec.category,
+            spec.config.clone(),
+            spec.seed + bump,
+        );
+        let mut a = spec.build();
+        let mut b = alt.build();
+        let differs = (0..2000).any(|_| a.next_instr() != b.next_instr());
+        prop_assert!(differs, "seed {} and {} produced identical streams", spec.seed, spec.seed + bump);
+    }
+
+    /// Every access of every suite workload stays inside the declared
+    /// address space: the heap layout regions plus the dilution hot region.
+    #[test]
+    fn suite_respects_address_space(which in 0usize..20, n in 500usize..1500) {
+        let spec = &suite::default_suite()[which];
+        let heap = region(0);
+        let heap_end = region(MAX_REGION_IDX);
+        let mut src = spec.build();
+        for _ in 0..n {
+            if let Some(m) = src.next_instr().mem {
+                let a = m.vaddr.raw();
+                let in_heap = (heap..heap_end).contains(&a);
+                let in_hot = (HOT_BASE..HOT_BASE + HOT_SPAN).contains(&a);
+                prop_assert!(in_heap || in_hot, "{}: access {a:#x} outside address space", spec.name);
+            }
+        }
+    }
+
+    /// Pointer chase: every access falls inside the node array —
+    /// `nodes.next_power_of_two()` 64 B nodes at region 0.
+    #[test]
+    fn pointer_chase_working_set(nodes in 2u64..5000, work in 0u32..4, seed in 0u64..1000) {
+        let lo = region(0);
+        let hi = lo + nodes.next_power_of_two() * 64;
+        let mut g = PointerChase::new(nodes, work, seed);
+        for _ in 0..2000 {
+            if let Some(m) = g.next_instr().mem {
+                prop_assert!((lo..hi).contains(&m.vaddr.raw()));
+            }
+        }
+    }
+
+    /// Random table access: bounded by the power-of-two-rounded table.
+    #[test]
+    fn random_access_working_set(table in 128u64..(1 << 20), update in any::<bool>(), seed in 0u64..1000) {
+        let lo = region(8);
+        let hi = lo + table.next_power_of_two();
+        let mut g = RandomAccess::new(table, update, seed);
+        for _ in 0..2000 {
+            if let Some(m) = g.next_instr().mem {
+                prop_assert!((lo..hi).contains(&m.vaddr.raw()));
+            }
+        }
+    }
+
+    /// Stream triad: loads stay in arrays A and B, stores in C, all within
+    /// `elems * elem_size` of their bases.
+    #[test]
+    fn stream_working_set(
+        elems in 1u64..10_000,
+        esz_idx in 0usize..7,
+        store in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let elem_size = [1u64, 2, 4, 8, 16, 32, 64][esz_idx];
+        let span = elems * elem_size;
+        let mut g = StreamSweep::new(elems, elem_size, store, seed);
+        for _ in 0..2000 {
+            let i = g.next_instr();
+            if let Some(m) = i.mem {
+                let a = m.vaddr.raw();
+                let in_any = [region(1), region(2), region(3)]
+                    .iter()
+                    .any(|&base| (base..base + span).contains(&a));
+                prop_assert!(in_any, "stream access {a:#x} outside its arrays");
+                if i.is_store() {
+                    prop_assert!((region(3)..region(3) + span).contains(&a), "store outside C");
+                }
+            }
+        }
+    }
+
+    /// Canneal: element and location arrays are both bounded by the
+    /// power-of-two-rounded element count.
+    #[test]
+    fn canneal_working_set(elems in 16u64..10_000, seed in 0u64..1000) {
+        let span = elems.next_power_of_two() * 64;
+        let mut g = Canneal::new(elems, seed);
+        for _ in 0..2000 {
+            if let Some(m) = g.next_instr().mem {
+                let a = m.vaddr.raw();
+                let ok = (region(24)..region(24) + span).contains(&a)
+                    || (region(25)..region(25) + span).contains(&a);
+                prop_assert!(ok, "canneal access {a:#x} outside both arrays");
+            }
+        }
+    }
+
+    /// Server mix: hot-state loads inside `hot_bytes`, session loads inside
+    /// the power-of-two-rounded session table, log stores inside the fixed
+    /// 32 MiB log window.
+    #[test]
+    fn server_working_set(
+        hot_kib in 4u64..256,
+        session_kib in 4u64..4096,
+        cold in 0u32..1000,
+        seed in 0u64..1000,
+    ) {
+        let hot_bytes = hot_kib * 1024;
+        let session_bytes = session_kib * 1024;
+        let mut g = ServerMix::new(hot_bytes, session_bytes, cold, seed);
+        for _ in 0..3000 {
+            if let Some(m) = g.next_instr().mem {
+                let a = m.vaddr.raw();
+                let ok = (region(19)..region(19) + hot_bytes).contains(&a)
+                    || (region(20)..region(20) + session_bytes.next_power_of_two()).contains(&a)
+                    || (region(21)..region(21) + (1 << 25)).contains(&a);
+                prop_assert!(ok, "server access {a:#x} outside hot/session/log bounds");
+            }
+        }
+    }
+}

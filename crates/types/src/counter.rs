@@ -37,7 +37,10 @@ impl SatWeight {
     ///
     /// Panics if `bits` is 0 or greater than 15.
     pub fn new_bits(bits: u32) -> Self {
-        assert!((1..=15).contains(&bits), "weight width out of range: {bits}");
+        assert!(
+            (1..=15).contains(&bits),
+            "weight width out of range: {bits}"
+        );
         let max = (1i16 << (bits - 1)) - 1;
         let min = -(1i16 << (bits - 1));
         Self { value: 0, min, max }
@@ -50,7 +53,11 @@ impl SatWeight {
     /// Panics if `min > max`.
     pub fn with_bounds(min: i16, max: i16) -> Self {
         assert!(min <= max, "invalid bounds {min}..={max}");
-        Self { value: 0i16.clamp(min, max), min, max }
+        Self {
+            value: 0i16.clamp(min, max),
+            min,
+            max,
+        }
     }
 
     /// Current value.
@@ -144,9 +151,15 @@ impl SatCounter {
     ///
     /// Panics if `bits` is 0 or greater than 15.
     pub fn new(bits: u32) -> Self {
-        assert!((1..=15).contains(&bits), "counter width out of range: {bits}");
+        assert!(
+            (1..=15).contains(&bits),
+            "counter width out of range: {bits}"
+        );
         let max = (1u16 << bits) - 1;
-        Self { value: max / 2, max }
+        Self {
+            value: max / 2,
+            max,
+        }
     }
 
     /// A counter initialised to zero.

@@ -41,7 +41,10 @@ pub fn geomean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
-    debug_assert!(xs.iter().all(|&x| x > 0.0), "geomean over non-positive value");
+    debug_assert!(
+        xs.iter().all(|&x| x > 0.0),
+        "geomean over non-positive value"
+    );
     let log_sum: f64 = xs.iter().map(|&x| x.ln()).sum();
     (log_sum / xs.len() as f64).exp()
 }

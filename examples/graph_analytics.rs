@@ -58,7 +58,10 @@ fn main() {
         ),
     ];
 
-    println!("{:12} {:>10} {:>10} {:>16} {:>12}", "kernel", "no-pf IPC", "Pythia", "Pythia+Hermes", "POPET acc");
+    println!(
+        "{:12} {:>10} {:>10} {:>16} {:>12}",
+        "kernel", "no-pf IPC", "Pythia", "Pythia+Hermes", "POPET acc"
+    );
     for spec in &workloads {
         let nopf = run_one(
             SystemConfig::baseline_1c().with_prefetcher(PrefetcherKind::None),

@@ -15,10 +15,18 @@ fn main() {
     let suite = suite::default_suite();
     let picks = ["lbm-like", "canneal-like"];
     for name in picks {
-        let spec = suite.iter().find(|w| w.name == name).expect("suite contains pick");
+        let spec = suite
+            .iter()
+            .find(|w| w.name == name)
+            .expect("suite contains pick");
         println!("=== {} ===", spec.name);
         println!("{:8} {:>10} {:>10}", "pred", "accuracy", "coverage");
-        for pred in [PredictorKind::Hmp, PredictorKind::Ttp, PredictorKind::Popet, PredictorKind::Ideal] {
+        for pred in [
+            PredictorKind::Hmp,
+            PredictorKind::Ttp,
+            PredictorKind::Popet,
+            PredictorKind::Ideal,
+        ] {
             let cfg = SystemConfig::baseline_1c().with_hermes(HermesConfig::passive(pred));
             let r = run_one(cfg, spec, 20_000, 80_000);
             let p = r.cores[0].pred;

@@ -31,7 +31,11 @@ fn main() {
 
     let b = &baseline.cores[0];
     let h = &hermes.cores[0];
-    println!("baseline (Pythia):        IPC {:.3}  LLC MPKI {:.1}", b.ipc(), b.llc_mpki());
+    println!(
+        "baseline (Pythia):        IPC {:.3}  LLC MPKI {:.1}",
+        b.ipc(),
+        b.llc_mpki()
+    );
     println!(
         "Pythia + Hermes-O/POPET:  IPC {:.3}  speedup {:+.1}%",
         h.ipc(),

@@ -20,7 +20,10 @@ fn chase_spec() -> WorkloadSpec {
         "it-chase",
         Category::Spec06,
         GenConfig::Diluted {
-            inner: Box::new(GenConfig::PointerChase { nodes: 256 * 1024, work: 2 }),
+            inner: Box::new(GenConfig::PointerChase {
+                nodes: 256 * 1024,
+                work: 2,
+            }),
             work: 8,
         },
         99,
@@ -34,7 +37,10 @@ fn run(cfg: SystemConfig, spec: &WorkloadSpec) -> RunStats {
 #[test]
 fn ideal_hermes_accelerates_offchip_bound_code() {
     let spec = chase_spec();
-    let base = run(SystemConfig::baseline_1c().with_prefetcher(PrefetcherKind::None), &spec);
+    let base = run(
+        SystemConfig::baseline_1c().with_prefetcher(PrefetcherKind::None),
+        &spec,
+    );
     let ideal = run(
         SystemConfig::baseline_1c()
             .with_prefetcher(PrefetcherKind::None)
@@ -42,7 +48,10 @@ fn ideal_hermes_accelerates_offchip_bound_code() {
         &spec,
     );
     let speedup = ideal.cores[0].ipc() / base.cores[0].ipc();
-    assert!(speedup > 1.10, "ideal Hermes speedup on a chase was only {speedup:.3}");
+    assert!(
+        speedup > 1.10,
+        "ideal Hermes speedup on a chase was only {speedup:.3}"
+    );
 }
 
 #[test]
@@ -61,7 +70,11 @@ fn popet_hermes_close_to_ideal_on_chase() {
         &spec,
     );
     let ratio = popet.cores[0].ipc() / ideal.cores[0].ipc();
-    assert!(ratio > 0.9, "POPET reached only {:.0}% of ideal (paper: ~90%)", ratio * 100.0);
+    assert!(
+        ratio > 0.9,
+        "POPET reached only {:.0}% of ideal (paper: ~90%)",
+        ratio * 100.0
+    );
 }
 
 #[test]
@@ -117,15 +130,23 @@ fn predictor_quality_ordering_on_mixed_suite() {
 fn hermes_never_breaks_execution() {
     // Every workload class must run to completion under every predictor.
     for spec in suite::smoke_suite() {
-        for pred in [PredictorKind::Popet, PredictorKind::Hmp, PredictorKind::Ttp, PredictorKind::Ideal]
-        {
+        for pred in [
+            PredictorKind::Popet,
+            PredictorKind::Hmp,
+            PredictorKind::Ttp,
+            PredictorKind::Ideal,
+        ] {
             let r = run_one(
                 SystemConfig::baseline_1c().with_hermes(HermesConfig::hermes_o(pred)),
                 &spec,
                 2_000,
                 10_000,
             );
-            assert_eq!(r.cores[0].instructions, 10_000, "{} under {:?}", spec.name, pred);
+            assert_eq!(
+                r.cores[0].instructions, 10_000,
+                "{} under {:?}",
+                spec.name, pred
+            );
         }
     }
 }
@@ -151,20 +172,29 @@ fn dropped_hermes_requests_never_fill_caches() {
     // Speculative traffic flowed (positive predictions were acted on) but
     // correctness was preserved; the drop rule itself is unit-tested in
     // hermes-dram.
-    assert!(ttp.dram.reads_hermes > 0, "TTP issued no Hermes requests at all");
+    assert!(
+        ttp.dram.reads_hermes > 0,
+        "TTP issued no Hermes requests at all"
+    );
 }
 
 #[test]
 fn multicore_contention_hurts_ipc_but_hermes_still_helps() {
     let spec = chase_spec();
-    let one = run(SystemConfig::baseline_1c().with_prefetcher(PrefetcherKind::None), &spec);
+    let one = run(
+        SystemConfig::baseline_1c().with_prefetcher(PrefetcherKind::None),
+        &spec,
+    );
     let eight_cfg = SystemConfig {
         cores: 8,
         ..SystemConfig::baseline_8c().with_prefetcher(PrefetcherKind::None)
     };
     let eight = run_one(eight_cfg.clone(), &spec, WARMUP / 2, INSTR / 2);
     let mean8 = eight.mean_ipc();
-    assert!(mean8 <= one.cores[0].ipc() * 1.1, "8-core contention should not boost IPC");
+    assert!(
+        mean8 <= one.cores[0].ipc() * 1.1,
+        "8-core contention should not boost IPC"
+    );
 
     let eight_h = run_one(
         eight_cfg.with_hermes(HermesConfig::hermes_o(PredictorKind::Popet)),
@@ -200,7 +230,10 @@ fn accounting_identities_hold() {
     );
     let c = &r.cores[0];
     // Every off-chip load is either blocking or non-blocking.
-    assert_eq!(c.core.offchip_blocking + c.core.offchip_nonblocking, c.core.served_dram);
+    assert_eq!(
+        c.core.offchip_blocking + c.core.offchip_nonblocking,
+        c.core.served_dram
+    );
     // Predictor observed every resolved demand load (within the window's
     // in-flight edge effects).
     let diff = (c.pred.total() as i64 - c.core.loads as i64).abs();

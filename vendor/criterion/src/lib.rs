@@ -1,0 +1,244 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no network access, so the workspace vendors the
+//! subset of the criterion 0.5 API its benches use: `criterion_group!` /
+//! `criterion_main!` (the `name = / config = / targets =` form),
+//! `Criterion::{default, sample_size, measurement_time, warm_up_time,
+//! bench_function, benchmark_group}`, benchmark groups with throughput and
+//! `bench_with_input`, `BenchmarkId::from_parameter`, and `black_box`.
+//!
+//! Measurement model: per sample, run the closure in a batch sized so a
+//! batch takes roughly `measurement_time / sample_size`, and report the
+//! median ns/iter across samples (plus throughput if configured). No
+//! statistics beyond that — this is a harness, not an analysis suite.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver; one per `criterion_group!`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.warm_up_time, self.measurement_time, self.sample_size);
+        f(&mut b);
+        b.report(id, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation attached to a group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            parameter: parameter.to_string(),
+        }
+    }
+
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            parameter: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(
+            self.criterion.warm_up_time,
+            self.criterion.measurement_time,
+            self.criterion.sample_size,
+        );
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.parameter), self.throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(
+            self.criterion.warm_up_time,
+            self.criterion.measurement_time,
+            self.criterion.sample_size,
+        );
+        f(&mut b);
+        b.report(&format!("{}/{id}", self.name), self.throughput);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Hands the routine under test to the timer.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    /// Median ns per iteration, filled in by `iter`.
+    median_ns: f64,
+}
+
+impl Bencher {
+    fn new(warm_up: Duration, measurement: Duration, sample_size: usize) -> Self {
+        Self {
+            warm_up,
+            measurement,
+            sample_size,
+            median_ns: f64::NAN,
+        }
+    }
+
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: also estimates the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        let per_sample = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let batch = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, u64::MAX);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        self.median_ns = samples_ns[samples_ns.len() / 2];
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        if self.median_ns.is_nan() {
+            println!("{id:<48} (no measurement: Bencher::iter never called)");
+            return;
+        }
+        let mut line = format!("{id:<48} {:>12.1} ns/iter", self.median_ns);
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_sec = n as f64 / (self.median_ns * 1e-9);
+                line.push_str(&format!("   {per_sec:>14.0} elem/s"));
+            }
+            Some(Throughput::Bytes(n)) => {
+                let per_sec = n as f64 / (self.median_ns * 1e-9);
+                line.push_str(&format!("   {:>14.1} MiB/s", per_sec / (1024.0 * 1024.0)));
+            }
+            None => {}
+        }
+        println!("{line}");
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test --benches` runs bench targets with `--test`; a
+            // full measurement there would be wasteful, so bail early.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
