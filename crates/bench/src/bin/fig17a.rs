@@ -2,37 +2,54 @@
 //! Hermes alone, Pythia, and Pythia + Hermes.
 
 use hermes::{HermesConfig, PredictorKind};
-use hermes_bench::{emit, f3, run_cached, Scale, Table};
+use hermes_bench::{cross, emit, f3, prewarm, run_cached, Scale, Table};
 use hermes_prefetch::PrefetcherKind;
 use hermes_sim::SystemConfig;
 use hermes_types::geomean;
+
+fn base_cfg(mtps: u64) -> SystemConfig {
+    SystemConfig::baseline_1c()
+        .with_mtps(mtps)
+        .with_prefetcher(PrefetcherKind::None)
+}
+
+fn point_cfgs(mtps: u64) -> [(&'static str, SystemConfig); 3] {
+    [
+        (
+            "hermesO-alone",
+            base_cfg(mtps).with_hermes(HermesConfig::hermes_o(PredictorKind::Popet)),
+        ),
+        ("pythia", SystemConfig::baseline_1c().with_mtps(mtps)),
+        (
+            "pythia+hermesO",
+            SystemConfig::baseline_1c()
+                .with_mtps(mtps)
+                .with_hermes(HermesConfig::hermes_o(PredictorKind::Popet)),
+        ),
+    ]
+}
 
 fn main() {
     let scale = Scale::from_args();
     let subsuite = scale.sweep_suite();
     let mtps_points = [200u64, 400, 800, 1600, 3200, 6400, 12800];
 
+    // Whole sweep grid up front: the engine dedups shared baselines and
+    // fans the unique points out across all workers.
+    let mut grid: Vec<(String, SystemConfig)> = Vec::new();
+    for mtps in mtps_points {
+        grid.push((format!("mtps{mtps}-nopf"), base_cfg(mtps)));
+        for (tag, cfg) in point_cfgs(mtps) {
+            grid.push((format!("mtps{mtps}-{tag}"), cfg));
+        }
+    }
+    prewarm(cross(&grid, &subsuite), &scale);
+
     let mut t = Table::new(&["MTPS", "Hermes-O", "Pythia", "Pythia+Hermes-O"]);
     let mut crossover = None;
     for mtps in mtps_points {
-        let base_cfg = SystemConfig::baseline_1c()
-            .with_mtps(mtps)
-            .with_prefetcher(PrefetcherKind::None);
-        let cfgs = [
-            (
-                "hermesO-alone",
-                base_cfg
-                    .clone()
-                    .with_hermes(HermesConfig::hermes_o(PredictorKind::Popet)),
-            ),
-            ("pythia", SystemConfig::baseline_1c().with_mtps(mtps)),
-            (
-                "pythia+hermesO",
-                SystemConfig::baseline_1c()
-                    .with_mtps(mtps)
-                    .with_hermes(HermesConfig::hermes_o(PredictorKind::Popet)),
-            ),
-        ];
+        let base_cfg = base_cfg(mtps);
+        let cfgs = point_cfgs(mtps);
         let mut speedups = Vec::new();
         for (tag, cfg) in &cfgs {
             let v: Vec<f64> = subsuite

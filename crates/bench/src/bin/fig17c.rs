@@ -2,15 +2,32 @@
 //! cycles).
 
 use hermes::{HermesConfig, PredictorKind};
-use hermes_bench::{configs, emit, f3, run_cached, Scale, Table};
+use hermes_bench::{configs, cross, emit, f3, prewarm, run_cached, Scale, Table};
 use hermes_sim::SystemConfig;
 use hermes_types::geomean;
+
+/// The per-latency configuration — single source for both the prewarm
+/// grid and the measurement loop, so tag and config can't drift apart.
+fn lat_cfg(lat: u32) -> (String, SystemConfig) {
+    (
+        format!("pythia+hermes-lat{lat}"),
+        SystemConfig::baseline_1c()
+            .with_hermes(HermesConfig::hermes_o(PredictorKind::Popet).with_issue_latency(lat)),
+    )
+}
 
 fn main() {
     let scale = Scale::from_args();
     let subsuite = scale.sweep_suite();
     let (bt, bc) = configs::nopf();
     let (pt, pc) = configs::pythia();
+    let lats = [0u32, 3, 6, 9, 12, 15, 18, 21, 24];
+
+    // Batch-simulate every point before the measurement loops.
+    let mut grid: Vec<(String, SystemConfig)> =
+        vec![(bt.to_string(), bc.clone()), (pt.to_string(), pc.clone())];
+    grid.extend(lats.iter().map(|&lat| lat_cfg(lat)));
+    prewarm(cross(&grid, &subsuite), &scale);
 
     let pythia_sp: Vec<f64> = subsuite
         .iter()
@@ -27,14 +44,13 @@ fn main() {
     ]);
     let mut prev = f64::INFINITY;
     let mut monotone_non_increasing = true;
-    for lat in [0u32, 3, 6, 9, 12, 15, 18, 21, 24] {
-        let cfg = SystemConfig::baseline_1c()
-            .with_hermes(HermesConfig::hermes_o(PredictorKind::Popet).with_issue_latency(lat));
+    for lat in lats {
+        let (tag, cfg) = lat_cfg(lat);
         let v: Vec<f64> = subsuite
             .iter()
             .map(|spec| {
                 let b = run_cached(bt, &bc, spec, &scale);
-                run_cached(&format!("pythia+hermes-lat{lat}"), &cfg, spec, &scale).ipc / b.ipc
+                run_cached(&tag, &cfg, spec, &scale).ipc / b.ipc
             })
             .collect();
         let sp = geomean(&v);

@@ -2,14 +2,53 @@
 //! (total 40 → 65 cycles; L1/L2 fixed, LLC latency varied).
 
 use hermes::{HermesConfig, PredictorKind};
-use hermes_bench::{emit, f3, run_cached, Scale, Table};
+use hermes_bench::{cross, emit, f3, prewarm, run_cached, Scale, Table};
 use hermes_prefetch::PrefetcherKind;
 use hermes_sim::SystemConfig;
 use hermes_types::geomean;
 
+/// One latency point's configurations, in `[baseline, Pythia,
+/// Pythia+Hermes-P, Pythia+Hermes-O]` order. Single source for both the
+/// prewarm grid and the measurement loop, so the tags can't drift apart.
+/// `total` is the load-to-use LLC latency; L1 (5) + L2 (10) stay fixed.
+fn point_cfgs(total: u32) -> [(String, SystemConfig); 4] {
+    let llc_lat = total - 15;
+    [
+        (
+            format!("lat{total}-nopf"),
+            SystemConfig::baseline_1c()
+                .with_llc_latency(llc_lat)
+                .with_prefetcher(PrefetcherKind::None),
+        ),
+        (
+            format!("lat{total}-pythia"),
+            SystemConfig::baseline_1c().with_llc_latency(llc_lat),
+        ),
+        (
+            format!("lat{total}-pythia+hermesP"),
+            SystemConfig::baseline_1c()
+                .with_llc_latency(llc_lat)
+                .with_hermes(HermesConfig::hermes_p(PredictorKind::Popet)),
+        ),
+        (
+            format!("lat{total}-pythia+hermesO"),
+            SystemConfig::baseline_1c()
+                .with_llc_latency(llc_lat)
+                .with_hermes(HermesConfig::hermes_o(PredictorKind::Popet)),
+        ),
+    ]
+}
+
 fn main() {
     let scale = Scale::from_args();
     let subsuite = scale.sweep_suite();
+
+    let totals = [40u32, 45, 50, 55, 60, 65];
+
+    // Batch-simulate the whole latency sweep before the measurement loop.
+    let grid: Vec<(String, SystemConfig)> =
+        totals.iter().flat_map(|&total| point_cfgs(total)).collect();
+    prewarm(cross(&grid, &subsuite), &scale);
 
     let mut t = Table::new(&[
         "hierarchy latency",
@@ -19,37 +58,21 @@ fn main() {
         "Hermes-O gain",
     ]);
     let mut gains = Vec::new();
-    for total in [40u32, 45, 50, 55, 60, 65] {
-        let llc_lat = total - 15; // L1 (5) + L2 (10) fixed
-        let base_cfg = SystemConfig::baseline_1c()
-            .with_llc_latency(llc_lat)
-            .with_prefetcher(PrefetcherKind::None);
-        let sp = |tag: &str, cfg: &SystemConfig| -> f64 {
+    for total in totals {
+        let [base, p_cfg, hp_cfg, ho_cfg] = point_cfgs(total);
+        let sp = |(tag, cfg): &(String, SystemConfig)| -> f64 {
             let v: Vec<f64> = subsuite
                 .iter()
                 .map(|spec| {
-                    let b = run_cached(&format!("lat{total}-nopf"), &base_cfg, spec, &scale);
-                    run_cached(&format!("lat{total}-{tag}"), cfg, spec, &scale).ipc / b.ipc
+                    let b = run_cached(&base.0, &base.1, spec, &scale);
+                    run_cached(tag, cfg, spec, &scale).ipc / b.ipc
                 })
                 .collect();
             geomean(&v)
         };
-        let pythia = sp(
-            "pythia",
-            &SystemConfig::baseline_1c().with_llc_latency(llc_lat),
-        );
-        let hp = sp(
-            "pythia+hermesP",
-            &SystemConfig::baseline_1c()
-                .with_llc_latency(llc_lat)
-                .with_hermes(HermesConfig::hermes_p(PredictorKind::Popet)),
-        );
-        let ho = sp(
-            "pythia+hermesO",
-            &SystemConfig::baseline_1c()
-                .with_llc_latency(llc_lat)
-                .with_hermes(HermesConfig::hermes_o(PredictorKind::Popet)),
-        );
+        let pythia = sp(&p_cfg);
+        let hp = sp(&hp_cfg);
+        let ho = sp(&ho_cfg);
         gains.push(ho / pythia - 1.0);
         t.row(&[
             total.to_string(),

@@ -1,14 +1,46 @@
 //! Fig. 19 (Appendix B.1) — sensitivity to ROB size (256 → 1024).
 
 use hermes::{HermesConfig, PredictorKind};
-use hermes_bench::{emit, f3, run_cached, Scale, Table};
+use hermes_bench::{cross, emit, f3, prewarm, run_cached, Scale, Table};
 use hermes_prefetch::PrefetcherKind;
 use hermes_sim::SystemConfig;
 use hermes_types::geomean;
 
+/// One ROB point's configurations, in `[baseline, Hermes-alone, Pythia,
+/// Pythia+Hermes-O]` order. Single source for both the prewarm grid and
+/// the measurement loop, so the tags can't drift apart.
+fn point_cfgs(rob: usize) -> [(String, SystemConfig); 4] {
+    let nopf = SystemConfig::baseline_1c()
+        .with_rob(rob)
+        .with_prefetcher(PrefetcherKind::None);
+    [
+        (format!("rob{rob}-nopf"), nopf.clone()),
+        (
+            format!("rob{rob}-hermes-alone"),
+            nopf.with_hermes(HermesConfig::hermes_o(PredictorKind::Popet)),
+        ),
+        (
+            format!("rob{rob}-pythia"),
+            SystemConfig::baseline_1c().with_rob(rob),
+        ),
+        (
+            format!("rob{rob}-pythia+hermesO"),
+            SystemConfig::baseline_1c()
+                .with_rob(rob)
+                .with_hermes(HermesConfig::hermes_o(PredictorKind::Popet)),
+        ),
+    ]
+}
+
 fn main() {
     let scale = Scale::from_args();
     let subsuite = scale.sweep_suite();
+
+    let robs = [256usize, 512, 768, 1024];
+
+    // Batch-simulate the whole ROB sweep before the measurement loop.
+    let grid: Vec<(String, SystemConfig)> = robs.iter().flat_map(|&rob| point_cfgs(rob)).collect();
+    prewarm(cross(&grid, &subsuite), &scale);
 
     let mut t = Table::new(&[
         "ROB",
@@ -18,33 +50,21 @@ fn main() {
         "Hermes gain",
     ]);
     let mut gains = Vec::new();
-    for rob in [256usize, 512, 768, 1024] {
-        let nopf = SystemConfig::baseline_1c()
-            .with_rob(rob)
-            .with_prefetcher(PrefetcherKind::None);
-        let sp = |tag: &str, cfg: &SystemConfig| -> f64 {
+    for rob in robs {
+        let [base, hermes_alone, pythia, combo] = point_cfgs(rob);
+        let sp = |(tag, cfg): &(String, SystemConfig)| -> f64 {
             let v: Vec<f64> = subsuite
                 .iter()
                 .map(|spec| {
-                    let b = run_cached(&format!("rob{rob}-nopf"), &nopf, spec, &scale);
-                    run_cached(&format!("rob{rob}-{tag}"), cfg, spec, &scale).ipc / b.ipc
+                    let b = run_cached(&base.0, &base.1, spec, &scale);
+                    run_cached(tag, cfg, spec, &scale).ipc / b.ipc
                 })
                 .collect();
             geomean(&v)
         };
-        let h = sp(
-            "hermes-alone",
-            &nopf
-                .clone()
-                .with_hermes(HermesConfig::hermes_o(PredictorKind::Popet)),
-        );
-        let p = sp("pythia", &SystemConfig::baseline_1c().with_rob(rob));
-        let c = sp(
-            "pythia+hermesO",
-            &SystemConfig::baseline_1c()
-                .with_rob(rob)
-                .with_hermes(HermesConfig::hermes_o(PredictorKind::Popet)),
-        );
+        let h = sp(&hermes_alone);
+        let p = sp(&pythia);
+        let c = sp(&combo);
         gains.push(c / p - 1.0);
         t.row(&[
             rob.to_string(),

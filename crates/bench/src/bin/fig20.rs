@@ -1,14 +1,47 @@
 //! Fig. 20 (Appendix B.2) — sensitivity to LLC size (3 → 24 MB per core).
 
 use hermes::{HermesConfig, PredictorKind};
-use hermes_bench::{emit, f3, run_cached, Scale, Table};
+use hermes_bench::{cross, emit, f3, prewarm, run_cached, Scale, Table};
 use hermes_prefetch::PrefetcherKind;
 use hermes_sim::SystemConfig;
 use hermes_types::geomean;
 
+/// One LLC-size point's configurations, in `[baseline, Hermes-alone,
+/// Pythia, Pythia+Hermes-O]` order. Single source for both the prewarm
+/// grid and the measurement loop, so the tags can't drift apart.
+fn point_cfgs(mb: u64) -> [(String, SystemConfig); 4] {
+    let size = mb << 20;
+    let nopf = SystemConfig::baseline_1c()
+        .with_llc_size(size)
+        .with_prefetcher(PrefetcherKind::None);
+    [
+        (format!("llc{mb}-nopf"), nopf.clone()),
+        (
+            format!("llc{mb}-hermes-alone"),
+            nopf.with_hermes(HermesConfig::hermes_o(PredictorKind::Popet)),
+        ),
+        (
+            format!("llc{mb}-pythia"),
+            SystemConfig::baseline_1c().with_llc_size(size),
+        ),
+        (
+            format!("llc{mb}-pythia+hermesO"),
+            SystemConfig::baseline_1c()
+                .with_llc_size(size)
+                .with_hermes(HermesConfig::hermes_o(PredictorKind::Popet)),
+        ),
+    ]
+}
+
 fn main() {
     let scale = Scale::from_args();
     let subsuite = scale.sweep_suite();
+
+    let mbs = [3u64, 6, 12, 24];
+
+    // Batch-simulate the whole LLC-size sweep before the measurement loop.
+    let grid: Vec<(String, SystemConfig)> = mbs.iter().flat_map(|&mb| point_cfgs(mb)).collect();
+    prewarm(cross(&grid, &subsuite), &scale);
 
     let mut t = Table::new(&[
         "LLC MB/core",
@@ -18,34 +51,21 @@ fn main() {
         "Hermes gain",
     ]);
     let mut gains = Vec::new();
-    for mb in [3u64, 6, 12, 24] {
-        let size = mb << 20;
-        let nopf = SystemConfig::baseline_1c()
-            .with_llc_size(size)
-            .with_prefetcher(PrefetcherKind::None);
-        let sp = |tag: &str, cfg: &SystemConfig| -> f64 {
+    for mb in mbs {
+        let [base, hermes_alone, pythia, combo] = point_cfgs(mb);
+        let sp = |(tag, cfg): &(String, SystemConfig)| -> f64 {
             let v: Vec<f64> = subsuite
                 .iter()
                 .map(|spec| {
-                    let b = run_cached(&format!("llc{mb}-nopf"), &nopf, spec, &scale);
-                    run_cached(&format!("llc{mb}-{tag}"), cfg, spec, &scale).ipc / b.ipc
+                    let b = run_cached(&base.0, &base.1, spec, &scale);
+                    run_cached(tag, cfg, spec, &scale).ipc / b.ipc
                 })
                 .collect();
             geomean(&v)
         };
-        let h = sp(
-            "hermes-alone",
-            &nopf
-                .clone()
-                .with_hermes(HermesConfig::hermes_o(PredictorKind::Popet)),
-        );
-        let p = sp("pythia", &SystemConfig::baseline_1c().with_llc_size(size));
-        let c = sp(
-            "pythia+hermesO",
-            &SystemConfig::baseline_1c()
-                .with_llc_size(size)
-                .with_hermes(HermesConfig::hermes_o(PredictorKind::Popet)),
-        );
+        let h = sp(&hermes_alone);
+        let p = sp(&pythia);
+        let c = sp(&combo);
         gains.push(c / p - 1.0);
         t.row(&[
             mb.to_string(),

@@ -6,19 +6,46 @@
 //!
 //! * `--quick` — smaller instruction windows (CI-scale),
 //! * `--full`  — the extended suite with longer windows,
-//! * `--record` — write the rendered section to `target/experiments/`.
+//! * `--record` — write the rendered section to `target/experiments/`,
+//! * `--jobs N` (or `HERMES_JOBS=N`) — simulation worker threads;
+//!   defaults to all host cores, `--jobs 1` reproduces the historical
+//!   serial behaviour byte-for-byte.
 //!
-//! Results of individual (configuration, trace) simulations are cached in
-//! `target/expcache/` keyed by configuration tag, trace name, and window,
-//! so figures sharing baselines (most of them) do not re-simulate.
+//! # Execution flow
+//!
+//! Since PR 2 the binaries do not run simulations directly: they submit
+//! `(configuration, trace, window)` batches to the [`hermes_exec`]
+//! engine, which deduplicates points sharing a cache key, spreads the
+//! unique ones over a work-stealing thread pool, and returns results in
+//! input order (so tables are identical at any `--jobs` level). The
+//! engine also owns the on-disk result cache — versioned under
+//! `target/expcache/v<N>/` and guarded by lock files, so concurrent
+//! binaries (and `run_all`'s children) share it safely — and every
+//! [`emit`] call writes a machine-readable run manifest to
+//! `target/experiments/<id>.json` with per-point wall time and cache
+//! provenance.
+//!
+//! Harness entry points, in decreasing granularity:
+//!
+//! * [`run_suite`] — one configuration across the whole suite, in
+//!   parallel;
+//! * [`prewarm`] — batch-simulate an arbitrary `(tag, config, workload)`
+//!   grid up front so that a binary's existing per-point logic turns
+//!   into pure cache reads (used by the sweep figures);
+//! * [`run_cached`] — a single point (hits the warm cache in the common
+//!   case).
 
 use std::fs;
 use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
 
 use hermes::{HermesConfig, PredictorKind};
-use hermes_sim::{system::run_one, RunStats, SystemConfig};
+use hermes_exec::{Engine, Job, Manifest, Outcome};
+use hermes_sim::SystemConfig;
 use hermes_trace::{suite, Category, WorkloadSpec};
 
+pub use hermes_exec::{RunLite, CACHE_SCHEMA_VERSION};
 pub use hermes_sim::report::{category_geomeans, category_means, f3, pct, speedup, Table};
 
 /// Simulation scale selected on the command line.
@@ -35,15 +62,21 @@ pub struct Scale {
     /// Number of traces used for expensive (multi-core / multi-point)
     /// sweeps.
     pub sweep_traces: usize,
+    /// Simulation worker threads (`--jobs` / `HERMES_JOBS`; defaults to
+    /// all host cores).
+    pub jobs: usize,
 }
 
 impl Scale {
-    /// Parses `--quick` / `--full` / `--record` from `std::env::args`.
+    /// Parses `--quick` / `--full` / `--record` / `--jobs N` from
+    /// `std::env::args`.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
         let quick = args.iter().any(|a| a == "--quick");
         let full = args.iter().any(|a| a == "--full");
         let record = args.iter().any(|a| a == "--record");
+        let jobs = hermes_exec::jobs_from_env(parse_jobs_flag(&args));
+        epoch(); // anchor process wall time for manifests
         if full {
             Scale {
                 warmup: 50_000,
@@ -51,6 +84,7 @@ impl Scale {
                 suite: suite::full_suite(),
                 record,
                 sweep_traces: 16,
+                jobs,
             }
         } else if quick {
             Scale {
@@ -59,6 +93,7 @@ impl Scale {
                 suite: suite::default_suite(),
                 record,
                 sweep_traces: 6,
+                jobs,
             }
         } else {
             Scale {
@@ -67,6 +102,7 @@ impl Scale {
                 suite: suite::default_suite(),
                 record,
                 sweep_traces: 8,
+                jobs,
             }
         }
     }
@@ -92,129 +128,66 @@ impl Scale {
         }
         out
     }
+
+    fn job(&self, tag: &str, cfg: &SystemConfig, spec: &WorkloadSpec) -> Job {
+        Job::new(tag, cfg.clone(), spec.clone(), self.warmup, self.instr)
+    }
 }
 
-/// Flat, cacheable per-run measurement record.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct RunLite {
-    /// Instructions per cycle (core 0 for single-core runs; arithmetic
-    /// mean across cores for multi-core runs).
-    pub ipc: f64,
-    /// LLC demand misses per kilo-instruction.
-    pub llc_mpki: f64,
-    /// Fraction of loads served off-chip.
-    pub offchip_rate: f64,
-    /// Off-chip predictor accuracy (Eq. 3).
-    pub accuracy: f64,
-    /// Off-chip predictor coverage (Eq. 4).
-    pub coverage: f64,
-    /// Total main-memory requests (reads + writes).
-    pub mm_requests: f64,
-    /// ROB stall cycles attributed to off-chip loads.
-    pub stall_offchip: f64,
-    /// Off-chip loads that blocked retirement.
-    pub blocking: f64,
-    /// Off-chip loads that never blocked retirement.
-    pub nonblocking: f64,
-    /// Average stall cycles per off-chip load.
-    pub stalls_per_offchip: f64,
-    /// Average on-chip (hierarchy) portion of an off-chip load's latency.
-    pub onchip_portion: f64,
-    /// Average total off-chip load latency.
-    pub offchip_latency: f64,
-    /// Dynamic energy total (power model).
-    pub energy: f64,
-    /// Dynamic energy in the DRAM/bus component.
-    pub energy_bus: f64,
-    /// Dynamic energy in L1/L2/LLC.
-    pub energy_caches: f64,
-    /// Dynamic energy in predictor + prefetcher metadata.
-    pub energy_meta: f64,
-    /// Measured cycles.
-    pub cycles: f64,
-}
-
-impl RunLite {
-    /// Extracts the record from full run statistics.
-    pub fn from_stats(r: &RunStats) -> Self {
-        let n = r.cores.len() as f64;
-        let mean = |f: &dyn Fn(&hermes_sim::stats::CoreRunStats) -> f64| {
-            r.cores.iter().map(f).sum::<f64>() / n
-        };
-        let p = r.pred_total();
-        Self {
-            ipc: mean(&|c| c.ipc()),
-            llc_mpki: mean(&|c| c.llc_mpki()),
-            offchip_rate: mean(&|c| c.offchip_rate()),
-            accuracy: p.accuracy(),
-            coverage: p.coverage(),
-            mm_requests: r.main_memory_requests() as f64,
-            stall_offchip: mean(&|c| c.core.stall_cycles_offchip as f64),
-            blocking: mean(&|c| c.core.offchip_blocking as f64),
-            nonblocking: mean(&|c| c.core.offchip_nonblocking as f64),
-            stalls_per_offchip: mean(&|c| c.core.stalls_per_offchip_load()),
-            onchip_portion: mean(&|c| c.avg_onchip_portion()),
-            offchip_latency: mean(&|c| c.avg_offchip_latency()),
-            energy: r.power.total(),
-            energy_bus: r.power.bus,
-            energy_caches: r.power.l1 + r.power.l2 + r.power.llc,
-            energy_meta: r.power.predictor + r.power.prefetcher,
-            cycles: r.total_cycles as f64,
-        }
-    }
-
-    fn to_kv(&self) -> String {
-        format!(
-            "ipc={}\nllc_mpki={}\noffchip_rate={}\naccuracy={}\ncoverage={}\nmm_requests={}\nstall_offchip={}\nblocking={}\nnonblocking={}\nstalls_per_offchip={}\nonchip_portion={}\noffchip_latency={}\nenergy={}\nenergy_bus={}\nenergy_caches={}\nenergy_meta={}\ncycles={}\n",
-            self.ipc, self.llc_mpki, self.offchip_rate, self.accuracy, self.coverage,
-            self.mm_requests, self.stall_offchip, self.blocking, self.nonblocking,
-            self.stalls_per_offchip, self.onchip_portion, self.offchip_latency,
-            self.energy, self.energy_bus, self.energy_caches, self.energy_meta, self.cycles,
-        )
-    }
-
-    fn from_kv(s: &str) -> Option<Self> {
-        let mut r = RunLite::default();
-        let mut keys = 0;
-        for line in s.lines() {
-            let (k, v) = line.split_once('=')?;
-            let v: f64 = v.parse().ok()?;
-            match k {
-                "ipc" => r.ipc = v,
-                "llc_mpki" => r.llc_mpki = v,
-                "offchip_rate" => r.offchip_rate = v,
-                "accuracy" => r.accuracy = v,
-                "coverage" => r.coverage = v,
-                "mm_requests" => r.mm_requests = v,
-                "stall_offchip" => r.stall_offchip = v,
-                "blocking" => r.blocking = v,
-                "nonblocking" => r.nonblocking = v,
-                "stalls_per_offchip" => r.stalls_per_offchip = v,
-                "onchip_portion" => r.onchip_portion = v,
-                "offchip_latency" => r.offchip_latency = v,
-                "energy" => r.energy = v,
-                "energy_bus" => r.energy_bus = v,
-                "energy_caches" => r.energy_caches = v,
-                "energy_meta" => r.energy_meta = v,
-                "cycles" => r.cycles = v,
-                _ => return None,
-            }
-            keys += 1;
-        }
-        // A truncated or empty file (e.g. from an interrupted writer) must
-        // be treated as a miss, not as an all-zero record.
-        if keys == 17 && r.cycles > 0.0 {
-            Some(r)
+/// Extracts `--jobs N` / `--jobs=N` from raw args (`None` if absent).
+///
+/// An unusable value (not a number, or zero) warns on stderr and is then
+/// ignored — falling through to `HERMES_JOBS` / all cores — rather than
+/// silently doing the opposite of a throttling request.
+fn parse_jobs_flag(args: &[String]) -> Option<usize> {
+    let mut it = args.iter();
+    let mut jobs = None;
+    while let Some(a) = it.next() {
+        let raw = if a == "--jobs" {
+            Some(it.next().map(String::as_str).unwrap_or(""))
         } else {
-            None
+            a.strip_prefix("--jobs=")
+        };
+        if let Some(raw) = raw {
+            jobs = match raw.parse::<usize>() {
+                Ok(n) if n >= 1 => Some(n),
+                _ => {
+                    eprintln!(
+                        "warning: ignoring invalid --jobs value {raw:?} \
+                         (want an integer >= 1); using HERMES_JOBS or all cores"
+                    );
+                    None
+                }
+            };
         }
     }
+    jobs
 }
 
-fn cache_dir() -> PathBuf {
-    let dir = PathBuf::from("target/expcache");
-    let _ = fs::create_dir_all(&dir);
-    dir
+/// The process-wide engine, created on first use with the scale's worker
+/// count (one engine per binary invocation).
+fn engine(scale: &Scale) -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(|| Engine::new(scale.jobs))
+}
+
+/// Process start anchor for manifest wall times.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Engine outcomes accumulated since the last [`emit`], for the manifest.
+fn outcome_log() -> &'static Mutex<Vec<Outcome>> {
+    static LOG: OnceLock<Mutex<Vec<Outcome>>> = OnceLock::new();
+    LOG.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn record_outcomes(outs: &[Outcome]) {
+    outcome_log()
+        .lock()
+        .expect("outcome log poisoned")
+        .extend_from_slice(outs);
 }
 
 /// Runs one (configuration, workload) point with on-disk caching.
@@ -223,35 +196,58 @@ fn cache_dir() -> PathBuf {
 /// `"pythia+hermesO-popet"`); it becomes part of the cache key together
 /// with the trace name and window.
 pub fn run_cached(tag: &str, cfg: &SystemConfig, spec: &WorkloadSpec, scale: &Scale) -> RunLite {
-    let file = cache_dir().join(format!(
-        "{}__{}__{}_{}_{}c.kv",
-        tag.replace(['/', ' '], "_"),
-        spec.name,
-        scale.warmup,
-        scale.instr,
-        cfg.cores
-    ));
-    if let Ok(s) = fs::read_to_string(&file) {
-        if let Some(r) = RunLite::from_kv(&s) {
-            return r;
-        }
-    }
-    eprintln!("  sim: {} x {} ...", tag, spec.name);
-    let stats = run_one(cfg.clone(), spec, scale.warmup, scale.instr);
-    let lite = RunLite::from_stats(&stats);
-    let tmp = file.with_extension("kv.tmp");
-    if fs::write(&tmp, lite.to_kv()).is_ok() {
-        let _ = fs::rename(&tmp, &file);
-    }
-    lite
+    let outs = engine(scale).run_batch(std::slice::from_ref(&scale.job(tag, cfg, spec)));
+    record_outcomes(&outs);
+    outs.into_iter().next().expect("one job in, one out").result
 }
 
-/// Runs a configuration across the whole suite; returns (spec, result).
+/// Runs a configuration across the whole suite — in parallel across
+/// `scale.jobs` workers — and returns (spec, result) in suite order.
 pub fn run_suite(tag: &str, cfg: &SystemConfig, scale: &Scale) -> Vec<(WorkloadSpec, RunLite)> {
+    let jobs: Vec<Job> = scale
+        .suite
+        .iter()
+        .map(|spec| scale.job(tag, cfg, spec))
+        .collect();
+    let outs = engine(scale).run_batch(&jobs);
+    record_outcomes(&outs);
     scale
         .suite
         .iter()
-        .map(|spec| (spec.clone(), run_cached(tag, cfg, spec, scale)))
+        .cloned()
+        .zip(outs.into_iter().map(|o| o.result))
+        .collect()
+}
+
+/// Batch-simulates an arbitrary `(tag, config, workload)` grid, warming
+/// the cache so subsequent [`run_cached`] calls are pure reads.
+///
+/// Sweep binaries build their whole grid up front, `prewarm` it (the
+/// engine dedups shared baselines and fans out across workers), and then
+/// keep their original per-point logic unchanged — output stays
+/// byte-identical to the serial version at every `--jobs` level.
+pub fn prewarm(points: Vec<(String, SystemConfig, WorkloadSpec)>, scale: &Scale) {
+    let jobs: Vec<Job> = points
+        .into_iter()
+        .map(|(tag, cfg, spec)| Job::new(tag, cfg, spec, scale.warmup, scale.instr))
+        .collect();
+    let outs = engine(scale).run_batch(&jobs);
+    record_outcomes(&outs);
+}
+
+/// Cross product helper for [`prewarm`]: every configuration × every
+/// workload.
+pub fn cross(
+    points: &[(String, SystemConfig)],
+    specs: &[WorkloadSpec],
+) -> Vec<(String, SystemConfig, WorkloadSpec)> {
+    points
+        .iter()
+        .flat_map(|(tag, cfg)| {
+            specs
+                .iter()
+                .map(move |spec| (tag.clone(), cfg.clone(), spec.clone()))
+        })
         .collect()
 }
 
@@ -308,15 +304,27 @@ pub fn speedups(
         .collect()
 }
 
-/// Renders a figure section: prints to stdout and optionally records it
-/// under `target/experiments/<id>.md`.
+/// Renders a figure section: prints to stdout, optionally records it
+/// under `target/experiments/<id>.md`, and always writes the JSON run
+/// manifest `target/experiments/<id>.json` covering every simulation
+/// point obtained since the previous `emit`.
 pub fn emit(id: &str, title: &str, body: &str, scale: &Scale) {
     let section = format!("## {id}: {title}\n\n{body}\n");
     println!("{section}");
+    let dir = PathBuf::from("target/experiments");
     if scale.record {
-        let dir = PathBuf::from("target/experiments");
         let _ = fs::create_dir_all(&dir);
         let _ = fs::write(dir.join(format!("{id}.md")), section);
+    }
+    let outs = std::mem::take(&mut *outcome_log().lock().expect("outcome log poisoned"));
+    let manifest = Manifest::from_outcomes(id, scale.jobs, epoch().elapsed(), &outs);
+    match manifest.write(&dir) {
+        Ok(path) => eprintln!(
+            "  manifest: {} ({})",
+            path.display(),
+            manifest.summary_line()
+        ),
+        Err(e) => eprintln!("warning: failed to write manifest for {id}: {e}"),
     }
 }
 
@@ -346,33 +354,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn runlite_kv_round_trip() {
-        let r = RunLite {
-            ipc: 1.25,
-            llc_mpki: 7.5,
-            accuracy: 0.77,
-            cycles: 123.0,
-            ..Default::default()
-        };
-        let back = RunLite::from_kv(&r.to_kv()).unwrap();
-        assert_eq!(r, back);
-    }
-
-    #[test]
-    fn kv_rejects_garbage() {
-        assert!(RunLite::from_kv("bogus=1\n").is_none());
-        assert!(RunLite::from_kv("ipc=notanumber\n").is_none());
-        assert!(
-            RunLite::from_kv("").is_none(),
-            "empty file must be a cache miss"
-        );
-        assert!(
-            RunLite::from_kv("ipc=1.0\n").is_none(),
-            "partial file must be a cache miss"
-        );
-    }
-
-    #[test]
     fn sweep_suite_spans_categories() {
         let scale = Scale {
             warmup: 1,
@@ -380,6 +361,7 @@ mod tests {
             suite: suite::default_suite(),
             record: false,
             sweep_traces: 5,
+            jobs: 1,
         };
         let sub = scale.sweep_suite();
         assert_eq!(sub.len(), 5);
@@ -402,5 +384,27 @@ mod tests {
         ];
         let set: std::collections::HashSet<_> = tags.iter().collect();
         assert_eq!(set.len(), tags.len());
+    }
+
+    #[test]
+    fn jobs_flag_parsing() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_jobs_flag(&args(&["bin", "--jobs", "4"])), Some(4));
+        assert_eq!(parse_jobs_flag(&args(&["bin", "--jobs=7"])), Some(7));
+        assert_eq!(parse_jobs_flag(&args(&["bin", "--quick"])), None);
+        assert_eq!(parse_jobs_flag(&args(&["bin", "--jobs", "bogus"])), None);
+    }
+
+    #[test]
+    fn cross_builds_full_grid() {
+        let specs = suite::smoke_suite();
+        let points = vec![
+            ("a".to_string(), SystemConfig::baseline_1c()),
+            ("b".to_string(), SystemConfig::baseline_1c()),
+        ];
+        let grid = cross(&points, &specs);
+        assert_eq!(grid.len(), 2 * specs.len());
+        assert_eq!(grid[0].0, "a");
+        assert_eq!(grid[specs.len()].0, "b");
     }
 }

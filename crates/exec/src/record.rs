@@ -1,0 +1,244 @@
+//! The flat per-run measurement record that flows through the engine and
+//! the on-disk cache.
+//!
+//! `RunLite` is the unit of exchange between the simulator and every
+//! figure/table binary: a fixed set of scalar measurements extracted from
+//! [`RunStats`], serialisable to a line-oriented `key=value` format that
+//! is stable, human-inspectable, and cheap to parse. It used to live in
+//! `hermes-bench`; it moved here together with the cache so the engine
+//! can own the full job lifecycle.
+
+use hermes_sim::RunStats;
+
+/// Flat, cacheable per-run measurement record.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunLite {
+    /// Instructions per cycle (core 0 for single-core runs; arithmetic
+    /// mean across cores for multi-core runs).
+    pub ipc: f64,
+    /// LLC demand misses per kilo-instruction.
+    pub llc_mpki: f64,
+    /// Fraction of loads served off-chip.
+    pub offchip_rate: f64,
+    /// Off-chip predictor accuracy (Eq. 3).
+    pub accuracy: f64,
+    /// Off-chip predictor coverage (Eq. 4).
+    pub coverage: f64,
+    /// Total main-memory requests (reads + writes).
+    pub mm_requests: f64,
+    /// ROB stall cycles attributed to off-chip loads.
+    pub stall_offchip: f64,
+    /// Off-chip loads that blocked retirement.
+    pub blocking: f64,
+    /// Off-chip loads that never blocked retirement.
+    pub nonblocking: f64,
+    /// Average stall cycles per off-chip load.
+    pub stalls_per_offchip: f64,
+    /// Average on-chip (hierarchy) portion of an off-chip load's latency.
+    pub onchip_portion: f64,
+    /// Average total off-chip load latency.
+    pub offchip_latency: f64,
+    /// Dynamic energy total (power model).
+    pub energy: f64,
+    /// Dynamic energy in the DRAM/bus component.
+    pub energy_bus: f64,
+    /// Dynamic energy in L1/L2/LLC.
+    pub energy_caches: f64,
+    /// Dynamic energy in predictor + prefetcher metadata.
+    pub energy_meta: f64,
+    /// Measured cycles.
+    pub cycles: f64,
+}
+
+/// Field order used by both the `key=value` cache format and the JSON
+/// manifest, so the two never drift apart.
+pub(crate) const FIELDS: [&str; 17] = [
+    "ipc",
+    "llc_mpki",
+    "offchip_rate",
+    "accuracy",
+    "coverage",
+    "mm_requests",
+    "stall_offchip",
+    "blocking",
+    "nonblocking",
+    "stalls_per_offchip",
+    "onchip_portion",
+    "offchip_latency",
+    "energy",
+    "energy_bus",
+    "energy_caches",
+    "energy_meta",
+    "cycles",
+];
+
+impl RunLite {
+    /// Extracts the record from full run statistics.
+    pub fn from_stats(r: &RunStats) -> Self {
+        let n = r.cores.len() as f64;
+        let mean = |f: &dyn Fn(&hermes_sim::stats::CoreRunStats) -> f64| {
+            r.cores.iter().map(f).sum::<f64>() / n
+        };
+        let p = r.pred_total();
+        Self {
+            ipc: mean(&|c| c.ipc()),
+            llc_mpki: mean(&|c| c.llc_mpki()),
+            offchip_rate: mean(&|c| c.offchip_rate()),
+            accuracy: p.accuracy(),
+            coverage: p.coverage(),
+            mm_requests: r.main_memory_requests() as f64,
+            stall_offchip: mean(&|c| c.core.stall_cycles_offchip as f64),
+            blocking: mean(&|c| c.core.offchip_blocking as f64),
+            nonblocking: mean(&|c| c.core.offchip_nonblocking as f64),
+            stalls_per_offchip: mean(&|c| c.core.stalls_per_offchip_load()),
+            onchip_portion: mean(&|c| c.avg_onchip_portion()),
+            offchip_latency: mean(&|c| c.avg_offchip_latency()),
+            energy: r.power.total(),
+            energy_bus: r.power.bus,
+            energy_caches: r.power.l1 + r.power.l2 + r.power.llc,
+            energy_meta: r.power.predictor + r.power.prefetcher,
+            cycles: r.total_cycles as f64,
+        }
+    }
+
+    /// Returns the field value by its name in [`FIELDS`].
+    pub(crate) fn get(&self, field: &str) -> f64 {
+        match field {
+            "ipc" => self.ipc,
+            "llc_mpki" => self.llc_mpki,
+            "offchip_rate" => self.offchip_rate,
+            "accuracy" => self.accuracy,
+            "coverage" => self.coverage,
+            "mm_requests" => self.mm_requests,
+            "stall_offchip" => self.stall_offchip,
+            "blocking" => self.blocking,
+            "nonblocking" => self.nonblocking,
+            "stalls_per_offchip" => self.stalls_per_offchip,
+            "onchip_portion" => self.onchip_portion,
+            "offchip_latency" => self.offchip_latency,
+            "energy" => self.energy,
+            "energy_bus" => self.energy_bus,
+            "energy_caches" => self.energy_caches,
+            "energy_meta" => self.energy_meta,
+            "cycles" => self.cycles,
+            _ => unreachable!("unknown field {field}"),
+        }
+    }
+
+    fn set(&mut self, field: &str, v: f64) -> bool {
+        match field {
+            "ipc" => self.ipc = v,
+            "llc_mpki" => self.llc_mpki = v,
+            "offchip_rate" => self.offchip_rate = v,
+            "accuracy" => self.accuracy = v,
+            "coverage" => self.coverage = v,
+            "mm_requests" => self.mm_requests = v,
+            "stall_offchip" => self.stall_offchip = v,
+            "blocking" => self.blocking = v,
+            "nonblocking" => self.nonblocking = v,
+            "stalls_per_offchip" => self.stalls_per_offchip = v,
+            "onchip_portion" => self.onchip_portion = v,
+            "offchip_latency" => self.offchip_latency = v,
+            "energy" => self.energy = v,
+            "energy_bus" => self.energy_bus = v,
+            "energy_caches" => self.energy_caches = v,
+            "energy_meta" => self.energy_meta = v,
+            "cycles" => self.cycles = v,
+            _ => return false,
+        }
+        true
+    }
+
+    /// Serialises to the line-oriented `key=value` cache format.
+    pub fn to_kv(&self) -> String {
+        let mut s = String::new();
+        for field in FIELDS {
+            s.push_str(field);
+            s.push('=');
+            s.push_str(&self.get(field).to_string());
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Parses the `key=value` cache format; `None` on any corruption
+    /// (unknown key, bad number, truncation, zero-cycle record), so a
+    /// damaged cache entry degrades to a miss instead of a panic.
+    pub fn from_kv(s: &str) -> Option<Self> {
+        let mut r = RunLite::default();
+        let mut keys = 0;
+        for line in s.lines() {
+            let (k, v) = line.split_once('=')?;
+            let v: f64 = v.parse().ok()?;
+            if !r.set(k, v) {
+                return None;
+            }
+            keys += 1;
+        }
+        // A truncated or empty file (e.g. from an interrupted writer) must
+        // be treated as a miss, not as an all-zero record.
+        if keys == FIELDS.len() && r.cycles > 0.0 {
+            Some(r)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runlite_kv_round_trip() {
+        // Exhaustive struct literal on purpose (no `..Default::default()`):
+        // adding a field to RunLite breaks this test at compile time,
+        // pointing the maintainer at FIELDS/get/set, which must be
+        // extended together (and CACHE_SCHEMA_VERSION bumped).
+        let r = RunLite {
+            ipc: 1.25,
+            llc_mpki: 7.5,
+            offchip_rate: 0.25,
+            accuracy: 0.77,
+            coverage: 0.5,
+            mm_requests: 1000.0,
+            stall_offchip: 2000.0,
+            blocking: 30.0,
+            nonblocking: 40.0,
+            stalls_per_offchip: 50.0,
+            onchip_portion: 60.0,
+            offchip_latency: 70.0,
+            energy: 80.0,
+            energy_bus: 90.0,
+            energy_caches: 100.0,
+            energy_meta: 110.0,
+            cycles: 123.0,
+        };
+        let back = RunLite::from_kv(&r.to_kv()).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn kv_rejects_garbage() {
+        assert!(RunLite::from_kv("bogus=1\n").is_none());
+        assert!(RunLite::from_kv("ipc=notanumber\n").is_none());
+        assert!(
+            RunLite::from_kv("").is_none(),
+            "empty file must be a cache miss"
+        );
+        assert!(
+            RunLite::from_kv("ipc=1.0\n").is_none(),
+            "partial file must be a cache miss"
+        );
+    }
+
+    #[test]
+    fn kv_field_list_matches_struct() {
+        // Every field named in FIELDS round-trips through get/set.
+        let mut r = RunLite::default();
+        for (i, f) in FIELDS.iter().enumerate() {
+            assert!(r.set(f, (i + 1) as f64));
+            assert_eq!(r.get(f), (i + 1) as f64);
+        }
+    }
+}

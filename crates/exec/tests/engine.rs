@@ -1,0 +1,152 @@
+//! Engine-level guarantees: parallel determinism, in-batch dedup, and
+//! multi-engine cache sharing.
+//!
+//! Simulations here use tiny instruction windows over the smoke suite so
+//! the whole file runs in seconds; every test gets its own scratch cache
+//! directory under the system temp dir.
+
+use std::path::PathBuf;
+
+use hermes::{HermesConfig, PredictorKind};
+use hermes_exec::{Engine, Job, Provenance, ResultCache};
+use hermes_prefetch::PrefetcherKind;
+use hermes_sim::SystemConfig;
+use hermes_trace::suite;
+
+const WARMUP: u64 = 500;
+const INSTR: u64 = 3_000;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("hermes-exec-engine-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A mixed batch shaped like a real figure: two configurations across the
+/// smoke suite, sharing a baseline.
+fn mixed_batch() -> Vec<Job> {
+    let specs = suite::smoke_suite();
+    let nopf = SystemConfig::baseline_1c().with_prefetcher(PrefetcherKind::None);
+    let hermes = nopf
+        .clone()
+        .with_hermes(HermesConfig::hermes_o(PredictorKind::Popet));
+    let mut jobs = Vec::new();
+    for spec in &specs {
+        jobs.push(Job::new("nopf", nopf.clone(), spec.clone(), WARMUP, INSTR));
+    }
+    for spec in &specs {
+        jobs.push(Job::new(
+            "hermesO-popet",
+            hermes.clone(),
+            spec.clone(),
+            WARMUP,
+            INSTR,
+        ));
+    }
+    jobs
+}
+
+/// Renders outcomes the way a figure table would consume them — a stable
+/// byte string for exact comparison.
+fn render(outs: &[hermes_exec::Outcome]) -> String {
+    outs.iter()
+        .map(|o| format!("{}|{}\n{}", o.tag, o.workload, o.result.to_kv()))
+        .collect()
+}
+
+#[test]
+fn parallel_run_is_byte_identical_to_serial() {
+    let batch = mixed_batch();
+    let serial = Engine::with_cache(1, ResultCache::new(scratch("det-serial")))
+        .quiet()
+        .run_batch(&batch);
+    let parallel = Engine::with_cache(4, ResultCache::new(scratch("det-parallel")))
+        .quiet()
+        .run_batch(&batch);
+    assert_eq!(serial.len(), parallel.len());
+    assert_eq!(
+        render(&serial),
+        render(&parallel),
+        "jobs=4 must produce byte-identical tables/stats to jobs=1"
+    );
+}
+
+#[test]
+fn shared_baseline_simulates_exactly_once() {
+    // Two "figures" both normalising to the same baseline point.
+    let spec = suite::smoke_suite().into_iter().next().unwrap();
+    let nopf = SystemConfig::baseline_1c().with_prefetcher(PrefetcherKind::None);
+    let batch = vec![
+        Job::new("nopf", nopf.clone(), spec.clone(), WARMUP, INSTR), // fig A baseline
+        Job::new(
+            "hermesO-popet",
+            nopf.clone()
+                .with_hermes(HermesConfig::hermes_o(PredictorKind::Popet)),
+            spec.clone(),
+            WARMUP,
+            INSTR,
+        ),
+        Job::new("nopf", nopf, spec, WARMUP, INSTR), // fig B, same baseline
+    ];
+    let outs = Engine::with_cache(4, ResultCache::new(scratch("dedup")))
+        .quiet()
+        .run_batch(&batch);
+    assert_eq!(outs.len(), 3);
+    let computed = outs
+        .iter()
+        .filter(|o| o.provenance == Provenance::Computed)
+        .count();
+    assert_eq!(computed, 2, "two unique points, two simulations");
+    assert_eq!(outs[2].provenance, Provenance::Deduped);
+    assert_eq!(
+        outs[0].result, outs[2].result,
+        "duplicate shares the first occurrence's result"
+    );
+}
+
+#[test]
+fn two_engines_sharing_a_cache_never_double_run() {
+    let root = scratch("shared");
+    let batch = mixed_batch();
+    let unique: std::collections::HashSet<String> = batch.iter().map(Job::key).collect();
+
+    let (a, b) = std::thread::scope(|s| {
+        let batch_a = batch.clone();
+        let root_a = root.clone();
+        let ha = s.spawn(move || {
+            Engine::with_cache(2, ResultCache::new(root_a))
+                .quiet()
+                .run_batch(&batch_a)
+        });
+        let batch_b = batch.clone();
+        let root_b = root.clone();
+        let hb = s.spawn(move || {
+            Engine::with_cache(2, ResultCache::new(root_b))
+                .quiet()
+                .run_batch(&batch_b)
+        });
+        (ha.join().expect("engine A"), hb.join().expect("engine B"))
+    });
+
+    let computed = a
+        .iter()
+        .chain(b.iter())
+        .filter(|o| o.provenance == Provenance::Computed)
+        .count();
+    assert_eq!(
+        computed,
+        unique.len(),
+        "each unique point is simulated exactly once across both engines"
+    );
+    assert_eq!(render(&a), render(&b), "both engines see identical results");
+
+    // No corrupt entries: every key parses back from disk.
+    let cache = ResultCache::new(root);
+    for key in &unique {
+        assert!(
+            cache.lookup(key).is_some(),
+            "cache entry {key} must exist and parse"
+        );
+    }
+}

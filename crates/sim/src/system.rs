@@ -156,6 +156,23 @@ pub fn run_one(cfg: SystemConfig, spec: &WorkloadSpec, warmup: u64, sim: u64) ->
     System::new(cfg, std::slice::from_ref(spec)).run(warmup, sim)
 }
 
+/// Owned-argument variant of [`run_one`], usable as a job entry point on
+/// worker threads (no borrowed data crosses the thread boundary). The
+/// trace generator is instantiated inside the call, so every invocation
+/// is independent and deterministic given `(cfg, spec, warmup, sim)`.
+pub fn run_job(cfg: SystemConfig, spec: WorkloadSpec, warmup: u64, sim: u64) -> RunStats {
+    run_one(cfg, &spec, warmup, sim)
+}
+
+// `run_job` must stay usable from parallel executors: everything that
+// crosses into a worker thread has to be `Send`.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<SystemConfig>();
+    assert_send::<WorkloadSpec>();
+    assert_send::<RunStats>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -12,11 +12,13 @@
 //! * [`hermes_trace`] — synthetic workload generators.
 //! * [`hermes_cpu`], [`hermes_cache`], [`hermes_dram`] — the substrate.
 //! * [`hermes_prefetch`] — the five baseline data prefetchers.
+//! * [`hermes_exec`] — the parallel experiment-execution engine.
 
 pub use hermes;
 pub use hermes_cache;
 pub use hermes_cpu;
 pub use hermes_dram;
+pub use hermes_exec;
 pub use hermes_prefetch;
 pub use hermes_sim;
 pub use hermes_trace;
