@@ -1,0 +1,392 @@
+//! One level of a cache hierarchy: tag array(s) + MSHR table(s) + stats.
+//!
+//! A [`CacheLevel`] bundles everything a hierarchy engine needs per level
+//! — the set-associative [`CacheArray`]s, the [`MshrTable`]s tracking
+//! outstanding misses, and aggregate [`LevelStats`] — behind a uniform,
+//! core-indexed interface. The level's [`LevelScope`] decides the
+//! structural layout:
+//!
+//! * [`LevelScope::Private`] — one array + MSHR table per core, each with
+//!   the per-core geometry of the [`LevelConfig`];
+//! * [`LevelScope::Shared`] — a single array + MSHR table serving every
+//!   core, with capacity and MSHR count scaled by the core count (the
+//!   paper's "3 MB/core" LLC convention).
+//!
+//! The level is still *passive*: it holds no queues and models no time.
+//! Request orchestration — lookup ordering, latencies, fills, retries,
+//! the Hermes merge path — stays in the hierarchy engine (`hermes-sim`),
+//! which now drives an arbitrary `Vec<CacheLevel>` instead of a
+//! hardcoded L1/L2/LLC triple. The MSHR waiter payload `W` is chosen by
+//! that engine.
+//!
+//! # Example
+//!
+//! ```
+//! use hermes_cache::{CacheConfig, CacheLevel, LevelConfig, ReplacementKind};
+//! use hermes_types::LineAddr;
+//!
+//! // A shared 2-core level: capacity and MSHRs scale with core count.
+//! let per_core = CacheConfig::new("LLC", 1 << 20, 16, ReplacementKind::Lru, 8);
+//! let mut level: CacheLevel<u32> = CacheLevel::new(LevelConfig::shared(per_core), 2);
+//! assert_eq!(level.config().size_bytes, 2 << 20);
+//! assert_eq!(level.mshr_capacity(0), 16);
+//!
+//! // Both cores see the same array.
+//! let line = LineAddr::new(0x40);
+//! level.fill(0, line, false, false, 0);
+//! assert!(level.probe(1, line));
+//! ```
+
+use hermes_types::LineAddr;
+
+use crate::array::{AccessResult, CacheArray, CacheConfig, Evicted};
+use crate::mshr::{MshrFull, MshrTable};
+
+/// Whether a hierarchy level is replicated per core or shared by all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LevelScope {
+    /// One instance per core (L1D/L2 in the paper's Table 4).
+    Private,
+    /// A single instance serving every core, scaled by core count (the
+    /// paper's shared LLC).
+    Shared,
+}
+
+/// Configuration of one hierarchy level: per-core cache geometry plus
+/// the sharing scope.
+///
+/// For a [`LevelScope::Shared`] level the embedded [`CacheConfig`]
+/// describes the *per-core* share; [`LevelConfig::instantiated`] scales
+/// capacity and MSHR count by the core count, exactly like the paper's
+/// "3 MB/core" LLC.
+#[derive(Debug, Clone)]
+pub struct LevelConfig {
+    /// Per-core cache geometry (capacity, ways, replacement, MSHRs,
+    /// latency).
+    pub cache: CacheConfig,
+    /// Private per core or shared by all cores.
+    pub scope: LevelScope,
+}
+
+impl LevelConfig {
+    /// A core-private level.
+    pub fn private(cache: CacheConfig) -> Self {
+        Self {
+            cache,
+            scope: LevelScope::Private,
+        }
+    }
+
+    /// A level shared by all cores (per-core capacity in `cache`).
+    pub fn shared(cache: CacheConfig) -> Self {
+        Self {
+            cache,
+            scope: LevelScope::Shared,
+        }
+    }
+
+    /// The concrete geometry of one structural instance of this level in
+    /// a `cores`-core system: the config itself for a private level, or
+    /// capacity and MSHRs scaled by `cores` for a shared one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scaled geometry does not yield a power-of-two set
+    /// count (propagated from [`CacheConfig::new`]).
+    pub fn instantiated(&self, cores: usize) -> CacheConfig {
+        match self.scope {
+            LevelScope::Private => self.cache.clone(),
+            LevelScope::Shared => CacheConfig::new(
+                self.cache.name.clone(),
+                self.cache.size_bytes * cores as u64,
+                self.cache.ways,
+                self.cache.replacement,
+                self.cache.mshrs * cores,
+            )
+            .with_latency(self.cache.latency),
+        }
+    }
+}
+
+/// Aggregate event counters for one level (all cores combined).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Tag-array accesses (demand lookups, including retried ones).
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Lines filled into the level.
+    pub fills: u64,
+    /// Dirty victims evicted by fills (writebacks pushed down).
+    pub dirty_evictions: u64,
+    /// Requests rejected because every MSHR was in use (each triggers a
+    /// retry in the hierarchy engine).
+    pub mshr_rejections: u64,
+}
+
+/// See [module docs](self).
+#[derive(Debug, Clone)]
+pub struct CacheLevel<W> {
+    cfg: CacheConfig,
+    scope: LevelScope,
+    arrays: Vec<CacheArray>,
+    mshrs: Vec<MshrTable<W>>,
+    stats: LevelStats,
+}
+
+impl<W> CacheLevel<W> {
+    /// Builds an empty level for a `cores`-core system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or the geometry is invalid.
+    pub fn new(cfg: LevelConfig, cores: usize) -> Self {
+        assert!(cores >= 1, "need at least one core");
+        let inst = cfg.instantiated(cores);
+        let n = match cfg.scope {
+            LevelScope::Private => cores,
+            LevelScope::Shared => 1,
+        };
+        Self {
+            arrays: (0..n).map(|_| CacheArray::new(&inst)).collect(),
+            mshrs: (0..n).map(|_| MshrTable::new(inst.mshrs)).collect(),
+            scope: cfg.scope,
+            cfg: inst,
+            stats: LevelStats::default(),
+        }
+    }
+
+    /// The structural instance serving `core`.
+    #[inline]
+    fn slot(&self, core: usize) -> usize {
+        match self.scope {
+            LevelScope::Private => core,
+            LevelScope::Shared => 0,
+        }
+    }
+
+    /// Sharing scope.
+    pub fn scope(&self) -> LevelScope {
+        self.scope
+    }
+
+    /// Whether the level is shared by all cores.
+    pub fn is_shared(&self) -> bool {
+        self.scope == LevelScope::Shared
+    }
+
+    /// Display name ("L1D", "L2", ...).
+    pub fn name(&self) -> &str {
+        &self.cfg.name
+    }
+
+    /// Lookup latency contribution in cycles.
+    pub fn latency(&self) -> u32 {
+        self.cfg.latency
+    }
+
+    /// The instantiated (scope-scaled) geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated event counters.
+    pub fn stats(&self) -> &LevelStats {
+        &self.stats
+    }
+
+    /// Zeroes the event counters (warmup boundary); cache and MSHR state
+    /// is preserved.
+    pub fn reset_stats(&mut self) {
+        self.stats = LevelStats::default();
+    }
+
+    /// Demand access on behalf of `core`; updates replacement state and
+    /// counters.
+    pub fn access(&mut self, core: usize, line: LineAddr, pc_signature: u16) -> AccessResult {
+        let slot = self.slot(core);
+        let res = self.arrays[slot].access(line, pc_signature);
+        self.stats.accesses += 1;
+        if res.hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        res
+    }
+
+    /// Presence check without perturbing replacement or counters.
+    pub fn probe(&self, core: usize, line: LineAddr) -> bool {
+        self.arrays[self.slot(core)].probe(line)
+    }
+
+    /// Marks a resident line dirty; returns whether it was present.
+    pub fn mark_dirty(&mut self, core: usize, line: LineAddr) -> bool {
+        let slot = self.slot(core);
+        self.arrays[slot].mark_dirty(line)
+    }
+
+    /// Fills `line` into `core`'s instance, returning the victim if one
+    /// was evicted.
+    pub fn fill(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        dirty: bool,
+        prefetched: bool,
+        pc_signature: u16,
+    ) -> Option<Evicted> {
+        let slot = self.slot(core);
+        let ev = self.arrays[slot].fill(line, dirty, prefetched, pc_signature);
+        self.stats.fills += 1;
+        if ev.is_some_and(|e| e.dirty) {
+            self.stats.dirty_evictions += 1;
+        }
+        ev
+    }
+
+    /// Registers a miss for `line` carrying `waiter` in `core`'s MSHR
+    /// table; see [`MshrTable::allocate`]. A full table is counted in
+    /// [`LevelStats::mshr_rejections`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MshrFull`] when a new entry is needed but no register is
+    /// free.
+    pub fn mshr_allocate(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        waiter: W,
+        is_prefetch: bool,
+    ) -> Result<bool, MshrFull> {
+        let slot = self.slot(core);
+        let res = self.mshrs[slot].allocate(line, waiter, is_prefetch);
+        if res.is_err() {
+            self.stats.mshr_rejections += 1;
+        }
+        res
+    }
+
+    /// Completes the outstanding miss for `line` in `core`'s MSHR table.
+    pub fn mshr_complete(&mut self, core: usize, line: LineAddr) -> Option<(Vec<W>, bool)> {
+        let slot = self.slot(core);
+        self.mshrs[slot].complete(line)
+    }
+
+    /// Whether a miss to `line` is outstanding for `core`.
+    pub fn mshr_contains(&self, core: usize, line: LineAddr) -> bool {
+        self.mshrs[self.slot(core)].contains(line)
+    }
+
+    /// Whether the outstanding entry for `line` (if any) is prefetch-only.
+    pub fn mshr_is_prefetch_only(&self, core: usize, line: LineAddr) -> Option<bool> {
+        self.mshrs[self.slot(core)].is_prefetch_only(line)
+    }
+
+    /// MSHR registers in use in `core`'s table.
+    pub fn mshr_in_use(&self, core: usize) -> usize {
+        self.mshrs[self.slot(core)].in_use()
+    }
+
+    /// MSHR capacity of `core`'s table.
+    pub fn mshr_capacity(&self, core: usize) -> usize {
+        self.mshrs[self.slot(core)].capacity()
+    }
+
+    /// Total outstanding misses across every instance of this level.
+    pub fn mshr_in_flight_total(&self) -> usize {
+        self.mshrs.iter().map(|m| m.in_use()).sum()
+    }
+
+    /// Total valid lines across every instance (diagnostics/tests).
+    pub fn occupancy(&self) -> usize {
+        self.arrays.iter().map(|a| a.occupancy()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replacement::ReplacementKind;
+
+    fn small_cfg() -> CacheConfig {
+        // 4 sets x 2 ways per core.
+        CacheConfig::new("t", 8 * 64, 2, ReplacementKind::Lru, 4).with_latency(7)
+    }
+
+    #[test]
+    fn private_level_isolates_cores() {
+        let mut lv: CacheLevel<()> = CacheLevel::new(LevelConfig::private(small_cfg()), 2);
+        let line = LineAddr::new(0x40);
+        lv.fill(0, line, false, false, 0);
+        assert!(lv.probe(0, line));
+        assert!(!lv.probe(1, line), "private fill must not leak to core 1");
+        assert_eq!(lv.latency(), 7);
+    }
+
+    #[test]
+    fn shared_level_scales_and_aliases() {
+        let mut lv: CacheLevel<()> = CacheLevel::new(LevelConfig::shared(small_cfg()), 4);
+        assert_eq!(lv.config().size_bytes, 4 * 8 * 64);
+        assert_eq!(lv.mshr_capacity(3), 16);
+        let line = LineAddr::new(0x80);
+        lv.fill(2, line, false, false, 0);
+        assert!(lv.probe(0, line), "shared fill visible to every core");
+    }
+
+    #[test]
+    fn stats_count_hits_misses_and_rejections() {
+        let mut lv: CacheLevel<u8> = CacheLevel::new(LevelConfig::private(small_cfg()), 1);
+        let line = LineAddr::new(0x40);
+        assert!(!lv.access(0, line, 0).hit);
+        lv.fill(0, line, false, false, 0);
+        assert!(lv.access(0, line, 0).hit);
+        for i in 0..4u64 {
+            lv.mshr_allocate(0, LineAddr::new(0x1000 + i), 0, false)
+                .unwrap();
+        }
+        assert!(lv
+            .mshr_allocate(0, LineAddr::new(0x9999), 0, false)
+            .is_err());
+        let s = *lv.stats();
+        assert_eq!((s.accesses, s.hits, s.misses), (2, 1, 1));
+        assert_eq!(s.fills, 1);
+        assert_eq!(s.mshr_rejections, 1);
+        assert_eq!(lv.mshr_in_flight_total(), 4);
+        lv.reset_stats();
+        assert_eq!(*lv.stats(), LevelStats::default());
+        assert_eq!(lv.mshr_in_flight_total(), 4, "reset keeps MSHR state");
+    }
+
+    #[test]
+    fn dirty_evictions_counted() {
+        let mut lv: CacheLevel<()> = CacheLevel::new(LevelConfig::private(small_cfg()), 1);
+        // Fill one set (2 ways) with dirty lines, then force an eviction.
+        let l = |i: u64| LineAddr::new(i * 4);
+        lv.fill(0, l(1), true, false, 0);
+        lv.fill(0, l(2), true, false, 0);
+        let ev = lv.fill(0, l(3), false, false, 0).expect("must evict");
+        assert!(ev.dirty);
+        assert_eq!(lv.stats().dirty_evictions, 1);
+    }
+
+    #[test]
+    fn instantiated_matches_scope() {
+        let cfg = LevelConfig::shared(small_cfg());
+        let inst = cfg.instantiated(8);
+        assert_eq!(inst.size_bytes, 8 * 8 * 64);
+        assert_eq!(inst.mshrs, 32);
+        assert_eq!(inst.latency, 7);
+        let cfg = LevelConfig::private(small_cfg());
+        assert_eq!(cfg.instantiated(8).size_bytes, 8 * 64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_cores_rejected() {
+        let _: CacheLevel<()> = CacheLevel::new(LevelConfig::private(small_cfg()), 0);
+    }
+}

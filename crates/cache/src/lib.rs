@@ -1,12 +1,14 @@
 //! Cache building blocks: set-associative tag arrays, replacement policies,
-//! and miss-status holding registers (MSHRs).
+//! miss-status holding registers (MSHRs), and composable hierarchy levels.
 //!
 //! The paper's baseline (Table 4) models an Alder Lake-style hierarchy:
 //! 48 KB/12-way L1D and 1.25 MB/20-way L2 with LRU, and a 3 MB/core 12-way
 //! LLC running SHiP. This crate provides those structures as passive,
 //! timing-free data types; the request orchestration (queues, latencies,
 //! fills, the Hermes merge path) lives in `hermes-sim`'s hierarchy engine,
-//! which drives these arrays.
+//! which drives a configurable stack of [`CacheLevel`]s — each a bundle of
+//! per-core or shared [`CacheArray`]s plus [`MshrTable`]s described by a
+//! [`LevelConfig`] (see [`level`]).
 //!
 //! # Example
 //!
@@ -23,9 +25,11 @@
 //! ```
 
 pub mod array;
+pub mod level;
 pub mod mshr;
 pub mod replacement;
 
 pub use array::{AccessResult, CacheArray, CacheConfig, Evicted};
+pub use level::{CacheLevel, LevelConfig, LevelScope, LevelStats};
 pub use mshr::{MshrFull, MshrTable};
 pub use replacement::ReplacementKind;

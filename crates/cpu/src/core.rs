@@ -170,6 +170,54 @@ impl Core {
         self.fetch_and_dispatch(now);
     }
 
+    /// The earliest cycle at which [`Core::tick`] can do more than
+    /// accumulate a stall, assuming no [`Core::finish_load`] arrives in
+    /// between: the next address-generation event, the ROB head's known
+    /// completion time, or the end of a fetch bubble (only relevant while
+    /// the ROB has room — a full ROB can only drain via retirement).
+    /// `Cycle::MAX` means the core is blocked entirely on the memory
+    /// system. Drives idle-cycle fast-forward: the system may skip every
+    /// cycle strictly before the returned one, provided it accounts them
+    /// through [`Core::skip_stalled`].
+    pub fn next_work_at(&self) -> Cycle {
+        let mut at = Cycle::MAX;
+        if let Some(&Reverse((t, _))) = self.agen_events.peek() {
+            at = at.min(t);
+        }
+        match self.rob.front() {
+            Some(head) => {
+                if let EntryState::Done(t) = head.state {
+                    at = at.min(t);
+                }
+                if self.rob.len() < self.cfg.rob_size {
+                    at = at.min(self.fetch_stall_until);
+                }
+            }
+            None => at = at.min(self.fetch_stall_until),
+        }
+        at
+    }
+
+    /// Accounts `cycles` skipped ticks in bulk, attributing them exactly
+    /// as that many no-op [`Core::tick`] calls would have: to the blocked
+    /// ROB head (memory stall), to `stall_cycles_other`, or to
+    /// `empty_rob_cycles`. Only valid while every skipped tick would have
+    /// been a no-op, i.e. for spans ending before [`Core::next_work_at`].
+    pub fn skip_stalled(&mut self, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        match self.rob.front_mut() {
+            None => self.stats.empty_rob_cycles += cycles,
+            Some(head) => match head.state {
+                EntryState::WaitingMem | EntryState::WaitingAgen => head.blocked_cycles += cycles,
+                EntryState::WaitingDeps | EntryState::Done(_) => {
+                    self.stats.stall_cycles_other += cycles
+                }
+            },
+        }
+    }
+
     fn issue_due_loads(&mut self, now: Cycle, port: &mut dyn MemoryPort) {
         while let Some(&Reverse((at, seq))) = self.agen_events.peek() {
             if at > now {
@@ -741,6 +789,84 @@ mod tests {
     fn finish_unknown_token_panics() {
         let mut core = Core::new(0, CoreConfig::baseline(), alu_loop());
         core.finish_load(999, 0, ServedBy::L1);
+    }
+
+    #[test]
+    fn next_work_at_reflects_core_state() {
+        // A fresh core can fetch immediately.
+        let core = Core::new(0, CoreConfig::baseline(), alu_loop());
+        assert_eq!(core.next_work_at(), 0);
+
+        // A core whose tiny ROB is full of memory-blocked work reports
+        // "never" — only finish_load can unblock it.
+        let src = Box::new(VecSource::new(
+            "chase",
+            vec![Instr::load(
+                0x400000,
+                VirtAddr::new(0x1000),
+                Some(1),
+                [Some(1), None],
+            )],
+        ));
+        let cfg = CoreConfig {
+            rob_size: 8,
+            ..CoreConfig::baseline()
+        };
+        let mut core = Core::new(0, cfg, src);
+        let mut mem = StubMem::new(1_000_000, ServedBy::Dram);
+        for now in 0..10 {
+            core.tick(now, &mut mem);
+        }
+        assert_eq!(core.rob_occupancy(), 8);
+        assert_eq!(core.next_work_at(), Cycle::MAX);
+    }
+
+    #[test]
+    fn skip_stalled_matches_ticked_stalls() {
+        // Two identical cores, both blocked on the same off-chip load:
+        // one ticks through 500 dead cycles, the other skips them in one
+        // call. Their statistics must be indistinguishable afterwards.
+        let mk = || {
+            let src = Box::new(VecSource::new(
+                "chase",
+                vec![Instr::load(
+                    0x400000,
+                    VirtAddr::new(0x1000),
+                    Some(1),
+                    [Some(1), None],
+                )],
+            ));
+            let cfg = CoreConfig {
+                rob_size: 8,
+                ..CoreConfig::baseline()
+            };
+            Core::new(0, cfg, src)
+        };
+        let mut ticked = mk();
+        let mut skipped = mk();
+        let mut mem_t = StubMem::new(1_000_000, ServedBy::Dram);
+        let mut mem_s = StubMem::new(1_000_000, ServedBy::Dram);
+        for now in 0..10 {
+            ticked.tick(now, &mut mem_t);
+            skipped.tick(now, &mut mem_s);
+        }
+        assert_eq!(ticked.next_work_at(), Cycle::MAX);
+
+        for now in 10..510 {
+            ticked.tick(now, &mut mem_t);
+        }
+        skipped.skip_stalled(500);
+
+        // Deliver the head load in both at the same cycle and retire it.
+        let tok = mem_t.issued.first().expect("head load issued").token;
+        ticked.finish_load(tok, 510, ServedBy::Dram);
+        skipped.finish_load(tok, 510, ServedBy::Dram);
+        ticked.tick(510, &mut mem_t);
+        skipped.tick(510, &mut mem_s);
+
+        assert_eq!(ticked.retired(), 1);
+        assert_eq!(ticked.stats(), skipped.stats());
+        assert!(ticked.stats().stall_cycles_offchip >= 500);
     }
 
     #[test]

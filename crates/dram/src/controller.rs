@@ -263,6 +263,13 @@ impl MemoryController {
         }
     }
 
+    /// The completion cycle of the earliest in-flight read, if any —
+    /// the controller's contribution to idle-cycle fast-forward (writes
+    /// are fire-and-forget and never produce an event).
+    pub fn next_completion_at(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse((at, _))| *at)
+    }
+
     /// Statistics so far.
     pub fn stats(&self) -> &DramStats {
         &self.stats

@@ -29,8 +29,11 @@ use crate::Provenance;
 ///
 /// History: v1 was the unversioned `target/expcache/*.kv` layout owned by
 /// `hermes-bench`; v2 moved the cache into `hermes-exec` and added the
-/// version directory and lock protocol.
-pub const CACHE_SCHEMA_VERSION: u32 = 2;
+/// version directory and lock protocol; v3 marks the generic N-level
+/// hierarchy engine (default-topology results are bit-identical, but
+/// `SystemConfig` grew fields, changing every config fingerprint — the
+/// bump keeps the orphaned v2 entries out of the way).
+pub const CACHE_SCHEMA_VERSION: u32 = 3;
 
 /// How long a lock file may sit untouched before a waiter assumes its
 /// owner died and breaks it. Generous: a legitimate `--full` eight-core

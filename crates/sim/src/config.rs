@@ -1,8 +1,9 @@
 //! System configuration: the paper's Table 4 with builder-style sweeps
-//! for every sensitivity study in §8.4 and Appendix B.
+//! for every sensitivity study in §8.4 and Appendix B, plus arbitrary
+//! N-level cache topologies via [`LevelConfig`].
 
 use hermes::{HermesConfig, PopetConfig};
-use hermes_cache::{CacheConfig, ReplacementKind};
+use hermes_cache::{CacheConfig, LevelConfig, LevelScope, ReplacementKind};
 use hermes_cpu::CoreConfig;
 use hermes_dram::DramConfig;
 use hermes_prefetch::PrefetcherKind;
@@ -23,9 +24,15 @@ pub struct SystemConfig {
     /// Shared LLC configuration *per core* (3 MB/core); `latency` is the
     /// additional cycles past L2 (40, for a 55-cycle LLC load-to-use).
     pub llc_per_core: CacheConfig,
+    /// Explicit cache topology, innermost level first. `None` (the
+    /// default everywhere) derives the paper's classic three-level stack
+    /// from `l1`/`l2`/`llc_per_core`; `Some` replaces it wholesale and
+    /// the classic fields (and their sweep builders) are ignored. See
+    /// [`SystemConfig::level_configs`] for the shape rules.
+    pub levels: Option<Vec<LevelConfig>>,
     /// Main memory.
     pub dram: DramConfig,
-    /// Data prefetcher at the LLC (one instance per core).
+    /// Data prefetcher at the last cache level (one instance per core).
     pub prefetcher: PrefetcherKind,
     /// Hermes configuration.
     pub hermes: HermesConfig,
@@ -34,6 +41,13 @@ pub struct SystemConfig {
     pub popet: PopetConfig,
     /// Cycles a retry waits when an MSHR is full.
     pub mshr_retry: u32,
+    /// Idle-cycle fast-forward in [`crate::System::run`]: when every core
+    /// is blocked on the memory system and no hierarchy event is due,
+    /// jump simulated time straight to the next event instead of ticking
+    /// through dead cycles. Statistics are provably identical either way
+    /// (stall cycles are attributed in bulk); this is purely a wall-clock
+    /// optimisation for memory-bound workloads.
+    pub fast_forward: bool,
 }
 
 impl SystemConfig {
@@ -47,11 +61,13 @@ impl SystemConfig {
             l2: CacheConfig::new("L2", 1280 * 1024, 20, ReplacementKind::Lru, 48).with_latency(10),
             llc_per_core: CacheConfig::new("LLC", 3 << 20, 12, ReplacementKind::Ship, 64)
                 .with_latency(40),
+            levels: None,
             dram: DramConfig::single_core(),
             prefetcher: PrefetcherKind::Pythia,
             hermes: HermesConfig::disabled(),
             popet: PopetConfig::paper(),
             mshr_retry: 4,
+            fast_forward: true,
         }
     }
 
@@ -93,8 +109,15 @@ impl SystemConfig {
     ///
     /// # Panics
     ///
-    /// Panics if the size does not yield a power-of-two set count.
+    /// Panics if the size does not yield a power-of-two set count, or if
+    /// an explicit topology is set (the classic-field sweep would be a
+    /// silent no-op; sweep the `levels` entries directly instead).
     pub fn with_llc_size(mut self, bytes_per_core: u64) -> Self {
+        assert!(
+            self.levels.is_none(),
+            "with_llc_size sweeps the classic l1/l2/llc topology; \
+             with an explicit `levels` topology, edit its LevelConfigs directly"
+        );
         self.llc_per_core = CacheConfig::new(
             "LLC",
             bytes_per_core,
@@ -108,7 +131,17 @@ impl SystemConfig {
 
     /// Replaces the post-L2 LLC latency (Fig. 17d sweep: the paper varies
     /// the LLC access latency with L1/L2 unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an explicit topology is set (see
+    /// [`SystemConfig::with_llc_size`]).
     pub fn with_llc_latency(mut self, additional_cycles: u32) -> Self {
+        assert!(
+            self.levels.is_none(),
+            "with_llc_latency sweeps the classic l1/l2/llc topology; \
+             with an explicit `levels` topology, edit its LevelConfigs directly"
+        );
         self.llc_per_core.latency = additional_cycles;
         self
     }
@@ -119,35 +152,99 @@ impl SystemConfig {
         self
     }
 
-    /// Total one-way latency from issue to the memory controller: the
-    /// cycles Hermes can shave off an off-chip load (55 in the baseline).
-    pub fn hierarchy_latency(&self) -> u32 {
-        self.l1.latency + self.l2.latency + self.llc_per_core.latency
+    /// Replaces the whole cache topology (innermost level first). The
+    /// classic `l1`/`l2`/`llc_per_core` fields and their sweep builders
+    /// are ignored once an explicit topology is set.
+    pub fn with_levels(mut self, levels: Vec<LevelConfig>) -> Self {
+        self.levels = Some(levels);
+        self
     }
 
-    /// The LLC shared by all cores (size scaled by core count, Table 4's
-    /// "3 MB/core").
+    /// Enables or disables idle-cycle fast-forward (on by default; never
+    /// changes results, only wall-clock time).
+    pub fn with_fast_forward(mut self, on: bool) -> Self {
+        self.fast_forward = on;
+        self
+    }
+
+    /// The cache topology actually simulated, innermost level first:
+    /// the explicit [`SystemConfig::levels`] if set, otherwise the
+    /// classic private-L1 / private-L2 / shared-LLC stack.
+    ///
+    /// Shape rules (enforced by [`SystemConfig::validate`]): at least two
+    /// levels; the first level must be [`LevelScope::Private`] (it is the
+    /// per-core L1D the pipeline talks to); the last level must be
+    /// [`LevelScope::Shared`] (a miss there is the off-chip boundary and
+    /// its MSHRs front the shared memory controller); and scopes must be
+    /// monotone — once a level is shared, every outer level is too. A
+    /// private level outboard of a shared one would receive the shared
+    /// level's victims (which may belong to any core) into a single
+    /// core's instance, misplacing other cores' data.
+    pub fn level_configs(&self) -> Vec<LevelConfig> {
+        match &self.levels {
+            Some(v) => v.clone(),
+            None => vec![
+                LevelConfig::private(self.l1.clone()),
+                LevelConfig::private(self.l2.clone()),
+                LevelConfig::shared(self.llc_per_core.clone()),
+            ],
+        }
+    }
+
+    /// Total one-way latency from issue to the memory controller — the
+    /// sum of per-level lookup latencies (55 in the baseline): the cycles
+    /// Hermes can shave off an off-chip load.
+    pub fn hierarchy_latency(&self) -> u32 {
+        self.level_configs().iter().map(|l| l.cache.latency).sum()
+    }
+
+    /// The geometry of the last (shared) cache level as instantiated for
+    /// this core count — Table 4's "3 MB/core" scaling. Follows the
+    /// explicit topology when one is set, so it always describes the
+    /// cache the simulator actually builds.
     pub fn shared_llc(&self) -> CacheConfig {
-        CacheConfig::new(
-            "LLC",
-            self.llc_per_core.size_bytes * self.cores as u64,
-            self.llc_per_core.ways,
-            self.llc_per_core.replacement,
-            self.llc_per_core.mshrs * self.cores,
-        )
-        .with_latency(self.llc_per_core.latency)
+        self.level_configs()
+            .last()
+            .expect("validate() enforces >= 2 levels")
+            .instantiated(self.cores)
     }
 
     /// Validates the composite configuration.
     ///
     /// # Panics
     ///
-    /// Panics on inconsistent parameters.
+    /// Panics on inconsistent parameters or a topology violating the
+    /// shape rules of [`SystemConfig::level_configs`].
     pub fn validate(&self) {
         assert!(self.cores >= 1);
         self.core.validate();
         self.dram.validate();
-        let _ = self.shared_llc();
+        let levels = self.level_configs();
+        assert!(
+            levels.len() >= 2,
+            "hierarchy needs at least two levels (got {})",
+            levels.len()
+        );
+        assert_eq!(
+            levels[0].scope,
+            LevelScope::Private,
+            "the first cache level must be core-private"
+        );
+        assert_eq!(
+            levels.last().expect("nonempty").scope,
+            LevelScope::Shared,
+            "the last cache level must be shared (it fronts the memory controller)"
+        );
+        assert!(
+            levels
+                .windows(2)
+                .all(|w| !(w[0].scope == LevelScope::Shared && w[1].scope == LevelScope::Private)),
+            "cache level scopes must be monotone: no private level outside a shared one"
+        );
+        for l in &levels {
+            // Geometry checks (set counts, scaling) panic on bad shapes.
+            let _ = l.instantiated(self.cores);
+        }
     }
 }
 
@@ -180,6 +277,123 @@ mod tests {
         assert_eq!(c.shared_llc().size_bytes, 24 << 20);
         assert_eq!(c.dram.channels, 4);
         c.validate();
+    }
+
+    #[test]
+    fn default_topology_matches_classic_fields() {
+        let c = SystemConfig::baseline_1c();
+        assert!(c.levels.is_none());
+        assert!(c.fast_forward);
+        let levels = c.level_configs();
+        assert_eq!(levels.len(), 3);
+        assert_eq!(levels[0].scope, LevelScope::Private);
+        assert_eq!(levels[1].scope, LevelScope::Private);
+        assert_eq!(levels[2].scope, LevelScope::Shared);
+        assert_eq!(
+            levels.iter().map(|l| l.cache.latency).collect::<Vec<_>>(),
+            vec![5, 10, 40]
+        );
+        // The shared last level instantiates exactly like shared_llc().
+        let inst = levels[2].instantiated(8);
+        let llc = SystemConfig::baseline_8c().shared_llc();
+        assert_eq!(inst.size_bytes, llc.size_bytes);
+        assert_eq!(inst.mshrs, llc.mshrs);
+    }
+
+    #[test]
+    fn explicit_topology_drives_latency_and_validation() {
+        let base = SystemConfig::baseline_1c();
+        let c = base.clone().with_levels(vec![
+            LevelConfig::private(base.l1.clone()),
+            LevelConfig::private(base.l2.clone()),
+            LevelConfig::private(
+                CacheConfig::new("L3", 2 << 20, 16, ReplacementKind::Lru, 48).with_latency(15),
+            ),
+            LevelConfig::shared(base.llc_per_core.clone()),
+        ]);
+        assert_eq!(c.level_configs().len(), 4);
+        assert_eq!(c.hierarchy_latency(), 70);
+        c.validate();
+        let two = base.clone().with_levels(vec![
+            LevelConfig::private(base.l1.clone()),
+            LevelConfig::shared(base.llc_per_core.clone()),
+        ]);
+        assert_eq!(two.hierarchy_latency(), 45);
+        two.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "last cache level must be shared")]
+    fn topology_without_shared_last_rejected() {
+        let base = SystemConfig::baseline_1c();
+        base.clone()
+            .with_levels(vec![
+                LevelConfig::private(base.l1.clone()),
+                LevelConfig::private(base.l2.clone()),
+            ])
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "first cache level must be core-private")]
+    fn topology_with_shared_first_rejected() {
+        let base = SystemConfig::baseline_1c();
+        base.clone()
+            .with_levels(vec![
+                LevelConfig::shared(base.l1.clone()),
+                LevelConfig::shared(base.llc_per_core.clone()),
+            ])
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "scopes must be monotone")]
+    fn private_level_outside_shared_rejected() {
+        let base = SystemConfig::baseline_1c();
+        base.clone()
+            .with_levels(vec![
+                LevelConfig::private(base.l1.clone()),
+                LevelConfig::shared(base.l2.clone()),
+                LevelConfig::private(base.l2.clone()),
+                LevelConfig::shared(base.llc_per_core.clone()),
+            ])
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "edit its LevelConfigs directly")]
+    fn classic_sweep_builders_rejected_on_explicit_topology() {
+        let base = SystemConfig::baseline_1c();
+        let _ = base
+            .clone()
+            .with_levels(vec![
+                LevelConfig::private(base.l1.clone()),
+                LevelConfig::shared(base.llc_per_core.clone()),
+            ])
+            .with_llc_latency(50);
+    }
+
+    #[test]
+    fn shared_llc_follows_explicit_topology() {
+        let base = SystemConfig::baseline_1c();
+        let c = base.clone().with_levels(vec![
+            LevelConfig::private(base.l1.clone()),
+            LevelConfig::shared(
+                CacheConfig::new("LLC", 1 << 20, 16, ReplacementKind::Lru, 32).with_latency(30),
+            ),
+        ]);
+        let llc = c.shared_llc();
+        assert_eq!(llc.size_bytes, 1 << 20);
+        assert_eq!(llc.latency, 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two levels")]
+    fn single_level_topology_rejected() {
+        let base = SystemConfig::baseline_1c();
+        base.clone()
+            .with_levels(vec![LevelConfig::shared(base.llc_per_core.clone())])
+            .validate();
     }
 
     #[test]

@@ -1,27 +1,67 @@
-//! The memory-hierarchy engine: per-core L1D/L2, shared LLC, prefetchers,
-//! off-chip predictors, the Hermes datapath, and DRAM — implementing the
-//! core-facing [`MemoryPort`].
+//! The memory-hierarchy engine: a configurable pipeline of cache levels,
+//! prefetchers, off-chip predictors, the Hermes datapath, and DRAM —
+//! implementing the core-facing [`MemoryPort`].
+//!
+//! ## Topology
+//!
+//! The hierarchy is a `Vec<CacheLevel>` built from
+//! [`SystemConfig::level_configs`] (innermost level first). The default
+//! is the paper's three-level stack — private L1D, private L2, shared
+//! LLC — but any depth ≥ 2 works, with each level private per core or
+//! shared by all cores ([`hermes_cache::LevelScope`]). Three level roles
+//! fall out of the position in the stack:
+//!
+//! * **first level** (always private) — the level the core pipeline
+//!   talks to: it tracks load tokens and store write-allocates in its
+//!   MSHRs and is where full-MSHR accesses park in the retry queue;
+//! * **intermediate levels** — pure lookup/merge stages;
+//! * **last level** (always shared) — hosts the data prefetchers, feeds
+//!   the memory controller, and defines the *off-chip boundary*: a load
+//!   missing here is the positive class Hermes predicts
+//!   ([`hermes_cpu::ServedBy::Dram`]), regardless of depth.
+//!
+//! Hermes prediction fires when the load issues at the first level and
+//! trains when the load resolves, exactly as in the fixed pipeline.
 //!
 //! ## Load path timing
 //!
-//! Latencies follow Table 4's load-to-use numbers: an L1 hit completes at
-//! issue+5, an L2 hit at issue+15, an LLC hit at issue+55; an LLC miss
-//! enters the memory controller's read queue at issue+55 and completes
-//! when DRAM delivers. A Hermes request for a predicted-off-chip load
-//! enters the read queue at issue+6 (Hermes-O) or issue+18 (Hermes-P)
-//! instead — the regular miss later *merges* with it at the controller,
-//! which is precisely how Hermes hides the on-chip hierarchy latency
-//! (§6.2.1). A completed Hermes read that no demand merged into is
-//! dropped without filling any cache (§6.2.2), keeping the hierarchy
-//! coherent on a misprediction.
+//! Latencies follow Table 4's load-to-use numbers, generalised per level:
+//! a first-level hit completes at issue+`lat₀`; a lookup at level *i*+1
+//! is scheduled `lat_{i+1}` cycles after the miss at level *i* (so the
+//! default's L2 hit lands at issue+15 and LLC hit at issue+55); a
+//! last-level miss enters the memory controller's read queue with the
+//! full on-chip latency already paid and completes when DRAM delivers. A
+//! Hermes request for a predicted-off-chip load enters the read queue at
+//! issue+6 (Hermes-O) or issue+18 (Hermes-P) instead — the regular miss
+//! later *merges* with it at the controller, which is precisely how
+//! Hermes hides the on-chip hierarchy latency (§6.2.1). A completed
+//! Hermes read that no demand merged into is dropped without filling any
+//! cache (§6.2.2), keeping the hierarchy coherent on a misprediction.
 //!
 //! ## Fills and evictions
 //!
-//! DRAM returns fill LLC+L2+L1 along the return path; LLC-hit data fills
-//! L2+L1; prefetches fill only the LLC (they are LLC prefetchers, Table
-//! 4). Dirty evictions propagate downward and become DRAM writebacks.
-//! TTP observes every fill and every LLC eviction; the active prefetcher
-//! observes LLC demand accesses and receives usefulness feedback.
+//! A fill returning from DRAM (or from a hit at an outer level) walks the
+//! stack inward, filling every level on the requesting core's path and
+//! completing each level's MSHR entry — resuming merged requesters from
+//! other cores where a shared level joined their paths. Dirty victims
+//! propagate outward level by level and become DRAM writebacks when the
+//! last level evicts them. Prefetches fill only the last level (they are
+//! last-level prefetchers, Table 4). TTP observes every fill and every
+//! last-level eviction; the active prefetcher observes last-level demand
+//! accesses and receives usefulness feedback.
+//!
+//! ## Retry queue
+//!
+//! First-level accesses rejected by a full MSHR table park in a retry
+//! queue and re-execute the full access (tag lookup included, which is
+//! deliberately re-charged to the power model) after `mshr_retry`
+//! cycles. The queue keeps the historical `Vec` + swap-remove scan —
+//! whose exact (path-dependent) processing order the regression goldens
+//! are bit-for-bit sensitive to, ruling out a reordering container like
+//! a min-heap — but caches the minimum due time so the common
+//! nothing-due tick is a single comparison instead of an O(n) sweep of
+//! every pending entry. The cached minimum also feeds
+//! [`Hierarchy::next_event_at`] for idle-cycle fast-forward.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -29,7 +69,7 @@ use std::collections::{BinaryHeap, HashMap};
 use hermes::{
     Hmp, LoadContext, OffChipPredictor, Popet, Prediction, PredictorKind, PredictorStats, Ttp,
 };
-use hermes_cache::{CacheArray, MshrTable};
+use hermes_cache::{CacheLevel, LevelStats};
 use hermes_cpu::{LoadIssue, MemoryPort, ServedBy, StoreIssue};
 use hermes_dram::{Completion, MemoryController, ReqKind};
 use hermes_prefetch::{self as pf, AccessCtx, PrefetchReq, Prefetcher};
@@ -41,29 +81,33 @@ use crate::translate::translate;
 /// Maximum prefetch candidates accepted per triggering access.
 const MAX_PF_PER_ACCESS: usize = 32;
 
-/// LLC MSHR registers held back from prefetches so demands never starve.
+/// Last-level MSHR registers held back from prefetches so demands never
+/// starve.
 const PF_MSHR_RESERVE: usize = 8;
 
-/// A requester waiting on an L1 miss.
+/// An MSHR waiter payload; which variants appear at a level follows from
+/// the level's role (see module docs).
 #[derive(Debug, Clone, Copy)]
-struct L1Waiter {
-    /// Core load token; `None` for stores (write-allocate fetches).
-    token: Option<u64>,
-    is_store: bool,
+enum Waiter {
+    /// First level: a core access awaiting data. `token` is `None` for
+    /// stores (write-allocate fetches).
+    Request { token: Option<u64>, is_store: bool },
+    /// Intermediate level: a merged request chain from `core`, resumed
+    /// towards the core when the fill arrives.
+    Merge { core: usize },
+    /// Last level: a demand miss from `core` (the `pc` feeds SHiP's fill
+    /// signature).
+    Demand { core: usize, pc: u64 },
+    /// Last level: a prefetch-only requester.
+    Prefetch,
 }
-
-/// A core waiting on an LLC miss; `None` marks prefetch-only entries.
-type LlcWaiter = Option<(usize, u64)>; // (core, trigger pc)
 
 #[derive(Debug, Clone, Copy)]
 enum Ev {
-    LookupL2 {
-        core: usize,
-        line: LineAddr,
-        pc: u64,
-        retried: bool,
-    },
-    LookupLlc {
+    /// Demand lookup reaching `level` (≥ 1; the first level is accessed
+    /// synchronously at issue).
+    Lookup {
+        level: usize,
         core: usize,
         line: LineAddr,
         pc: u64,
@@ -104,6 +148,18 @@ impl Ord for HeapEntry {
     }
 }
 
+/// A first-level access deferred by MSHR exhaustion, waiting in the
+/// retry queue.
+#[derive(Debug, Clone, Copy)]
+struct Retry {
+    at: Cycle,
+    core: usize,
+    line: LineAddr,
+    token: Option<u64>,
+    is_store: bool,
+    pc: u64,
+}
+
 /// What the predictor said about an in-flight load, kept until training.
 #[derive(Debug, Clone, Copy)]
 struct LoadRec {
@@ -122,11 +178,16 @@ enum PredictorImpl {
 }
 
 /// Per-core hierarchy statistics.
+///
+/// The level-indexed counters keep their historical three-level names:
+/// `l1_accesses` counts the first level, `l2_accesses` every
+/// intermediate level combined, and `llc_demand_*` the last level,
+/// whatever the configured depth.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CoreHierStats {
-    /// Demand accesses reaching the LLC.
+    /// Demand accesses reaching the last level.
     pub llc_demand_accesses: u64,
-    /// Demand accesses missing the LLC (the MPKI numerator).
+    /// Demand accesses missing the last level (the MPKI numerator).
     pub llc_demand_misses: u64,
     /// Hermes requests issued to the memory controller.
     pub hermes_requests: u64,
@@ -134,9 +195,9 @@ pub struct CoreHierStats {
     pub prefetches_issued: u64,
     /// Prefetched lines this core demanded (useful prefetches).
     pub prefetches_useful: u64,
-    /// L1D accesses (power model).
+    /// First-level accesses (power model).
     pub l1_accesses: u64,
-    /// L2 accesses (power model).
+    /// Intermediate-level accesses (power model).
     pub l2_accesses: u64,
     /// Sum over off-chip loads of total latency (issue -> data).
     pub offchip_latency_sum: u64,
@@ -149,12 +210,12 @@ pub struct CoreHierStats {
 /// See [module docs](self).
 pub struct Hierarchy {
     cfg: SystemConfig,
-    l1: Vec<CacheArray>,
-    l2: Vec<CacheArray>,
-    llc: CacheArray,
-    l1_mshr: Vec<MshrTable<L1Waiter>>,
-    l2_mshr: Vec<MshrTable<()>>,
-    llc_mshr: MshrTable<LlcWaiter>,
+    /// The cache stack, innermost first; `len() >= 2`, first private,
+    /// last shared (enforced by [`SystemConfig::validate`]).
+    levels: Vec<CacheLevel<Waiter>>,
+    /// Cached [`SystemConfig::hierarchy_latency`] (hot in
+    /// `finish_demand`).
+    onchip_latency: u32,
     dram: MemoryController,
     prefetchers: Vec<Box<dyn Prefetcher>>,
     predictors: Vec<PredictorImpl>,
@@ -166,12 +227,25 @@ pub struct Hierarchy {
     stats: Vec<CoreHierStats>,
     dram_buf: Vec<Completion>,
     pf_buf: Vec<PrefetchReq>,
-    /// Deferred L1 accesses waiting on a free MSHR:
-    /// (retry_at, core, line, token, is_store, pc).
-    retry_l1: Vec<(Cycle, usize, LineAddr, Option<u64>, bool, u64)>,
+    /// Deferred first-level accesses (exact legacy scan order — see
+    /// module docs).
+    retries: Vec<Retry>,
+    /// Cached `min(retries[..].at)` (`Cycle::MAX` when empty): the O(1)
+    /// nothing-due test for `tick` and the retry term of
+    /// [`Hierarchy::next_event_at`].
+    retry_min: Cycle,
 }
 
 fn key(core: usize, token: u64) -> u64 {
+    // Tokens are per-core sequence numbers; 48 bits last ~2.8e14
+    // instructions per core, far beyond any run. The assert guards the
+    // packing against silently aliasing two in-flight loads if that
+    // assumption ever breaks.
+    debug_assert!(
+        token < 1 << 48,
+        "load token {token:#x} overflows key packing"
+    );
+    debug_assert!(core < 1 << 16, "core id {core} overflows key packing");
     ((core as u64) << 48) | token
 }
 
@@ -195,13 +269,14 @@ impl Hierarchy {
                 PredictorKind::Ideal => PredictorImpl::Ideal,
             })
             .collect();
+        let levels = cfg
+            .level_configs()
+            .into_iter()
+            .map(|lc| CacheLevel::new(lc, n))
+            .collect();
         Self {
-            l1: (0..n).map(|_| CacheArray::new(&cfg.l1)).collect(),
-            l2: (0..n).map(|_| CacheArray::new(&cfg.l2)).collect(),
-            llc: CacheArray::new(&cfg.shared_llc()),
-            l1_mshr: (0..n).map(|_| MshrTable::new(cfg.l1.mshrs)).collect(),
-            l2_mshr: (0..n).map(|_| MshrTable::new(cfg.l2.mshrs)).collect(),
-            llc_mshr: MshrTable::new(cfg.shared_llc().mshrs),
+            levels,
+            onchip_latency: cfg.hierarchy_latency(),
             dram: MemoryController::new(cfg.dram.clone()),
             prefetchers: (0..n).map(|_| pf::build(cfg.prefetcher)).collect(),
             predictors,
@@ -213,7 +288,8 @@ impl Hierarchy {
             stats: vec![CoreHierStats::default(); n],
             dram_buf: Vec::new(),
             pf_buf: Vec::new(),
-            retry_l1: Vec::new(),
+            retries: Vec::new(),
+            retry_min: Cycle::MAX,
             cfg,
         }
     }
@@ -223,9 +299,43 @@ impl Hierarchy {
         &self.cfg
     }
 
+    /// Index of the last (outermost, off-chip-boundary) level.
+    fn last(&self) -> usize {
+        self.levels.len() - 1
+    }
+
+    /// Which [`ServedBy`] class a hit at `level` reports: the first level
+    /// is `L1`, the last is `Llc`, anything between is `L2` (middle
+    /// levels share one bucket so [`hermes_cpu::CoreStats`] stays
+    /// depth-independent).
+    fn served_at(&self, level: usize) -> ServedBy {
+        if level == 0 {
+            ServedBy::L1
+        } else if level == self.last() {
+            ServedBy::Llc
+        } else {
+            ServedBy::L2
+        }
+    }
+
     /// Per-core hierarchy statistics.
     pub fn core_stats(&self) -> &[CoreHierStats] {
         &self.stats
+    }
+
+    /// Per-level aggregate statistics, innermost first, as
+    /// `(name, stats)` pairs.
+    pub fn level_stats(&self) -> Vec<(String, LevelStats)> {
+        self.levels
+            .iter()
+            .map(|l| (l.name().to_string(), *l.stats()))
+            .collect()
+    }
+
+    /// Total outstanding misses across every level's MSHR tables
+    /// (diagnostics/tests: zero when the hierarchy is quiescent).
+    pub fn mshrs_in_flight(&self) -> usize {
+        self.levels.iter().map(|l| l.mshr_in_flight_total()).sum()
     }
 
     /// Per-core predictor confusion matrices.
@@ -247,9 +357,28 @@ impl Hierarchy {
         for s in &mut self.pred_stats {
             *s = PredictorStats::default();
         }
+        for l in &mut self.levels {
+            l.reset_stats();
+        }
         // Statistics only: in-flight reads must survive the boundary or
         // their waiters (MSHRs, cores) would strand.
         self.dram.reset_stats();
+    }
+
+    /// The earliest cycle at which this hierarchy has any work to do —
+    /// the next scheduled event, pending retry, or DRAM completion.
+    /// `Cycle::MAX` when fully quiescent. Drives idle-cycle fast-forward
+    /// in [`crate::System::run`].
+    pub fn next_event_at(&self) -> Cycle {
+        let mut at = Cycle::MAX;
+        if let Some(Reverse(e)) = self.events.peek() {
+            at = at.min(e.at);
+        }
+        at = at.min(self.retry_min);
+        if let Some(d) = self.dram.next_completion_at() {
+            at = at.min(d);
+        }
+        at
     }
 
     fn schedule(&mut self, at: Cycle, ev: Ev) {
@@ -268,9 +397,7 @@ impl Hierarchy {
             PredictorImpl::Hmp(h) => h.predict(ctx),
             PredictorImpl::Ttp(t) => t.predict(ctx),
             PredictorImpl::Ideal => {
-                let present = self.l1[core].probe(ctx.pline)
-                    || self.l2[core].probe(ctx.pline)
-                    || self.llc.probe(ctx.pline);
+                let present = self.levels.iter().any(|l| l.probe(core, ctx.pline));
                 Prediction {
                     go_offchip: !present,
                     meta: hermes::predictor::PredictionMeta::None,
@@ -315,14 +442,15 @@ impl Hierarchy {
                 let s = &mut self.stats[core];
                 s.offchip_loads += 1;
                 s.offchip_latency_sum += now.saturating_sub(rec.issue);
-                s.offchip_onchip_portion_sum += self.cfg.hierarchy_latency() as u64;
+                s.offchip_onchip_portion_sum += self.onchip_latency as u64;
             }
         }
         self.finished.push((core, token, served));
     }
 
-    /// L1 access for a load or store at `now`.
-    fn access_l1(
+    /// First-level access for a load or store at `now` (also re-entered
+    /// from the retry heap).
+    fn access_first(
         &mut self,
         core: usize,
         line: LineAddr,
@@ -332,13 +460,13 @@ impl Hierarchy {
         now: Cycle,
     ) {
         self.stats[core].l1_accesses += 1;
-        let res = self.l1[core].access(line, pc_sig(pc));
+        let res = self.levels[0].access(core, line, pc_sig(pc));
         if res.hit {
             if is_store {
-                self.l1[core].mark_dirty(line);
+                self.levels[0].mark_dirty(core, line);
             }
             if let Some(tok) = token {
-                let at = now + self.cfg.l1.latency as Cycle;
+                let at = now + self.levels[0].latency() as Cycle;
                 self.schedule(
                     at,
                     Ev::CompleteLoad {
@@ -350,12 +478,13 @@ impl Hierarchy {
             }
             return;
         }
-        match self.l1_mshr[core].allocate(line, L1Waiter { token, is_store }, false) {
+        match self.levels[0].mshr_allocate(core, line, Waiter::Request { token, is_store }, false) {
             Ok(true) => {
-                let at = now + (self.cfg.l1.latency + self.cfg.l2.latency) as Cycle;
+                let at = now + (self.levels[0].latency() + self.levels[1].latency()) as Cycle;
                 self.schedule(
                     at,
-                    Ev::LookupL2 {
+                    Ev::Lookup {
+                        level: 1,
                         core,
                         line,
                         pc,
@@ -365,30 +494,48 @@ impl Hierarchy {
             }
             Ok(false) => {}
             Err(_) => {
-                // Structural stall: retry the whole L1 access after the
-                // retry delay (the repeated tag lookup is charged to the
-                // power model).
+                // Structural stall: retry the whole first-level access
+                // after the retry delay (the repeated tag lookup is
+                // charged to the power model).
                 let at = now + self.cfg.mshr_retry as Cycle;
-                self.retry_l1.push((at, core, line, token, is_store, pc));
+                self.retry_min = self.retry_min.min(at);
+                self.retries.push(Retry {
+                    at,
+                    core,
+                    line,
+                    token,
+                    is_store,
+                    pc,
+                });
             }
         }
     }
 
-    fn lookup_l2(&mut self, core: usize, line: LineAddr, pc: u64, retried: bool, now: Cycle) {
+    /// Demand lookup at an intermediate level (`0 < level < last`).
+    fn lookup_mid(
+        &mut self,
+        level: usize,
+        core: usize,
+        line: LineAddr,
+        pc: u64,
+        retried: bool,
+        now: Cycle,
+    ) {
         if !retried {
             self.stats[core].l2_accesses += 1;
         }
-        let res = self.l2[core].access(line, pc_sig(pc));
+        let res = self.levels[level].access(core, line, pc_sig(pc));
         if res.hit {
-            self.complete_l1_path(core, line, ServedBy::L2, now);
+            self.descend(level, core, line, self.served_at(level), now);
             return;
         }
-        match self.l2_mshr[core].allocate(line, (), false) {
+        match self.levels[level].mshr_allocate(core, line, Waiter::Merge { core }, false) {
             Ok(true) => {
-                let at = now + self.cfg.llc_per_core.latency as Cycle;
+                let at = now + self.levels[level + 1].latency() as Cycle;
                 self.schedule(
                     at,
-                    Ev::LookupLlc {
+                    Ev::Lookup {
+                        level: level + 1,
                         core,
                         line,
                         pc,
@@ -401,7 +548,8 @@ impl Hierarchy {
                 let at = now + self.cfg.mshr_retry as Cycle;
                 self.schedule(
                     at,
-                    Ev::LookupL2 {
+                    Ev::Lookup {
+                        level,
                         core,
                         line,
                         pc,
@@ -412,8 +560,11 @@ impl Hierarchy {
         }
     }
 
-    fn lookup_llc(&mut self, core: usize, line: LineAddr, pc: u64, retried: bool, now: Cycle) {
-        let res = self.llc.access(line, pc_sig(pc));
+    /// Demand lookup at the last level: prefetcher observation point and
+    /// the off-chip boundary.
+    fn lookup_last(&mut self, core: usize, line: LineAddr, pc: u64, retried: bool, now: Cycle) {
+        let last = self.last();
+        let res = self.levels[last].access(core, line, pc_sig(pc));
         if !retried {
             self.stats[core].llc_demand_accesses += 1;
             if res.first_demand_on_prefetch {
@@ -439,15 +590,14 @@ impl Hierarchy {
         }
 
         if res.hit {
-            self.fill_l2(core, line, false, now);
-            self.complete_l2_path(core, line, ServedBy::Llc, now);
+            self.descend(last, core, line, self.served_at(last), now);
             return;
         }
         if !retried {
             self.stats[core].llc_demand_misses += 1;
         }
-        let was_prefetch_only = self.llc_mshr.is_prefetch_only(line);
-        match self.llc_mshr.allocate(line, Some((core, pc)), false) {
+        let was_prefetch_only = self.levels[last].mshr_is_prefetch_only(core, line);
+        match self.levels[last].mshr_allocate(core, line, Waiter::Demand { core, pc }, false) {
             Ok(true) => {
                 let _ = self.dram.enqueue_read(line, now, ReqKind::Demand);
             }
@@ -462,7 +612,8 @@ impl Hierarchy {
                 let at = now + self.cfg.mshr_retry as Cycle;
                 self.schedule(
                     at,
-                    Ev::LookupLlc {
+                    Ev::Lookup {
+                        level: last,
                         core,
                         line,
                         pc,
@@ -478,16 +629,19 @@ impl Hierarchy {
     /// crossing a page boundary fetches unrelated data) and an MSHR
     /// reservation so prefetches cannot starve demand misses.
     fn issue_prefetch(&mut self, core: usize, trigger: LineAddr, line: LineAddr, now: Cycle) {
+        let last = self.last();
         if line.page_number() != trigger.page_number() {
             return;
         }
-        if self.llc_mshr.in_use() + PF_MSHR_RESERVE >= self.llc_mshr.capacity() {
+        if self.levels[last].mshr_in_use(core) + PF_MSHR_RESERVE
+            >= self.levels[last].mshr_capacity(core)
+        {
             return;
         }
-        if self.llc.probe(line) || self.llc_mshr.contains(line) {
+        if self.levels[last].probe(core, line) || self.levels[last].mshr_contains(core, line) {
             return;
         }
-        if self.llc_mshr.allocate(line, None, true) == Ok(true) {
+        if self.levels[last].mshr_allocate(core, line, Waiter::Prefetch, true) == Ok(true) {
             self.stats[core].prefetches_issued += 1;
             // May merge into an in-flight read (e.g. a Hermes request to
             // the same line) at the controller — no duplicate traffic,
@@ -496,9 +650,11 @@ impl Hierarchy {
         }
     }
 
-    /// Fills the LLC, handling eviction side effects.
-    fn fill_llc(&mut self, line: LineAddr, dirty: bool, prefetched: bool, sig: u16, now: Cycle) {
-        if let Some(ev) = self.llc.fill(line, dirty, prefetched, sig) {
+    /// Fills the last level, handling eviction side effects (writeback to
+    /// DRAM, prefetcher and TTP notifications).
+    fn fill_last(&mut self, line: LineAddr, dirty: bool, prefetched: bool, sig: u16, now: Cycle) {
+        let last = self.last();
+        if let Some(ev) = self.levels[last].fill(0, line, dirty, prefetched, sig) {
             if ev.was_unused_prefetch {
                 for p in &mut self.prefetchers {
                     p.on_unused_eviction(ev.line);
@@ -520,57 +676,113 @@ impl Hierarchy {
         }
     }
 
-    /// Fills a core's L2, propagating dirty evictions to the LLC.
-    fn fill_l2(&mut self, core: usize, line: LineAddr, dirty: bool, now: Cycle) {
-        if let Some(ev) = self.l2[core].fill(line, dirty, false, 0) {
-            if ev.dirty && !self.llc.mark_dirty(ev.line) {
-                self.fill_llc(ev.line, true, false, 0, now);
+    /// Fills an intermediate level on `core`'s path, propagating dirty
+    /// evictions outward.
+    fn fill_mid(&mut self, level: usize, core: usize, line: LineAddr, dirty: bool, now: Cycle) {
+        if let Some(ev) = self.levels[level].fill(core, line, dirty, false, 0) {
+            if ev.dirty {
+                self.writeback(level + 1, core, ev.line, now);
             }
         }
         self.notify_fill(core, line);
     }
 
-    /// Fills a core's L1 and completes all waiters registered in its L1
-    /// MSHR for `line`.
-    fn complete_l1_path(&mut self, core: usize, line: LineAddr, served: ServedBy, now: Cycle) {
-        let Some((waiters, _)) = self.l1_mshr[core].complete(line) else {
+    /// Delivers a dirty victim evicted from `level - 1` to `level`: a
+    /// resident line is marked dirty in place, otherwise the line is
+    /// (re)filled dirty, recursing outward on further evictions.
+    fn writeback(&mut self, level: usize, core: usize, line: LineAddr, now: Cycle) {
+        if self.levels[level].mark_dirty(core, line) {
+            return;
+        }
+        if level == self.last() {
+            self.fill_last(line, true, false, 0, now);
+        } else {
+            self.fill_mid(level, core, line, true, now);
+        }
+    }
+
+    /// Data hit (or arrived) at `from`: walk `core`'s request chain
+    /// inward, filling each inner level and resuming every requester
+    /// merged at its MSHRs.
+    fn descend(&mut self, from: usize, core: usize, line: LineAddr, served: ServedBy, now: Cycle) {
+        debug_assert!(from >= 1, "first-level hits complete synchronously");
+        self.fill_and_resume(from - 1, core, line, served, now);
+    }
+
+    /// Fills `level` on `core`'s path and completes its MSHR entry,
+    /// recursing towards the cores for every merged waiter (at a shared
+    /// level the entry may carry chains from several cores). At level 0
+    /// this finishes the waiting loads/stores.
+    fn fill_and_resume(
+        &mut self,
+        level: usize,
+        core: usize,
+        line: LineAddr,
+        served: ServedBy,
+        now: Cycle,
+    ) {
+        if level == 0 {
+            self.complete_first_path(core, line, served, now);
+            return;
+        }
+        self.fill_mid(level, core, line, false, now);
+        let completed = self.levels[level].mshr_complete(core, line);
+        debug_assert!(
+            completed.is_some(),
+            "level {level} path completion without MSHR entry"
+        );
+        if let Some((waiters, _)) = completed {
+            for w in waiters {
+                match w {
+                    Waiter::Merge { core: c } => {
+                        self.fill_and_resume(level - 1, c, line, served, now)
+                    }
+                    _ => debug_assert!(false, "non-merge waiter at intermediate level"),
+                }
+            }
+        }
+    }
+
+    /// Fills `core`'s first level and completes all waiters registered in
+    /// its MSHR for `line`.
+    fn complete_first_path(&mut self, core: usize, line: LineAddr, served: ServedBy, now: Cycle) {
+        let Some((waiters, _)) = self.levels[0].mshr_complete(core, line) else {
             return;
         };
-        let any_store = waiters.iter().any(|w| w.is_store);
-        if let Some(ev) = self.l1[core].fill(line, any_store, false, 0) {
-            if ev.dirty && !self.l2[core].mark_dirty(ev.line) {
-                self.fill_l2(core, ev.line, true, now);
+        let any_store = waiters
+            .iter()
+            .any(|w| matches!(w, Waiter::Request { is_store: true, .. }));
+        if let Some(ev) = self.levels[0].fill(core, line, any_store, false, 0) {
+            if ev.dirty {
+                self.writeback(1, core, ev.line, now);
             }
         }
         self.notify_fill(core, line);
         for w in waiters {
-            if let Some(tok) = w.token {
+            if let Waiter::Request {
+                token: Some(tok), ..
+            } = w
+            {
                 self.finish_demand(core, tok, served, now);
             }
         }
     }
 
-    /// Completes an L2 miss (fills L2 already done by caller for hits;
-    /// for DRAM fills the caller fills L2 first) and then the L1 path.
-    fn complete_l2_path(&mut self, core: usize, line: LineAddr, served: ServedBy, now: Cycle) {
-        let completed = self.l2_mshr[core].complete(line);
-        debug_assert!(completed.is_some(), "L2 path completion without MSHR entry");
-        self.complete_l1_path(core, line, served, now);
-    }
-
     fn handle_dram_completion(&mut self, c: Completion, now: Cycle) {
-        if let Some((waiters, prefetch_only)) = self.llc_mshr.complete(c.line) {
+        let last = self.last();
+        if let Some((waiters, prefetch_only)) = self.levels[last].mshr_complete(0, c.line) {
             let sig = waiters
                 .iter()
-                .flatten()
-                .next()
-                .map(|&(_, pc)| pc_sig(pc))
+                .find_map(|w| match w {
+                    Waiter::Demand { pc, .. } => Some(pc_sig(*pc)),
+                    _ => None,
+                })
                 .unwrap_or(0);
-            self.fill_llc(c.line, false, prefetch_only, sig, now);
-            for w in waiters.into_iter().flatten() {
-                let (core, _pc) = w;
-                self.fill_l2(core, c.line, false, now);
-                self.complete_l2_path(core, c.line, ServedBy::Dram, now);
+            self.fill_last(c.line, false, prefetch_only, sig, now);
+            for w in waiters {
+                if let Waiter::Demand { core, .. } = w {
+                    self.fill_and_resume(last - 1, core, c.line, ServedBy::Dram, now);
+                }
             }
         } else {
             // A Hermes read no demand ever merged into: dropped without
@@ -584,18 +796,19 @@ impl Hierarchy {
 
     fn handle_event(&mut self, ev: Ev, now: Cycle) {
         match ev {
-            Ev::LookupL2 {
+            Ev::Lookup {
+                level,
                 core,
                 line,
                 pc,
                 retried,
-            } => self.lookup_l2(core, line, pc, retried, now),
-            Ev::LookupLlc {
-                core,
-                line,
-                pc,
-                retried,
-            } => self.lookup_llc(core, line, pc, retried, now),
+            } => {
+                if level == self.last() {
+                    self.lookup_last(core, line, pc, retried, now);
+                } else {
+                    self.lookup_mid(level, core, line, pc, retried, now);
+                }
+            }
             Ev::HermesIssue { core, line } => {
                 self.stats[core].hermes_requests += 1;
                 let _ = self.dram.enqueue_read(line, now, ReqKind::Hermes);
@@ -610,19 +823,32 @@ impl Hierarchy {
         }
     }
 
-    /// Advances the hierarchy to `now`: processes due events and DRAM
-    /// completions. Finished loads accumulate in the internal buffer
-    /// drained by [`Hierarchy::drain_finished`].
+    /// Advances the hierarchy to `now`: processes due retries, events,
+    /// and DRAM completions. Finished loads accumulate in the internal
+    /// buffer drained by [`Hierarchy::drain_finished`].
     pub fn tick(&mut self, now: Cycle) {
-        // Retries first (they were scheduled in a side queue).
-        let mut i = 0;
-        while i < self.retry_l1.len() {
-            if self.retry_l1[i].0 <= now {
-                let (_, core, line, token, is_store, pc) = self.retry_l1.swap_remove(i);
-                self.access_l1(core, line, token, is_store, pc, now);
-            } else {
-                i += 1;
+        // Retries first (they were scheduled in a side queue). The scan
+        // is gated on the cached minimum: a tick with nothing due costs
+        // one comparison. When due entries exist the sweep is the exact
+        // historical swap-remove scan (order preserved bit-for-bit);
+        // entries re-parked mid-scan land behind the cursor with a
+        // future due time and are skipped.
+        if now >= self.retry_min {
+            let mut i = 0;
+            while i < self.retries.len() {
+                if self.retries[i].at <= now {
+                    let r = self.retries.swap_remove(i);
+                    self.access_first(r.core, r.line, r.token, r.is_store, r.pc, now);
+                } else {
+                    i += 1;
+                }
             }
+            self.retry_min = self
+                .retries
+                .iter()
+                .map(|r| r.at)
+                .min()
+                .unwrap_or(Cycle::MAX);
         }
         while let Some(Reverse(entry)) = self.events.peek() {
             if entry.at > now {
@@ -648,7 +874,7 @@ impl Hierarchy {
     /// Oracle visibility for tests: whether a line is present at any level
     /// for `core`.
     pub fn present_anywhere(&self, core: usize, line: LineAddr) -> bool {
-        self.l1[core].probe(line) || self.l2[core].probe(line) || self.llc.probe(line)
+        self.levels.iter().any(|l| l.probe(core, line))
     }
 
     /// Prefetcher storage in bits (Table 6 rows).
@@ -699,11 +925,11 @@ impl MemoryPort for Hierarchy {
                 },
             );
         }
-        self.access_l1(req.core, pline, Some(req.token), false, req.pc, now);
+        self.access_first(req.core, pline, Some(req.token), false, req.pc, now);
     }
 
     fn issue_store(&mut self, req: StoreIssue, now: Cycle) {
         let pline = translate(req.core, req.vaddr).line();
-        self.access_l1(req.core, pline, None, true, req.pc, now);
+        self.access_first(req.core, pline, None, true, req.pc, now);
     }
 }

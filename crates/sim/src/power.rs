@@ -14,13 +14,17 @@ use crate::hierarchy::CoreHierStats;
 
 /// Per-event energies in nanojoules (relative magnitudes follow McPAT
 /// characterisations of comparable arrays at 22 nm).
+///
+/// The three cache energies map onto the N-level hierarchy by role, as
+/// [`CoreHierStats`] does: `e_l1` prices first-level accesses, `e_l2`
+/// every intermediate level, `e_llc` the last level.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerModel {
-    /// One L1D access.
+    /// One first-level (L1D) access.
     pub e_l1: f64,
-    /// One L2 access.
+    /// One intermediate-level (L2/L3) access.
     pub e_l2: f64,
-    /// One LLC access.
+    /// One last-level cache access.
     pub e_llc: f64,
     /// One DRAM read or write (line transfer, row activation amortised).
     pub e_dram: f64,

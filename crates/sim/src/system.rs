@@ -21,6 +21,7 @@ pub struct System {
     hierarchy: Hierarchy,
     specs: Vec<WorkloadSpec>,
     cycle: Cycle,
+    fast_forward: bool,
     finished_buf: Vec<(usize, u64, ServedBy)>,
 }
 
@@ -44,11 +45,39 @@ impl System {
             .collect();
         Self {
             cores,
+            fast_forward: cfg.fast_forward,
             hierarchy: Hierarchy::new(cfg),
             specs,
             cycle: 0,
             finished_buf: Vec::new(),
         }
+    }
+
+    /// Idle-cycle fast-forward: if neither the hierarchy nor any core can
+    /// do real work before some future cycle `t`, jump straight to `t`,
+    /// attributing the skipped cycles to the cores' stall counters in
+    /// bulk. Statistics are identical to ticking through the gap — every
+    /// skipped tick would have been pure stall accounting — so this is
+    /// purely a wall-clock optimisation (large on memory-bound phases
+    /// where whole DRAM round trips idle the machine).
+    fn fast_forward_jump(&mut self) {
+        if !self.fast_forward {
+            return;
+        }
+        let mut target = self.hierarchy.next_event_at();
+        for core in &self.cores {
+            target = target.min(core.next_work_at());
+        }
+        // `Cycle::MAX` means nothing will ever happen — fall through to
+        // normal stepping so the forward-progress assertions fire.
+        if target == Cycle::MAX || target <= self.cycle {
+            return;
+        }
+        let skipped = target - self.cycle;
+        for core in &mut self.cores {
+            core.skip_stalled(skipped);
+        }
+        self.cycle = target;
     }
 
     fn step(&mut self) {
@@ -80,8 +109,12 @@ impl System {
         let n = self.cores.len();
         let budget = (warmup + sim) * 400 + 2_000_000;
 
-        // Phase 1: warmup.
+        // Phase 1: warmup. The fast-forward jump runs *before* each step,
+        // off the state the previous step left behind, so the cycle
+        // recorded after any step (measure boundaries, snapshots) is
+        // untouched by skipping.
         while self.cores.iter().any(|c| c.retired() < warmup) {
+            self.fast_forward_jump();
             self.step();
             assert!(self.cycle < budget, "no forward progress during warmup");
         }
@@ -95,6 +128,7 @@ impl System {
         let mut finish_cycle: Vec<Option<Cycle>> = vec![None; n];
         let mut snapshots: Vec<Option<CoreRunStats>> = vec![None; n];
         while snapshots.iter().any(|s| s.is_none()) {
+            self.fast_forward_jump();
             self.step();
             assert!(
                 self.cycle < measure_start + budget,
