@@ -32,8 +32,10 @@ use crate::Provenance;
 /// version directory and lock protocol; v3 marks the generic N-level
 /// hierarchy engine (default-topology results are bit-identical, but
 /// `SystemConfig` grew fields, changing every config fingerprint — the
-/// bump keeps the orphaned v2 entries out of the way).
-pub const CACHE_SCHEMA_VERSION: u32 = 3;
+/// bump keeps the orphaned v2 entries out of the way); v4 adds the
+/// address-translation subsystem (`SystemConfig::vm` enters every
+/// fingerprint and `RunLite` grew the dTLB/STLB/walk fields).
+pub const CACHE_SCHEMA_VERSION: u32 = 4;
 
 /// How long a lock file may sit untouched before a waiter assumes its
 /// owner died and breaks it. Generous: a legitimate `--full` eight-core

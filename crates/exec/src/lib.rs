@@ -8,7 +8,7 @@
 //!
 //! * **[`Engine::run_batch`]** — takes a batch of [`Job`]s, deduplicates
 //!   points that share a cache key, runs the unique ones on a
-//!   work-stealing `std::thread` pool ([`pool`]), and returns
+//!   work-stealing `std::thread` pool (see [`run_indexed`]), and returns
 //!   [`Outcome`]s in *input order*, so a parallel run produces
 //!   byte-identical tables to `jobs = 1`.
 //! * **[`ResultCache`]** — the on-disk result cache (formerly inlined in

@@ -46,13 +46,19 @@ pub struct RunLite {
     pub energy_caches: f64,
     /// Dynamic energy in predictor + prefetcher metadata.
     pub energy_meta: f64,
+    /// dTLB misses per kilo-instruction (zero with `vm: None`).
+    pub dtlb_mpki: f64,
+    /// STLB misses per kilo-instruction (each starts or joins a walk).
+    pub stlb_mpki: f64,
+    /// Average page-walk latency in cycles.
+    pub walk_cycles: f64,
     /// Measured cycles.
     pub cycles: f64,
 }
 
 /// Field order used by both the `key=value` cache format and the JSON
 /// manifest, so the two never drift apart.
-pub(crate) const FIELDS: [&str; 17] = [
+pub(crate) const FIELDS: [&str; 20] = [
     "ipc",
     "llc_mpki",
     "offchip_rate",
@@ -69,6 +75,9 @@ pub(crate) const FIELDS: [&str; 17] = [
     "energy_bus",
     "energy_caches",
     "energy_meta",
+    "dtlb_mpki",
+    "stlb_mpki",
+    "walk_cycles",
     "cycles",
 ];
 
@@ -97,6 +106,9 @@ impl RunLite {
             energy_bus: r.power.bus,
             energy_caches: r.power.l1 + r.power.l2 + r.power.llc,
             energy_meta: r.power.predictor + r.power.prefetcher,
+            dtlb_mpki: mean(&|c| c.dtlb_mpki()),
+            stlb_mpki: mean(&|c| c.stlb_mpki()),
+            walk_cycles: mean(&|c| c.avg_walk_cycles()),
             cycles: r.total_cycles as f64,
         }
     }
@@ -120,6 +132,9 @@ impl RunLite {
             "energy_bus" => self.energy_bus,
             "energy_caches" => self.energy_caches,
             "energy_meta" => self.energy_meta,
+            "dtlb_mpki" => self.dtlb_mpki,
+            "stlb_mpki" => self.stlb_mpki,
+            "walk_cycles" => self.walk_cycles,
             "cycles" => self.cycles,
             _ => unreachable!("unknown field {field}"),
         }
@@ -143,6 +158,9 @@ impl RunLite {
             "energy_bus" => self.energy_bus = v,
             "energy_caches" => self.energy_caches = v,
             "energy_meta" => self.energy_meta = v,
+            "dtlb_mpki" => self.dtlb_mpki = v,
+            "stlb_mpki" => self.stlb_mpki = v,
+            "walk_cycles" => self.walk_cycles = v,
             "cycles" => self.cycles = v,
             _ => return false,
         }
@@ -212,6 +230,9 @@ mod tests {
             energy_bus: 90.0,
             energy_caches: 100.0,
             energy_meta: 110.0,
+            dtlb_mpki: 3.5,
+            stlb_mpki: 1.25,
+            walk_cycles: 42.0,
             cycles: 123.0,
         };
         let back = RunLite::from_kv(&r.to_kv()).unwrap();

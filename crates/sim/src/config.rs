@@ -7,6 +7,7 @@ use hermes_cache::{CacheConfig, LevelConfig, LevelScope, ReplacementKind};
 use hermes_cpu::CoreConfig;
 use hermes_dram::DramConfig;
 use hermes_prefetch::PrefetcherKind;
+use hermes_vm::VmConfig;
 
 /// Complete description of a simulated system.
 #[derive(Debug, Clone)]
@@ -32,6 +33,14 @@ pub struct SystemConfig {
     pub levels: Option<Vec<LevelConfig>>,
     /// Main memory.
     pub dram: DramConfig,
+    /// Address-translation subsystem (TLBs + hardware page-table walker).
+    /// `None` — the default everywhere — keeps the historical free
+    /// stateless translation, bit-identical to the pre-vm simulator;
+    /// `Some` makes translation latency real: a dTLB hit stays parallel
+    /// with the L1 (§3.1 of the paper), a miss walks the page table
+    /// through this very cache hierarchy, and Hermes's speculative DRAM
+    /// read cannot issue before the physical address is known.
+    pub vm: Option<VmConfig>,
     /// Data prefetcher at the last cache level (one instance per core).
     pub prefetcher: PrefetcherKind,
     /// Hermes configuration.
@@ -63,6 +72,7 @@ impl SystemConfig {
                 .with_latency(40),
             levels: None,
             dram: DramConfig::single_core(),
+            vm: None,
             prefetcher: PrefetcherKind::Pythia,
             hermes: HermesConfig::disabled(),
             popet: PopetConfig::paper(),
@@ -152,6 +162,12 @@ impl SystemConfig {
         self
     }
 
+    /// Enables the address-translation subsystem (TLB-pressure sweeps).
+    pub fn with_vm(mut self, vm: VmConfig) -> Self {
+        self.vm = Some(vm);
+        self
+    }
+
     /// Replaces the whole cache topology (innermost level first). The
     /// classic `l1`/`l2`/`llc_per_core` fields and their sweep builders
     /// are ignored once an explicit topology is set.
@@ -219,6 +235,9 @@ impl SystemConfig {
         assert!(self.cores >= 1);
         self.core.validate();
         self.dram.validate();
+        if let Some(vm) = &self.vm {
+            vm.validate(self.cores);
+        }
         let levels = self.level_configs();
         assert!(
             levels.len() >= 2,
@@ -393,6 +412,26 @@ mod tests {
         let base = SystemConfig::baseline_1c();
         base.clone()
             .with_levels(vec![LevelConfig::shared(base.llc_per_core.clone())])
+            .validate();
+    }
+
+    #[test]
+    fn vm_config_attaches_and_validates() {
+        let c = SystemConfig::baseline_1c().with_vm(VmConfig::baseline());
+        assert!(c.vm.is_some());
+        c.validate();
+        assert!(
+            SystemConfig::baseline_1c().vm.is_none(),
+            "vm off by default"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn invalid_vm_geometry_rejected() {
+        use hermes_vm::TlbConfig;
+        SystemConfig::baseline_1c()
+            .with_vm(VmConfig::baseline().with_dtlb(TlbConfig::new(48, 4, 0)))
             .validate();
     }
 

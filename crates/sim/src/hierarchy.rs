@@ -50,6 +50,32 @@
 //! last-level eviction; the active prefetcher observes last-level demand
 //! accesses and receives usefulness feedback.
 //!
+//! ## Address translation
+//!
+//! With `SystemConfig::vm` unset, translation is the historical free
+//! stateless hash ([`crate::translate`]) folded into the L1 access —
+//! bit-identical to the pre-vm simulator. With a
+//! [`hermes_vm::VmConfig`], translation timing is real:
+//!
+//! * a **dTLB hit** is accessed in parallel with the L1 (§3.1 of the
+//!   paper) and costs nothing extra — the classic path;
+//! * a **dTLB miss, STLB hit** defers the access by the STLB latency and
+//!   refills the dTLB;
+//! * an **STLB miss** starts (or joins) a hardware page walk: the walker
+//!   issues the radix levels' PTE reads *through this cache hierarchy* —
+//!   they occupy MSHRs, fill and pollute the caches, park in the retry
+//!   queue when tables are full, and can themselves go off-chip — with a
+//!   per-core page-walk cache short-circuiting the levels it has seen
+//!   before. Same-page requests merge into the walk in flight.
+//!
+//! The deferred load's POPET prediction still happens at issue, off the
+//! virtual address (§6.1.3); what waits for the PFN is the *direct DRAM
+//! request*: a predicted-off-chip load's Hermes read issues at
+//! `max(issue + hermes latency, walk completion)`, reproducing the
+//! paper's observation that Hermes-O cannot fire before the physical
+//! address is known. Off-chip load latency keeps counting from original
+//! issue, so walk time shows up exactly where a real core would feel it.
+//!
 //! ## Retry queue
 //!
 //! First-level accesses rejected by a full MSHR table park in a retry
@@ -64,7 +90,7 @@
 //! [`Hierarchy::next_event_at`] for idle-cycle fast-forward.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use hermes::{
     Hmp, LoadContext, OffChipPredictor, Popet, Prediction, PredictorKind, PredictorStats, Ttp,
@@ -73,7 +99,8 @@ use hermes_cache::{CacheLevel, LevelStats};
 use hermes_cpu::{LoadIssue, MemoryPort, ServedBy, StoreIssue};
 use hermes_dram::{Completion, MemoryController, ReqKind};
 use hermes_prefetch::{self as pf, AccessCtx, PrefetchReq, Prefetcher};
-use hermes_types::{Cycle, LineAddr};
+use hermes_types::{Cycle, LineAddr, PhysAddr, VirtAddr};
+use hermes_vm::{PageMap, Tlb, VmConfig, WalkCache};
 
 use crate::config::SystemConfig;
 use crate::translate::translate;
@@ -100,6 +127,9 @@ enum Waiter {
     Demand { core: usize, pc: u64 },
     /// Last level: a prefetch-only requester.
     Prefetch,
+    /// First level: a page-table-walker read; completion advances the
+    /// walk to its next radix level (or finishes the translation).
+    Walk { walk: u64 },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -112,6 +142,9 @@ enum Ev {
         line: LineAddr,
         pc: u64,
         retried: bool,
+        /// Page-table-walker lookup: excluded from demand statistics and
+        /// invisible to the prefetchers.
+        walk: bool,
     },
     HermesIssue {
         core: usize,
@@ -121,6 +154,11 @@ enum Ev {
         core: usize,
         token: u64,
         served: ServedBy,
+    },
+    /// The walker's previous action for `walk` resolved: issue the next
+    /// PTE access, or complete the translation when none remain.
+    WalkStep {
+        walk: u64,
     },
 }
 
@@ -158,6 +196,8 @@ struct Retry {
     token: Option<u64>,
     is_store: bool,
     pc: u64,
+    /// `Some` for a parked page-table-walker access.
+    walk: Option<u64>,
 }
 
 /// What the predictor said about an in-flight load, kept until training.
@@ -205,6 +245,125 @@ pub struct CoreHierStats {
     pub offchip_onchip_portion_sum: u64,
     /// Off-chip demand loads observed at the hierarchy.
     pub offchip_loads: u64,
+    /// dTLB lookups (loads and stores; zero with `vm: None`).
+    pub dtlb_accesses: u64,
+    /// dTLB misses (each probes the STLB).
+    pub dtlb_misses: u64,
+    /// STLB misses (each starts or joins a hardware page walk).
+    pub stlb_misses: u64,
+    /// Hardware page walks completed.
+    pub walks_completed: u64,
+    /// Sum over completed walks of STLB-miss-to-PFN latency in cycles.
+    pub walk_cycles_sum: u64,
+    /// Cache accesses issued by the page-table walker (retries included).
+    pub walk_mem_accesses: u64,
+    /// Radix levels skipped thanks to the page-walk cache.
+    pub pwc_levels_skipped: u64,
+}
+
+/// Parameters of one lookup travelling the stack ([`Ev::Lookup`] minus
+/// the level).
+#[derive(Debug, Clone, Copy)]
+struct LookupCtx {
+    core: usize,
+    line: LineAddr,
+    pc: u64,
+    retried: bool,
+    walk: bool,
+}
+
+/// An access deferred until its page translation resolves.
+#[derive(Debug, Clone, Copy)]
+enum TransWaiter {
+    Load {
+        token: u64,
+        pc: u64,
+        pline: LineAddr,
+        /// Earliest cycle the Hermes speculative read may enter the
+        /// memory controller (`issue + hermes issue latency`), when the
+        /// load was predicted off-chip. The actual issue is
+        /// `max(this, walk completion)`.
+        hermes_min: Option<Cycle>,
+    },
+    Store {
+        pc: u64,
+        pline: LineAddr,
+    },
+}
+
+/// One in-flight translation: a hardware page walk, or the short STLB →
+/// dTLB refill delay modelled through the same machinery.
+#[derive(Debug)]
+struct Walk {
+    core: usize,
+    /// dTLB key of the page under translation (the `by_page` merge key).
+    dtlb_key: u64,
+    /// STLB key (differs from the dTLB key when the STLB is shared).
+    stlb_key: u64,
+    /// TLB index of the page.
+    page_number: u64,
+    /// Remaining PTE lines, root → leaf; empty for an STLB refill.
+    steps: VecDeque<LineAddr>,
+    /// Page-walk-cache keys installed on completion.
+    pwc_fill: Vec<u64>,
+    /// Walk start, for latency accounting; `None` for STLB refills
+    /// (which are not page walks and stay out of the walk statistics).
+    started: Option<Cycle>,
+    /// Accesses waiting for the PFN.
+    waiters: Vec<TransWaiter>,
+}
+
+/// How a translation request routes the requesting access.
+enum TransRoute {
+    /// Mapping known now (dTLB hit): proceed exactly like the classic
+    /// free-translation path.
+    Ready,
+    /// Deferred on an in-flight walk/refill: attach a [`TransWaiter`].
+    Defer(u64),
+}
+
+/// The translation subsystem's state: TLBs, page-walk caches, the page
+/// map, and every walk in flight.
+struct VmFrontend {
+    cfg: VmConfig,
+    map: PageMap,
+    /// Per-core L1 dTLBs.
+    dtlbs: Vec<Tlb>,
+    /// STLB instances: one per core, or a single scaled shared one.
+    stlbs: Vec<Tlb>,
+    /// Per-core page-walk caches.
+    pwcs: Vec<WalkCache>,
+    walks: HashMap<u64, Walk>,
+    /// `(core, dTLB key)` → in-flight walk, for same-page merging.
+    by_page: HashMap<(usize, u64), u64>,
+    next_walk: u64,
+}
+
+impl VmFrontend {
+    fn new(cfg: &VmConfig, cores: usize) -> Self {
+        let stlb_inst = cfg.stlb_instantiated(cores);
+        let stlb_count = if cfg.stlb_shared { 1 } else { cores };
+        Self {
+            map: PageMap::new(cfg.huge_page_pm),
+            dtlbs: (0..cores).map(|_| Tlb::new(&cfg.dtlb)).collect(),
+            stlbs: (0..stlb_count).map(|_| Tlb::new(&stlb_inst)).collect(),
+            pwcs: (0..cores)
+                .map(|_| WalkCache::new(cfg.pwc_entries))
+                .collect(),
+            walks: HashMap::new(),
+            by_page: HashMap::new(),
+            next_walk: 0,
+            cfg: cfg.clone(),
+        }
+    }
+
+    fn stlb_slot(&self, core: usize) -> usize {
+        if self.cfg.stlb_shared {
+            0
+        } else {
+            core
+        }
+    }
 }
 
 /// See [module docs](self).
@@ -234,6 +393,8 @@ pub struct Hierarchy {
     /// nothing-due test for `tick` and the retry term of
     /// [`Hierarchy::next_event_at`].
     retry_min: Cycle,
+    /// Translation subsystem; `None` = historical free translation.
+    vm: Option<VmFrontend>,
 }
 
 fn key(core: usize, token: u64) -> u64 {
@@ -290,6 +451,7 @@ impl Hierarchy {
             pf_buf: Vec::new(),
             retries: Vec::new(),
             retry_min: Cycle::MAX,
+            vm: cfg.vm.as_ref().map(|v| VmFrontend::new(v, n)),
             cfg,
         }
     }
@@ -489,6 +651,7 @@ impl Hierarchy {
                         line,
                         pc,
                         retried: false,
+                        walk: false,
                     },
                 );
             }
@@ -506,22 +669,194 @@ impl Hierarchy {
                     token,
                     is_store,
                     pc,
+                    walk: None,
                 });
             }
         }
     }
 
-    /// Demand lookup at an intermediate level (`0 < level < last`).
-    fn lookup_mid(
-        &mut self,
-        level: usize,
-        core: usize,
-        line: LineAddr,
-        pc: u64,
-        retried: bool,
-        now: Cycle,
-    ) {
-        if !retried {
+    /// Translation request under the vm subsystem: consults the dTLB,
+    /// STLB, and page-walk cache, starting or joining a page walk when
+    /// needed. Returns the physical address (the page map is a pure
+    /// function, so data placement never depends on timing) and whether
+    /// the requester may proceed now or must wait.
+    fn vm_translate(&mut self, core: usize, vaddr: VirtAddr, now: Cycle) -> (PhysAddr, TransRoute) {
+        let vm = self.vm.as_mut().expect("vm_translate without vm config");
+        let stats = &mut self.stats[core];
+        let (paddr, huge) = vm.map.translate(core, vaddr);
+        let pn = PageMap::page_number(vaddr, huge);
+        let dkey = PageMap::tlb_key(None, pn, huge);
+        stats.dtlb_accesses += 1;
+        if vm.dtlbs[core].lookup(pn, dkey) {
+            // Accessed in parallel with the L1 (§3.1): a hit is free.
+            return (paddr, TransRoute::Ready);
+        }
+        stats.dtlb_misses += 1;
+        if let Some(&id) = vm.by_page.get(&(core, dkey)) {
+            // A translation for this page is already in flight. Only a
+            // true walk implies the STLB missed again; merging into an
+            // STLB→dTLB refill is another STLB *hit* still paying the
+            // refill latency.
+            if vm.walks[&id].started.is_some() {
+                stats.stlb_misses += 1;
+            }
+            return (paddr, TransRoute::Defer(id));
+        }
+        let slot = vm.stlb_slot(core);
+        let skey = PageMap::tlb_key(vm.cfg.stlb_shared.then_some(core), pn, huge);
+        let mut walk = Walk {
+            core,
+            dtlb_key: dkey,
+            stlb_key: skey,
+            page_number: pn,
+            steps: VecDeque::new(),
+            pwc_fill: Vec::new(),
+            started: None,
+            waiters: Vec::new(),
+        };
+        if !vm.stlbs[slot].lookup(pn, skey) {
+            stats.stlb_misses += 1;
+            // Assemble the radix walk, skipping every level the
+            // page-walk cache already resolves.
+            let levels = PageMap::walk_levels(huge);
+            let mut start = 0;
+            for d in (0..levels - 1).rev() {
+                if vm.pwcs[core].lookup(PageMap::pwc_key(vaddr, d)) {
+                    start = d + 1;
+                    break;
+                }
+            }
+            stats.pwc_levels_skipped += start as u64;
+            walk.steps = (start..levels)
+                .map(|d| vm.map.pte_line(core, vaddr, d))
+                .collect();
+            walk.pwc_fill = (0..levels - 1)
+                .map(|d| PageMap::pwc_key(vaddr, d))
+                .collect();
+            walk.started = Some(now);
+        }
+        let id = vm.next_walk;
+        vm.next_walk += 1;
+        vm.walks.insert(id, walk);
+        vm.by_page.insert((core, dkey), id);
+        // The STLB answer (hit data or miss detection) arrives after its
+        // lookup latency; only then can the refill complete or the first
+        // PTE access leave the walker.
+        let at = now + vm.cfg.stlb.latency as Cycle;
+        self.schedule(at, Ev::WalkStep { walk: id });
+        (paddr, TransRoute::Defer(id))
+    }
+
+    /// Advances `walk`: issues its next PTE access, or completes the
+    /// translation when none remain.
+    fn walk_advance(&mut self, walk: u64, now: Cycle) {
+        let (core, step) = {
+            let vm = self.vm.as_mut().expect("walk without vm config");
+            let w = vm.walks.get_mut(&walk).expect("advance of unknown walk");
+            (w.core, w.steps.pop_front())
+        };
+        match step {
+            Some(line) => self.walk_access(core, line, walk, now),
+            None => self.complete_walk(walk, now),
+        }
+    }
+
+    /// One PTE read entering the hierarchy at the first level. Mirrors
+    /// [`Hierarchy::access_first`] — including MSHR merging and the retry
+    /// queue — but resumes the walker instead of a core.
+    fn walk_access(&mut self, core: usize, line: LineAddr, walk: u64, now: Cycle) {
+        self.stats[core].walk_mem_accesses += 1;
+        let res = self.levels[0].access(core, line, 0);
+        if res.hit {
+            let at = now + self.levels[0].latency() as Cycle;
+            self.schedule(at, Ev::WalkStep { walk });
+            return;
+        }
+        match self.levels[0].mshr_allocate(core, line, Waiter::Walk { walk }, false) {
+            Ok(true) => {
+                let at = now + (self.levels[0].latency() + self.levels[1].latency()) as Cycle;
+                self.schedule(
+                    at,
+                    Ev::Lookup {
+                        level: 1,
+                        core,
+                        line,
+                        pc: 0,
+                        retried: false,
+                        walk: true,
+                    },
+                );
+            }
+            Ok(false) => {}
+            Err(_) => {
+                let at = now + self.cfg.mshr_retry as Cycle;
+                self.retry_min = self.retry_min.min(at);
+                self.retries.push(Retry {
+                    at,
+                    core,
+                    line,
+                    token: None,
+                    is_store: false,
+                    pc: 0,
+                    walk: Some(walk),
+                });
+            }
+        }
+    }
+
+    /// Finishes a translation: installs the TLB and page-walk-cache
+    /// entries and releases every access (and pending Hermes issue) that
+    /// waited for the PFN.
+    fn complete_walk(&mut self, walk: u64, now: Cycle) {
+        let (core, waiters) = {
+            let vm = self.vm.as_mut().expect("walk without vm config");
+            let w = vm.walks.remove(&walk).expect("completion of unknown walk");
+            vm.by_page.remove(&(w.core, w.dtlb_key));
+            vm.dtlbs[w.core].insert(w.page_number, w.dtlb_key);
+            let slot = vm.stlb_slot(w.core);
+            vm.stlbs[slot].insert(w.page_number, w.stlb_key);
+            for k in &w.pwc_fill {
+                vm.pwcs[w.core].insert(*k);
+            }
+            if let Some(t0) = w.started {
+                let s = &mut self.stats[w.core];
+                s.walks_completed += 1;
+                s.walk_cycles_sum += now - t0;
+            }
+            (w.core, w.waiters)
+        };
+        for wtr in waiters {
+            match wtr {
+                TransWaiter::Load {
+                    token,
+                    pc,
+                    pline,
+                    hermes_min,
+                } => {
+                    if let Some(min) = hermes_min {
+                        // The PFN is known: the speculative read may go.
+                        self.schedule(min.max(now), Ev::HermesIssue { core, line: pline });
+                    }
+                    self.access_first(core, pline, Some(token), false, pc, now);
+                }
+                TransWaiter::Store { pc, pline } => {
+                    self.access_first(core, pline, None, true, pc, now);
+                }
+            }
+        }
+    }
+
+    /// Demand (or walker) lookup at an intermediate level
+    /// (`0 < level < last`).
+    fn lookup_mid(&mut self, level: usize, l: LookupCtx, now: Cycle) {
+        let LookupCtx {
+            core,
+            line,
+            pc,
+            retried,
+            walk,
+        } = l;
+        if !retried && !walk {
             self.stats[core].l2_accesses += 1;
         }
         let res = self.levels[level].access(core, line, pc_sig(pc));
@@ -540,6 +875,7 @@ impl Hierarchy {
                         line,
                         pc,
                         retried: false,
+                        walk,
                     },
                 );
             }
@@ -554,18 +890,29 @@ impl Hierarchy {
                         line,
                         pc,
                         retried: true,
+                        walk,
                     },
                 );
             }
         }
     }
 
-    /// Demand lookup at the last level: prefetcher observation point and
-    /// the off-chip boundary.
-    fn lookup_last(&mut self, core: usize, line: LineAddr, pc: u64, retried: bool, now: Cycle) {
+    /// Demand (or walker) lookup at the last level: prefetcher
+    /// observation point and the off-chip boundary. Walker lookups stay
+    /// out of the demand statistics and are invisible to the prefetchers
+    /// (which model load/store streams, not page-table traffic) but
+    /// otherwise behave identically — including going off-chip.
+    fn lookup_last(&mut self, l: LookupCtx, now: Cycle) {
+        let LookupCtx {
+            core,
+            line,
+            pc,
+            retried,
+            walk,
+        } = l;
         let last = self.last();
         let res = self.levels[last].access(core, line, pc_sig(pc));
-        if !retried {
+        if !retried && !walk {
             self.stats[core].llc_demand_accesses += 1;
             if res.first_demand_on_prefetch {
                 self.stats[core].prefetches_useful += 1;
@@ -593,7 +940,7 @@ impl Hierarchy {
             self.descend(last, core, line, self.served_at(last), now);
             return;
         }
-        if !retried {
+        if !retried && !walk {
             self.stats[core].llc_demand_misses += 1;
         }
         let was_prefetch_only = self.levels[last].mshr_is_prefetch_only(core, line);
@@ -604,7 +951,7 @@ impl Hierarchy {
             Ok(false) => {
                 // Merged into an outstanding miss; if it was a pure
                 // prefetch, that prefetch was accurate but late.
-                if was_prefetch_only == Some(true) {
+                if was_prefetch_only == Some(true) && !walk {
                     self.prefetchers[core].on_late_prefetch(line);
                 }
             }
@@ -618,6 +965,7 @@ impl Hierarchy {
                         line,
                         pc,
                         retried: true,
+                        walk,
                     },
                 );
             }
@@ -759,11 +1107,13 @@ impl Hierarchy {
         }
         self.notify_fill(core, line);
         for w in waiters {
-            if let Waiter::Request {
-                token: Some(tok), ..
-            } = w
-            {
-                self.finish_demand(core, tok, served, now);
+            match w {
+                Waiter::Request {
+                    token: Some(tok), ..
+                } => self.finish_demand(core, tok, served, now),
+                // The PTE arrived: the walker moves to the next level.
+                Waiter::Walk { walk } => self.walk_advance(walk, now),
+                _ => {}
             }
         }
     }
@@ -802,11 +1152,19 @@ impl Hierarchy {
                 line,
                 pc,
                 retried,
+                walk,
             } => {
+                let l = LookupCtx {
+                    core,
+                    line,
+                    pc,
+                    retried,
+                    walk,
+                };
                 if level == self.last() {
-                    self.lookup_last(core, line, pc, retried, now);
+                    self.lookup_last(l, now);
                 } else {
-                    self.lookup_mid(level, core, line, pc, retried, now);
+                    self.lookup_mid(level, l, now);
                 }
             }
             Ev::HermesIssue { core, line } => {
@@ -820,6 +1178,7 @@ impl Hierarchy {
             } => {
                 self.finish_demand(core, token, served, now);
             }
+            Ev::WalkStep { walk } => self.walk_advance(walk, now),
         }
     }
 
@@ -838,7 +1197,10 @@ impl Hierarchy {
             while i < self.retries.len() {
                 if self.retries[i].at <= now {
                     let r = self.retries.swap_remove(i);
-                    self.access_first(r.core, r.line, r.token, r.is_store, r.pc, now);
+                    match r.walk {
+                        Some(walk) => self.walk_access(r.core, r.line, walk, now),
+                        None => self.access_first(r.core, r.line, r.token, r.is_store, r.pc, now),
+                    }
                 } else {
                     i += 1;
                 }
@@ -877,6 +1239,12 @@ impl Hierarchy {
         self.levels.iter().any(|l| l.probe(core, line))
     }
 
+    /// Translations currently in flight (page walks plus STLB refills);
+    /// always zero with `vm: None` and when quiescent.
+    pub fn walks_in_flight(&self) -> usize {
+        self.vm.as_ref().map(|v| v.walks.len()).unwrap_or(0)
+    }
+
     /// Prefetcher storage in bits (Table 6 rows).
     pub fn prefetcher_storage_bits(&self) -> usize {
         self.prefetchers
@@ -886,50 +1254,171 @@ impl Hierarchy {
     }
 }
 
+impl Hierarchy {
+    /// Resolves an access's translation: the historical free stateless
+    /// hash with `vm: None` (always [`TransRoute::Ready`],
+    /// bit-identical to the pre-vm simulator), the TLB/walker machinery
+    /// otherwise.
+    fn resolve_translation(
+        &mut self,
+        core: usize,
+        vaddr: VirtAddr,
+        now: Cycle,
+    ) -> (LineAddr, TransRoute) {
+        if self.vm.is_some() {
+            let (paddr, route) = self.vm_translate(core, vaddr, now);
+            (paddr.line(), route)
+        } else {
+            (translate(core, vaddr).line(), TransRoute::Ready)
+        }
+    }
+
+    /// Attaches a deferred access to the walk it waits on.
+    fn defer_on_walk(&mut self, walk: u64, waiter: TransWaiter) {
+        self.vm
+            .as_mut()
+            .expect("deferral without vm config")
+            .walks
+            .get_mut(&walk)
+            .expect("deferred on unknown walk")
+            .waiters
+            .push(waiter);
+    }
+}
+
 impl MemoryPort for Hierarchy {
     fn issue_load(&mut self, req: LoadIssue, now: Cycle) {
-        let paddr = translate(req.core, req.vaddr);
-        let pline = paddr.line();
+        let (pline, route) = self.resolve_translation(req.core, req.vaddr, now);
         let ctx = LoadContext {
             pc: req.pc,
             vaddr: req.vaddr,
             pline,
         };
-        if self.cfg.hermes.enabled() {
-            let pred = self.predict(req.core, &ctx);
-            if pred.go_offchip && !self.cfg.hermes.passive {
-                let at = now + self.cfg.hermes.issue_latency as Cycle;
-                self.schedule(
-                    at,
-                    Ev::HermesIssue {
-                        core: req.core,
-                        line: pline,
-                    },
-                );
-            }
-            self.loads.insert(
-                key(req.core, req.token),
-                LoadRec {
-                    ctx,
-                    pred,
-                    issue: now,
-                },
-            );
+        // Prediction happens at issue — POPET's features are
+        // virtual-address based (§6.1.3) — but a predicted-off-chip
+        // load's speculative DRAM read, and the demand access itself,
+        // wait for the PFN when the dTLB misses.
+        let pred = if self.cfg.hermes.enabled() {
+            self.predict(req.core, &ctx)
         } else {
-            self.loads.insert(
-                key(req.core, req.token),
-                LoadRec {
-                    ctx,
-                    pred: Prediction::negative(),
-                    issue: now,
+            Prediction::negative()
+        };
+        let hermes_min = (self.cfg.hermes.enabled() && pred.go_offchip && !self.cfg.hermes.passive)
+            .then(|| now + self.cfg.hermes.issue_latency as Cycle);
+        self.loads.insert(
+            key(req.core, req.token),
+            LoadRec {
+                ctx,
+                pred,
+                issue: now,
+            },
+        );
+        match route {
+            TransRoute::Ready => {
+                if let Some(at) = hermes_min {
+                    self.schedule(
+                        at,
+                        Ev::HermesIssue {
+                            core: req.core,
+                            line: pline,
+                        },
+                    );
+                }
+                self.access_first(req.core, pline, Some(req.token), false, req.pc, now);
+            }
+            TransRoute::Defer(walk) => self.defer_on_walk(
+                walk,
+                TransWaiter::Load {
+                    token: req.token,
+                    pc: req.pc,
+                    pline,
+                    hermes_min,
                 },
-            );
+            ),
         }
-        self.access_first(req.core, pline, Some(req.token), false, req.pc, now);
     }
 
     fn issue_store(&mut self, req: StoreIssue, now: Cycle) {
-        let pline = translate(req.core, req.vaddr).line();
-        self.access_first(req.core, pline, None, true, req.pc, now);
+        let (pline, route) = self.resolve_translation(req.core, req.vaddr, now);
+        match route {
+            TransRoute::Ready => self.access_first(req.core, pline, None, true, req.pc, now),
+            TransRoute::Defer(walk) => {
+                self.defer_on_walk(walk, TransWaiter::Store { pc: req.pc, pline })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use hermes_prefetch::PrefetcherKind;
+    use hermes_vm::{TlbConfig, VmConfig};
+
+    /// Ticks from `from` until `want` further loads completed (panics on
+    /// stall-out).
+    fn run_span(h: &mut Hierarchy, from: Cycle, want: usize) {
+        let mut done = 0;
+        let mut buf = Vec::new();
+        for now in from..from + 1_000_000 {
+            h.tick(now);
+            h.drain_finished(&mut buf);
+            done += buf.len();
+            if done >= want {
+                return;
+            }
+        }
+        panic!("only {done} of {want} loads completed");
+    }
+
+    fn load(core: usize, token: u64, vaddr: u64) -> LoadIssue {
+        LoadIssue {
+            core,
+            token,
+            pc: 0x400_000 + token * 4,
+            vaddr: VirtAddr::new(vaddr),
+        }
+    }
+
+    /// Merging into an STLB→dTLB refill in flight is an STLB *hit* and
+    /// must not inflate `stlb_misses` (only true walks count).
+    #[test]
+    fn stlb_refill_merges_are_not_counted_as_misses() {
+        let cfg = SystemConfig::baseline_1c()
+            .with_prefetcher(PrefetcherKind::None)
+            .with_vm(
+                VmConfig::baseline()
+                    // 2 sets x 1 way: pages 0 and 2 conflict in set 0.
+                    .with_dtlb(TlbConfig::new(2, 1, 0))
+                    .with_stlb(TlbConfig::new(64, 4, 8)),
+            );
+        let mut h = Hierarchy::new(cfg);
+        let page_a = 0u64;
+        let page_b = 2 << 12; // same dTLB set as A
+
+        // Cold loads to A then B: two real walks (two STLB misses); B
+        // evicts A from the one-way dTLB set.
+        h.issue_load(load(0, 0, page_a), 0);
+        run_span(&mut h, 0, 1);
+        h.issue_load(load(0, 1, page_b), 1_000_000);
+        run_span(&mut h, 1_000_000, 1);
+        let s = h.core_stats()[0];
+        assert_eq!((s.stlb_misses, s.walks_completed), (2, 2));
+
+        // Two same-cycle loads back to A: dTLB misses, but the STLB has
+        // the entry — one refill, the second load merging into it. No
+        // new walk, and crucially no new STLB miss counted.
+        h.issue_load(load(0, 2, page_a), 2_000_000);
+        h.issue_load(load(0, 3, page_a), 2_000_000);
+        run_span(&mut h, 2_000_000, 2);
+        let s = h.core_stats()[0];
+        assert_eq!(s.dtlb_misses, 4, "A, B, and both refill loads missed");
+        assert_eq!(
+            s.stlb_misses, 2,
+            "refill merges must not count as STLB misses"
+        );
+        assert_eq!(s.walks_completed, 2, "the refill is not a page walk");
+        assert_eq!(h.walks_in_flight(), 0);
     }
 }

@@ -74,6 +74,35 @@ impl CoreRunStats {
             self.hier.offchip_onchip_portion_sum as f64 / self.hier.offchip_loads as f64
         }
     }
+
+    /// dTLB misses per kilo-instruction (zero with `vm: None`).
+    pub fn dtlb_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.hier.dtlb_misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// STLB misses per kilo-instruction — translation requests that had
+    /// to start or join a hardware page walk.
+    pub fn stlb_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.hier.stlb_misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Average latency of a completed page walk in cycles (STLB-miss
+    /// detection to PFN available).
+    pub fn avg_walk_cycles(&self) -> f64 {
+        if self.hier.walks_completed == 0 {
+            0.0
+        } else {
+            self.hier.walk_cycles_sum as f64 / self.hier.walks_completed as f64
+        }
+    }
 }
 
 /// Complete results of one simulation run.
@@ -139,6 +168,10 @@ mod tests {
                 offchip_loads: 10,
                 offchip_latency_sum: 2000,
                 offchip_onchip_portion_sum: 550,
+                dtlb_misses: 4,
+                stlb_misses: 2,
+                walks_completed: 2,
+                walk_cycles_sum: 90,
                 ..Default::default()
             },
             pred: PredictorStats::default(),
@@ -153,6 +186,9 @@ mod tests {
         assert_eq!(c.offchip_rate(), 0.1);
         assert_eq!(c.avg_offchip_latency(), 200.0);
         assert_eq!(c.avg_onchip_portion(), 55.0);
+        assert_eq!(c.dtlb_mpki(), 4.0);
+        assert_eq!(c.stlb_mpki(), 2.0);
+        assert_eq!(c.avg_walk_cycles(), 45.0);
     }
 
     #[test]

@@ -320,4 +320,75 @@ mod tests {
         let spec = suite::smoke_suite().remove(0);
         let _ = run_one(small_cfg(), &spec, 0, 0);
     }
+
+    #[test]
+    fn vm_subsystem_runs_and_counts_translation() {
+        use hermes_vm::{TlbConfig, VmConfig};
+        let spec = &suite::smoke_suite()[0]; // chase: big random footprint
+        let vm = VmConfig::baseline().with_dtlb(TlbConfig::new(16, 4, 0));
+        let base = run_one(small_cfg(), spec, 2_000, 10_000);
+        let v = run_one(small_cfg().with_vm(vm), spec, 2_000, 10_000);
+        let h = &v.cores[0].hier;
+        assert!(h.dtlb_accesses >= v.cores[0].core.loads);
+        assert!(h.dtlb_misses > 0, "16-entry dTLB must miss on a chase");
+        assert!(h.stlb_misses > 0 && h.walks_completed > 0);
+        assert!(
+            h.walk_mem_accesses >= h.walks_completed,
+            "every walk reads at least the leaf PTE"
+        );
+        assert!(h.walk_cycles_sum > 0);
+        // Translation latency is real: the run cannot get faster.
+        assert!(
+            v.cores[0].cycles >= base.cores[0].cycles,
+            "vm on: {} cycles vs {} off",
+            v.cores[0].cycles,
+            base.cores[0].cycles
+        );
+        // The vm-off hierarchy reports no translation activity at all.
+        assert_eq!(base.cores[0].hier.dtlb_accesses, 0);
+        assert_eq!(base.cores[0].hier.walks_completed, 0);
+    }
+
+    #[test]
+    fn huge_pages_relieve_tlb_pressure() {
+        use hermes_vm::{TlbConfig, VmConfig};
+        let spec = &suite::smoke_suite()[0];
+        let tiny_tlb = VmConfig::baseline()
+            .with_dtlb(TlbConfig::new(16, 4, 0))
+            .with_stlb(TlbConfig::new(128, 8, 8));
+        let small = run_one(small_cfg().with_vm(tiny_tlb.clone()), spec, 2_000, 10_000);
+        let huge = run_one(
+            small_cfg().with_vm(tiny_tlb.with_huge_page_pm(1000)),
+            spec,
+            2_000,
+            10_000,
+        );
+        // A 2 MB page covers 512x the reach: misses must drop sharply.
+        assert!(
+            huge.cores[0].hier.stlb_misses * 4 < small.cores[0].hier.stlb_misses,
+            "huge pages should slash STLB misses: {} vs {}",
+            huge.cores[0].hier.stlb_misses,
+            small.cores[0].hier.stlb_misses
+        );
+    }
+
+    #[test]
+    fn hermes_still_wins_under_translation_pressure() {
+        use hermes_vm::VmConfig;
+        let spec = &suite::smoke_suite()[0];
+        let cfg = small_cfg().with_vm(VmConfig::baseline());
+        let base = run_one(cfg.clone(), spec, 2_000, 10_000);
+        let hermes = run_one(
+            cfg.with_hermes(HermesConfig::hermes_o(PredictorKind::Ideal)),
+            spec,
+            2_000,
+            10_000,
+        );
+        assert!(
+            hermes.cores[0].ipc() > base.cores[0].ipc() * 1.02,
+            "ideal Hermes must still accelerate a chase with vm on: {} vs {}",
+            hermes.cores[0].ipc(),
+            base.cores[0].ipc()
+        );
+    }
 }

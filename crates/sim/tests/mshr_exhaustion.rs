@@ -6,13 +6,17 @@
 //! `retried`-lookup events at every outer level. Every load must still
 //! complete exactly once, and no MSHR entry may remain allocated
 //! afterwards (a stranded waiter would deadlock a real run).
-//! Parameterised over 2-, 3-, and 4-level topologies.
+//! Parameterised over 2-, 3-, and 4-level topologies, with and without
+//! the address-translation subsystem: page-table-walker reads share the
+//! same MSHR tables as demand traffic and must survive exhaustion (and
+//! drive the retry queues) without stranding anyone.
 
 use hermes_cache::{CacheConfig, LevelConfig, ReplacementKind};
 use hermes_cpu::{LoadIssue, MemoryPort, ServedBy};
 use hermes_sim::hierarchy::Hierarchy;
 use hermes_sim::SystemConfig;
 use hermes_types::VirtAddr;
+use hermes_vm::{TlbConfig, VmConfig};
 
 /// Tiny caches (so everything misses) with `mshrs` registers per level.
 fn tiny(name: &str, mshrs: usize) -> CacheConfig {
@@ -176,5 +180,163 @@ fn store_write_allocates_survive_exhaustion() {
             h.level_stats()[0].1.mshr_rejections > 0,
             "{depth}-level: store flood never exhausted the first level"
         );
+    }
+}
+
+/// `config(depth)` plus a deliberately starved translation subsystem:
+/// tiny TLBs and a 2-entry walk cache, so nearly every load drags a
+/// multi-level page walk through the already-tiny MSHR tables.
+fn vm_config(depth: usize) -> SystemConfig {
+    SystemConfig {
+        vm: Some(
+            VmConfig::baseline()
+                .with_dtlb(TlbConfig::new(4, 2, 0))
+                .with_stlb(TlbConfig::new(8, 2, 2))
+                .with_pwc_entries(2),
+        ),
+        ..config(depth)
+    }
+}
+
+#[test]
+fn walker_and_demand_share_mshrs_without_stranding() {
+    for depth in [2usize, 3, 4] {
+        let mut h = Hierarchy::new(vm_config(depth));
+        let n = 24u64;
+        for t in 0..n {
+            h.issue_load(
+                LoadIssue {
+                    core: 0,
+                    token: t,
+                    pc: 0x700_000 + t * 4,
+                    // Distinct pages with scattered radix prefixes, so
+                    // walks cannot all share PTE lines.
+                    vaddr: VirtAddr::new((t * 3 + 1) << 21),
+                },
+                0,
+            );
+        }
+        let mut done = Vec::new();
+        let mut buf = Vec::new();
+        for now in 0..2_000_000 {
+            h.tick(now);
+            h.drain_finished(&mut buf);
+            done.append(&mut buf);
+            if done.len() as u64 == n {
+                break;
+            }
+        }
+        assert_eq!(
+            done.len() as u64,
+            n,
+            "{depth}-level walker flood: only {} of {n} loads completed",
+            done.len()
+        );
+        let mut tokens: Vec<u64> = done.iter().map(|&(_, t, _)| t).collect();
+        tokens.sort_unstable();
+        assert_eq!(tokens, (0..n).collect::<Vec<_>>(), "{depth}-level tokens");
+
+        let s = h.core_stats()[0];
+        assert!(s.walks_completed > 0, "{depth}-level: no walks ran");
+        assert!(
+            s.walk_mem_accesses >= s.walks_completed,
+            "{depth}-level: every walk reads at least one PTE"
+        );
+        assert!(
+            h.level_stats()[0].1.mshr_rejections > 0,
+            "{depth}-level: the flood (demand + walker) never exhausted \
+             the first-level MSHRs"
+        );
+        // Nothing stranded: no MSHR entries, no half-finished walks.
+        assert_eq!(
+            h.mshrs_in_flight(),
+            0,
+            "{depth}-level: MSHR entries left allocated after quiescence"
+        );
+        assert_eq!(
+            h.walks_in_flight(),
+            0,
+            "{depth}-level: walks left in flight after quiescence"
+        );
+    }
+}
+
+#[test]
+fn same_page_loads_merge_into_one_walk_under_exhaustion() {
+    for depth in [2usize, 3, 4] {
+        let mut h = Hierarchy::new(vm_config(depth));
+        let n = 16u64;
+        for t in 0..n {
+            // Two pages, eight distinct lines each: walks merge while the
+            // line misses still flood the tables.
+            let page = (t % 2) << 21;
+            h.issue_load(
+                LoadIssue {
+                    core: 0,
+                    token: t,
+                    pc: 0x800_000 + t * 4,
+                    vaddr: VirtAddr::new(page + (t / 2) * 64),
+                },
+                0,
+            );
+        }
+        let mut done = Vec::new();
+        let mut buf = Vec::new();
+        for now in 0..2_000_000 {
+            h.tick(now);
+            h.drain_finished(&mut buf);
+            done.append(&mut buf);
+            if done.len() as u64 == n {
+                break;
+            }
+        }
+        assert_eq!(done.len() as u64, n, "{depth}-level same-page merge");
+        let s = h.core_stats()[0];
+        assert!(
+            s.walks_completed <= 2,
+            "{depth}-level: two pages must need at most two walks, got {}",
+            s.walks_completed
+        );
+        assert_eq!(h.mshrs_in_flight(), 0);
+        assert_eq!(h.walks_in_flight(), 0);
+    }
+}
+
+#[test]
+fn store_write_allocates_with_walks_survive_exhaustion() {
+    use hermes_cpu::StoreIssue;
+    for depth in [2usize, 3, 4] {
+        let mut h = Hierarchy::new(vm_config(depth));
+        for t in 0..16u64 {
+            h.issue_store(
+                StoreIssue {
+                    core: 0,
+                    pc: 0x900_000 + t * 4,
+                    vaddr: VirtAddr::new((t * 5 + 3) << 21),
+                },
+                0,
+            );
+        }
+        let mut buf = Vec::new();
+        for now in 0..2_000_000 {
+            h.tick(now);
+            h.drain_finished(&mut buf);
+            if h.mshrs_in_flight() == 0 && h.walks_in_flight() == 0 && h.next_event_at() == u64::MAX
+            {
+                break;
+            }
+        }
+        assert_eq!(
+            h.mshrs_in_flight(),
+            0,
+            "{depth}-level store+walk flood stranded MSHRs"
+        );
+        assert_eq!(
+            h.walks_in_flight(),
+            0,
+            "{depth}-level store+walk flood stranded walks"
+        );
+        let s = h.core_stats()[0];
+        assert!(s.walks_completed > 0, "{depth}-level: stores walked too");
     }
 }

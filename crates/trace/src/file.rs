@@ -5,17 +5,30 @@
 //! generator's output can be captured once and replayed bit-identically
 //! (useful for regression pinning and for sharing interesting traces).
 //!
-//! Format: an 8-byte magic (`HERMTRC1`), a u32 record count, then one
-//! 24-byte record per instruction.
+//! Two header versions exist:
+//!
+//! * `HERMTRC1` — 8-byte magic, **u32** record count. The original
+//!   format; fine for captures but its count ceiling (~4.3 G records)
+//!   is below production trace lengths.
+//! * `HERMTRC2` — 8-byte magic, **u64** record count. Written by
+//!   [`write_trace`]; readers accept both versions transparently.
+//!
+//! Both share the same 24-byte record layout. For traces too large to
+//! materialise, [`TraceFileSource`] streams records straight from the
+//! file (wrapping around at the end, like every generator), so memory
+//! stays O(1) regardless of trace length.
 
-use std::io::{self, Read, Write};
+use std::io::{self, BufReader, Read, Seek, SeekFrom, Write};
+use std::path::Path;
 
 use hermes_types::VirtAddr;
 
 use crate::instr::{Branch, Instr, MemKind, MemOp};
-use crate::source::VecSource;
+use crate::source::{TraceSource, VecSource};
 
-const MAGIC: &[u8; 8] = b"HERMTRC1";
+const MAGIC_V1: &[u8; 8] = b"HERMTRC1";
+const MAGIC_V2: &[u8; 8] = b"HERMTRC2";
+const RECORD_BYTES: usize = 24;
 
 // Flag bits in the record header byte.
 const F_LOAD: u8 = 1 << 0;
@@ -23,113 +36,254 @@ const F_STORE: u8 = 1 << 1;
 const F_BRANCH: u8 = 1 << 2;
 const F_TAKEN: u8 = 1 << 3;
 
-/// Serializes instructions to a writer in the `HERMTRC1` format.
+fn encode_record(i: &Instr) -> [u8; RECORD_BYTES] {
+    let mut flags = 0u8;
+    let mut addr = 0u64;
+    match i.mem {
+        Some(MemOp {
+            vaddr,
+            kind: MemKind::Load,
+        }) => {
+            flags |= F_LOAD;
+            addr = vaddr.raw();
+        }
+        Some(MemOp {
+            vaddr,
+            kind: MemKind::Store,
+        }) => {
+            flags |= F_STORE;
+            addr = vaddr.raw();
+        }
+        None => {}
+    }
+    if let Some(b) = i.branch {
+        flags |= F_BRANCH;
+        if b.taken {
+            flags |= F_TAKEN;
+        }
+    }
+    let reg = |r: Option<u8>| r.map(|v| v + 1).unwrap_or(0);
+    let mut rec = [0u8; RECORD_BYTES];
+    rec[0..8].copy_from_slice(&i.pc.to_le_bytes());
+    rec[8..16].copy_from_slice(&addr.to_le_bytes());
+    rec[16] = flags;
+    rec[17] = reg(i.src_regs[0]);
+    rec[18] = reg(i.src_regs[1]);
+    rec[19] = reg(i.dst_reg);
+    rec[20] = i.exec_latency;
+    rec
+}
+
+fn decode_record(rec: &[u8; RECORD_BYTES]) -> Instr {
+    let pc = u64::from_le_bytes(rec[0..8].try_into().expect("slice width"));
+    let addr = u64::from_le_bytes(rec[8..16].try_into().expect("slice width"));
+    let flags = rec[16];
+    let dereg = |v: u8| if v == 0 { None } else { Some(v - 1) };
+    let mem = if flags & F_LOAD != 0 {
+        Some(MemOp {
+            vaddr: VirtAddr::new(addr),
+            kind: MemKind::Load,
+        })
+    } else if flags & F_STORE != 0 {
+        Some(MemOp {
+            vaddr: VirtAddr::new(addr),
+            kind: MemKind::Store,
+        })
+    } else {
+        None
+    };
+    let branch = if flags & F_BRANCH != 0 {
+        Some(Branch {
+            taken: flags & F_TAKEN != 0,
+        })
+    } else {
+        None
+    };
+    Instr {
+        pc,
+        src_regs: [dereg(rec[17]), dereg(rec[18])],
+        dst_reg: dereg(rec[19]),
+        mem,
+        branch,
+        exec_latency: rec[20],
+    }
+}
+
+/// Reads a header (either version), returning the record count.
+fn read_header<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic == MAGIC_V1 {
+        let mut nb = [0u8; 4];
+        r.read_exact(&mut nb)?;
+        Ok(u32::from_le_bytes(nb) as u64)
+    } else if &magic == MAGIC_V2 {
+        let mut nb = [0u8; 8];
+        r.read_exact(&mut nb)?;
+        Ok(u64::from_le_bytes(nb))
+    } else {
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad trace magic",
+        ))
+    }
+}
+
+/// Serializes instructions in the current (`HERMTRC2`, u64-count) format.
 ///
 /// # Errors
 ///
 /// Returns any I/O error from the underlying writer.
 pub fn write_trace<W: Write>(mut w: W, instrs: &[Instr]) -> io::Result<()> {
-    w.write_all(MAGIC)?;
-    w.write_all(&(instrs.len() as u32).to_le_bytes())?;
+    w.write_all(MAGIC_V2)?;
+    w.write_all(&(instrs.len() as u64).to_le_bytes())?;
     for i in instrs {
-        let mut flags = 0u8;
-        let mut addr = 0u64;
-        match i.mem {
-            Some(MemOp {
-                vaddr,
-                kind: MemKind::Load,
-            }) => {
-                flags |= F_LOAD;
-                addr = vaddr.raw();
-            }
-            Some(MemOp {
-                vaddr,
-                kind: MemKind::Store,
-            }) => {
-                flags |= F_STORE;
-                addr = vaddr.raw();
-            }
-            None => {}
-        }
-        if let Some(b) = i.branch {
-            flags |= F_BRANCH;
-            if b.taken {
-                flags |= F_TAKEN;
-            }
-        }
-        let reg = |r: Option<u8>| r.map(|v| v + 1).unwrap_or(0);
-        w.write_all(&i.pc.to_le_bytes())?;
-        w.write_all(&addr.to_le_bytes())?;
-        w.write_all(&[
-            flags,
-            reg(i.src_regs[0]),
-            reg(i.src_regs[1]),
-            reg(i.dst_reg),
-            i.exec_latency,
-            0,
-            0,
-            0,
-        ])?;
+        w.write_all(&encode_record(i))?;
     }
     Ok(())
 }
 
-/// Deserializes a trace written by [`write_trace`].
+/// Serializes instructions in the legacy `HERMTRC1` (u32-count) format,
+/// for interchange with pre-v2 readers.
+///
+/// # Errors
+///
+/// Returns `InvalidInput` if the trace exceeds the v1 count ceiling
+/// (`u32::MAX` records), or any I/O error from the writer.
+pub fn write_trace_v1<W: Write>(mut w: W, instrs: &[Instr]) -> io::Result<()> {
+    let n: u32 = instrs.len().try_into().map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "trace exceeds the HERMTRC1 u32 record-count ceiling; use write_trace (HERMTRC2)",
+        )
+    })?;
+    w.write_all(MAGIC_V1)?;
+    w.write_all(&n.to_le_bytes())?;
+    for i in instrs {
+        w.write_all(&encode_record(i))?;
+    }
+    Ok(())
+}
+
+/// Deserializes a trace written by [`write_trace`] or [`write_trace_v1`]
+/// (both header versions accepted).
 ///
 /// # Errors
 ///
 /// Returns `InvalidData` if the magic or structure is malformed, or any I/O
 /// error from the reader.
 pub fn read_trace<R: Read>(mut r: R) -> io::Result<Vec<Instr>> {
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "bad trace magic",
-        ));
-    }
-    let mut nb = [0u8; 4];
-    r.read_exact(&mut nb)?;
-    let n = u32::from_le_bytes(nb) as usize;
-    let mut out = Vec::with_capacity(n);
-    let mut rec = [0u8; 24];
+    let n = read_header(&mut r)?;
+    let mut out = Vec::with_capacity(usize::try_from(n).unwrap_or(0).min(1 << 24));
+    let mut rec = [0u8; RECORD_BYTES];
     for _ in 0..n {
         r.read_exact(&mut rec)?;
-        let pc = u64::from_le_bytes(rec[0..8].try_into().expect("slice width"));
-        let addr = u64::from_le_bytes(rec[8..16].try_into().expect("slice width"));
-        let flags = rec[16];
-        let dereg = |v: u8| if v == 0 { None } else { Some(v - 1) };
-        let mem = if flags & F_LOAD != 0 {
-            Some(MemOp {
-                vaddr: VirtAddr::new(addr),
-                kind: MemKind::Load,
-            })
-        } else if flags & F_STORE != 0 {
-            Some(MemOp {
-                vaddr: VirtAddr::new(addr),
-                kind: MemKind::Store,
-            })
-        } else {
-            None
-        };
-        let branch = if flags & F_BRANCH != 0 {
-            Some(Branch {
-                taken: flags & F_TAKEN != 0,
-            })
-        } else {
-            None
-        };
-        out.push(Instr {
-            pc,
-            src_regs: [dereg(rec[17]), dereg(rec[18])],
-            dst_reg: dereg(rec[19]),
-            mem,
-            branch,
-            exec_latency: rec[20],
-        });
+        out.push(decode_record(&rec));
     }
     Ok(out)
+}
+
+/// A [`TraceSource`] streaming records straight from a trace file.
+///
+/// Unlike [`read_trace`] + [`VecSource`], nothing is materialised: the
+/// source holds one buffered reader and wraps back to the first record
+/// when the trace ends, so arbitrarily long (v2) traces replay in O(1)
+/// memory. Accepts both header versions.
+pub struct TraceFileSource {
+    name: String,
+    reader: BufReader<std::fs::File>,
+    count: u64,
+    pos: u64,
+    data_start: u64,
+}
+
+impl std::fmt::Debug for TraceFileSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceFileSource")
+            .field("name", &self.name)
+            .field("count", &self.count)
+            .field("pos", &self.pos)
+            .finish()
+    }
+}
+
+impl TraceFileSource {
+    /// Opens a trace file for streaming replay. The workload name is the
+    /// file stem.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on a bad magic, an empty trace (a core
+    /// cannot be fed zero instructions), or a file shorter than its
+    /// header's record count claims (a truncated capture must fail here,
+    /// not panic mid-simulation), or any I/O error.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref();
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "trace".to_string());
+        let mut reader = BufReader::new(std::fs::File::open(path)?);
+        let count = read_header(&mut reader)?;
+        if count == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "empty trace cannot feed a core",
+            ));
+        }
+        let data_start = reader.stream_position()?;
+        let need = count
+            .checked_mul(RECORD_BYTES as u64)
+            .and_then(|payload| payload.checked_add(data_start));
+        let len = reader.get_ref().metadata()?.len();
+        if need.is_none_or(|need| len < need) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "trace file holds fewer than its header's {count} records \
+                     ({len} bytes on disk)"
+                ),
+            ));
+        }
+        Ok(Self {
+            name,
+            reader,
+            count,
+            pos: 0,
+            data_start,
+        })
+    }
+
+    /// Records before the trace wraps.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Always false: [`TraceFileSource::open`] rejects empty traces.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl TraceSource for TraceFileSource {
+    fn next_instr(&mut self) -> Instr {
+        if self.pos == self.count {
+            self.reader
+                .seek(SeekFrom::Start(self.data_start))
+                .expect("trace file became unseekable during replay");
+            self.pos = 0;
+        }
+        let mut rec = [0u8; RECORD_BYTES];
+        self.reader
+            .read_exact(&mut rec)
+            .expect("trace file truncated or unreadable during replay");
+        self.pos += 1;
+        decode_record(&rec)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
 }
 
 /// Captures `n` instructions from a source into a replayable [`VecSource`].
@@ -159,13 +313,42 @@ mod tests {
         ]
     }
 
+    fn scratch_file(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("hermes-trace-{}-{name}.trc", std::process::id()));
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
     #[test]
-    fn round_trip_preserves_everything() {
+    fn v2_round_trip_preserves_everything() {
         let instrs = sample();
         let mut buf = Vec::new();
         write_trace(&mut buf, &instrs).unwrap();
+        assert_eq!(&buf[0..8], MAGIC_V2);
         let back = read_trace(&buf[..]).unwrap();
         assert_eq!(instrs, back);
+    }
+
+    #[test]
+    fn v1_round_trip_preserves_everything() {
+        let instrs = sample();
+        let mut buf = Vec::new();
+        write_trace_v1(&mut buf, &instrs).unwrap();
+        assert_eq!(&buf[0..8], MAGIC_V1);
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(instrs, back);
+    }
+
+    #[test]
+    fn v1_and_v2_carry_identical_records() {
+        let instrs = sample();
+        let (mut v1, mut v2) = (Vec::new(), Vec::new());
+        write_trace_v1(&mut v1, &instrs).unwrap();
+        write_trace(&mut v2, &instrs).unwrap();
+        // Same payload, only the header differs (u32 vs u64 count).
+        assert_eq!(&v1[12..], &v2[16..]);
+        assert_eq!(v2.len(), v1.len() + 4);
     }
 
     #[test]
@@ -178,10 +361,87 @@ mod tests {
 
     #[test]
     fn truncated_trace_rejected() {
+        for v1 in [false, true] {
+            let mut buf = Vec::new();
+            if v1 {
+                write_trace_v1(&mut buf, &sample()).unwrap();
+            } else {
+                write_trace(&mut buf, &sample()).unwrap();
+            }
+            buf.truncate(buf.len() - 3);
+            assert!(read_trace(&buf[..]).is_err());
+        }
+    }
+
+    #[test]
+    fn streaming_source_replays_and_wraps_both_versions() {
+        let instrs = sample();
+        for v1 in [false, true] {
+            let mut buf = Vec::new();
+            if v1 {
+                write_trace_v1(&mut buf, &instrs).unwrap();
+            } else {
+                write_trace(&mut buf, &instrs).unwrap();
+            }
+            let path = scratch_file(if v1 { "stream-v1" } else { "stream-v2" }, &buf);
+            let mut src = TraceFileSource::open(&path).unwrap();
+            assert_eq!(src.len(), instrs.len() as u64);
+            assert!(!src.is_empty());
+            // Two full laps: the wrap must reproduce the stream exactly.
+            for lap in 0..2 {
+                for (i, expect) in instrs.iter().enumerate() {
+                    assert_eq!(src.next_instr(), *expect, "lap {lap} instr {i}");
+                }
+            }
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    #[test]
+    fn streaming_source_matches_materialised_read() {
+        let mut gen = crate::gen::pointer_chase::PointerChase::new(500, 2, 7);
+        let instrs: Vec<Instr> = (0..300).map(|_| gen.next_instr()).collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &instrs).unwrap();
+        let path = scratch_file("stream-vs-vec", &buf);
+        let materialised = read_trace(&buf[..]).unwrap();
+        let mut stream = TraceFileSource::open(&path).unwrap();
+        for m in &materialised {
+            assert_eq!(stream.next_instr(), *m);
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn streaming_source_names_after_file_stem() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample()).unwrap();
+        let path = scratch_file("name-check", &buf);
+        let src = TraceFileSource::open(&path).unwrap();
+        assert!(src.name().contains("name-check"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn truncated_trace_file_rejected_at_open() {
         let mut buf = Vec::new();
         write_trace(&mut buf, &sample()).unwrap();
         buf.truncate(buf.len() - 3);
-        assert!(read_trace(&buf[..]).is_err());
+        let path = scratch_file("truncated-open", &buf);
+        assert!(
+            TraceFileSource::open(&path).is_err(),
+            "a truncated trace must fail at open, not panic mid-replay"
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn empty_trace_file_rejected_by_streaming_source() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &[]).unwrap();
+        let path = scratch_file("empty", &buf);
+        assert!(TraceFileSource::open(&path).is_err());
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod instr;
 pub mod source;
 pub mod suite;
 
+pub use file::TraceFileSource;
 pub use instr::{Branch, Instr, MemKind, MemOp, Reg};
 pub use source::TraceSource;
 pub use suite::{Category, WorkloadSpec};

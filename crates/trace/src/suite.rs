@@ -799,6 +799,78 @@ pub fn full_suite() -> Vec<WorkloadSpec> {
     v
 }
 
+/// TLB-stressing workload variants: footprints far beyond any STLB's
+/// 4 KB reach, accessed at page granularity or worse, so address
+/// translation — not just the caches — becomes the bottleneck. The
+/// `tlb_sweep` experiment sweeps TLB sizes and page sizes over this set;
+/// the patterns reuse the regular generators, only scaled until their
+/// page working sets dwarf a 1024-entry STLB (4 MB of 4 KB reach).
+pub fn tlb_suite() -> Vec<WorkloadSpec> {
+    use Category::*;
+    use GenConfig::*;
+    let dil = |inner: GenConfig, work: u32| Diluted {
+        inner: Box::new(inner),
+        work,
+    };
+    vec![
+        // A chase over 256 MB: every hop a fresh random page.
+        WorkloadSpec::new(
+            "tlb-chase",
+            Spec06,
+            dil(
+                PointerChase {
+                    nodes: 4 << 20,
+                    work: 2,
+                },
+                8,
+            ),
+            61,
+        ),
+        // Random 8 B probes over a 128 MB table: ~32 K distinct pages.
+        WorkloadSpec::new(
+            "tlb-random",
+            Spec17,
+            dil(
+                Random {
+                    table_bytes: 128 * MB,
+                    update: false,
+                },
+                8,
+            ),
+            62,
+        ),
+        // Page-granular strides: one line touched per 4 KB page, so the
+        // caches barely help and every access needs a fresh translation.
+        WorkloadSpec::new(
+            "tlb-stride4k",
+            Parsec,
+            dil(
+                Strided {
+                    arrays: 4,
+                    stride: 4096 + 64,
+                    footprint: 96 * MB,
+                    work: 2,
+                },
+                6,
+            ),
+            63,
+        ),
+        // A 96 MB hash table: build-probe traffic across ~24 K pages.
+        WorkloadSpec::new(
+            "tlb-join",
+            Cvp,
+            dil(
+                HashJoin {
+                    ht_bytes: 96 * MB,
+                    probe_len: 1 << 18,
+                },
+                6,
+            ),
+            64,
+        ),
+    ]
+}
+
 /// A reduced suite for fast smoke tests (one trace per category, smaller
 /// footprints).
 pub fn smoke_suite() -> Vec<WorkloadSpec> {
@@ -862,8 +934,30 @@ mod tests {
     }
 
     #[test]
+    fn tlb_suite_builds_and_touches_many_pages() {
+        let suite = tlb_suite();
+        assert!(suite.len() >= 4);
+        for w in &suite {
+            let mut src = w.build();
+            let mut pages = std::collections::HashSet::new();
+            for _ in 0..20_000 {
+                let i = src.next_instr();
+                if let Some(m) = i.mem {
+                    pages.insert(m.vaddr.page_number());
+                }
+            }
+            assert!(
+                pages.len() > 64,
+                "{} touched only {} pages in 20k instrs — not TLB-stressing",
+                w.name,
+                pages.len()
+            );
+        }
+    }
+
+    #[test]
     fn names_unique() {
-        for suite in [default_suite(), full_suite(), smoke_suite()] {
+        for suite in [default_suite(), full_suite(), smoke_suite(), tlb_suite()] {
             let names: HashSet<&str> = suite.iter().map(|w| w.name.as_str()).collect();
             assert_eq!(names.len(), suite.len());
         }

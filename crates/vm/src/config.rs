@@ -1,0 +1,205 @@
+//! Configuration of the translation subsystem.
+
+/// Geometry and latency of one TLB level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Total entries (per core for private structures; per core before
+    /// scaling for a shared STLB, mirroring the cache levels' "per-core
+    /// share" convention).
+    pub entries: usize,
+    /// Associativity; `entries / ways` sets must be a power of two.
+    pub ways: usize,
+    /// Added translation latency in cycles when this level provides the
+    /// mapping. The paper accesses the L1 dTLB in parallel with the L1D
+    /// (§3.1), so the dTLB conventionally uses 0; the STLB latency is
+    /// paid on every dTLB miss before the memory access can issue.
+    pub latency: u32,
+}
+
+impl TlbConfig {
+    /// Creates a TLB geometry.
+    pub fn new(entries: usize, ways: usize, latency: u32) -> Self {
+        Self {
+            entries,
+            ways,
+            latency,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.entries / self.ways
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if entries/ways are zero, entries is not a multiple of
+    /// ways, or the set count is not a power of two.
+    pub fn validate(&self) {
+        assert!(self.entries >= 1, "TLB needs at least one entry");
+        assert!(self.ways >= 1, "TLB needs at least one way");
+        assert_eq!(
+            self.entries % self.ways,
+            0,
+            "TLB entries ({}) must be a multiple of ways ({})",
+            self.entries,
+            self.ways
+        );
+        assert!(
+            self.sets().is_power_of_two(),
+            "TLB set count ({}) must be a power of two",
+            self.sets()
+        );
+    }
+}
+
+/// Complete configuration of the address-translation subsystem.
+///
+/// `SystemConfig::vm` carries an `Option<VmConfig>`: `None` keeps the
+/// historical free stateless translation (bit-identical to the
+/// pre-subsystem simulator), `Some` enables the TLBs and the hardware
+/// page-table walker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmConfig {
+    /// Per-core L1 data TLB (latency 0 = accessed in parallel with the
+    /// L1D, the paper's model).
+    pub dtlb: TlbConfig,
+    /// Second-level TLB; its latency is paid on every dTLB miss.
+    pub stlb: TlbConfig,
+    /// Whether the STLB is one structure shared by all cores (entries
+    /// scaled by core count, entries tagged per core) or replicated per
+    /// core.
+    pub stlb_shared: bool,
+    /// Per-core page-walk cache entries (fully associative, LRU). Caches
+    /// the non-leaf levels of the radix tree so a warm walker usually
+    /// issues only the leaf PTE access.
+    pub pwc_entries: usize,
+    /// Per-mille of the address space backed by 2 MB huge pages
+    /// (0 = all 4 KB, 1000 = all 2 MB; in between, a deterministic hash
+    /// of each 2 MB region decides).
+    pub huge_page_pm: u32,
+}
+
+impl VmConfig {
+    /// A contemporary baseline: 64-entry 4-way dTLB accessed in parallel
+    /// with the L1, 1024-entry 8-way private STLB at 8 cycles, 32-entry
+    /// page-walk cache, 4 KB pages only.
+    pub fn baseline() -> Self {
+        Self {
+            dtlb: TlbConfig::new(64, 4, 0),
+            stlb: TlbConfig::new(1024, 8, 8),
+            stlb_shared: false,
+            pwc_entries: 32,
+            huge_page_pm: 0,
+        }
+    }
+
+    /// Replaces the dTLB geometry (TLB-size sweeps).
+    pub fn with_dtlb(mut self, dtlb: TlbConfig) -> Self {
+        self.dtlb = dtlb;
+        self
+    }
+
+    /// Replaces the STLB geometry.
+    pub fn with_stlb(mut self, stlb: TlbConfig) -> Self {
+        self.stlb = stlb;
+        self
+    }
+
+    /// Shares one scaled STLB between all cores.
+    pub fn with_shared_stlb(mut self, shared: bool) -> Self {
+        self.stlb_shared = shared;
+        self
+    }
+
+    /// Replaces the huge-page fraction (page-size sweeps).
+    pub fn with_huge_page_pm(mut self, pm: u32) -> Self {
+        self.huge_page_pm = pm;
+        self
+    }
+
+    /// Replaces the page-walk-cache capacity.
+    pub fn with_pwc_entries(mut self, entries: usize) -> Self {
+        self.pwc_entries = entries;
+        self
+    }
+
+    /// The STLB geometry as instantiated for one structural instance in a
+    /// `cores`-core system (scaled when shared, like the shared LLC).
+    pub fn stlb_instantiated(&self, cores: usize) -> TlbConfig {
+        if self.stlb_shared {
+            TlbConfig::new(self.stlb.entries * cores, self.stlb.ways, self.stlb.latency)
+        } else {
+            self.stlb.clone()
+        }
+    }
+
+    /// Validates the composite configuration for a `cores`-core system.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-capacity structure or a geometry that does not
+    /// yield power-of-two set counts.
+    pub fn validate(&self, cores: usize) {
+        self.dtlb.validate();
+        self.stlb.validate();
+        self.stlb_instantiated(cores).validate();
+        assert!(self.pwc_entries >= 1, "page-walk cache needs capacity");
+        assert!(
+            self.huge_page_pm <= 1000,
+            "huge_page_pm is per-mille (got {})",
+            self.huge_page_pm
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_validates() {
+        let c = VmConfig::baseline();
+        c.validate(1);
+        c.validate(8);
+        assert_eq!(c.dtlb.sets(), 16);
+        assert_eq!(c.stlb.sets(), 128);
+    }
+
+    #[test]
+    fn shared_stlb_scales() {
+        let c = VmConfig::baseline().with_shared_stlb(true);
+        let inst = c.stlb_instantiated(8);
+        assert_eq!(inst.entries, 8 * 1024);
+        assert_eq!(inst.latency, c.stlb.latency);
+        c.validate(8);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = VmConfig::baseline()
+            .with_dtlb(TlbConfig::new(16, 4, 0))
+            .with_stlb(TlbConfig::new(256, 8, 12))
+            .with_huge_page_pm(1000)
+            .with_pwc_entries(8);
+        assert_eq!(c.dtlb.entries, 16);
+        assert_eq!(c.stlb.latency, 12);
+        assert_eq!(c.huge_page_pm, 1000);
+        assert_eq!(c.pwc_entries, 8);
+        c.validate(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_sets_rejected() {
+        TlbConfig::new(48, 4, 0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "per-mille")]
+    fn out_of_range_huge_fraction_rejected() {
+        VmConfig::baseline().with_huge_page_pm(1001).validate(1);
+    }
+}

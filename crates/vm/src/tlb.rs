@@ -1,0 +1,174 @@
+//! A set-associative, LRU translation lookaside buffer.
+//!
+//! Entries are opaque `u64` tags built by
+//! [`PageMap::tlb_key`](crate::PageMap::tlb_key), which packs the page
+//! number, the page size, and (for shared structures) the owning core.
+//! The set index comes from the low bits of the page number, like real
+//! TLBs, so strided patterns conflict realistically. One array serves
+//! both page sizes: a huge-page entry simply occupies one entry under
+//! its huge page number.
+
+use crate::config::TlbConfig;
+
+/// See [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    sets: usize,
+    ways: usize,
+    /// `sets * ways` slots; `None` = invalid.
+    entries: Vec<Option<u64>>,
+    /// LRU stamps parallel to `entries`.
+    stamps: Vec<u64>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Builds an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid geometry (see [`TlbConfig::validate`]).
+    pub fn new(cfg: &TlbConfig) -> Self {
+        cfg.validate();
+        let n = cfg.sets() * cfg.ways;
+        Self {
+            sets: cfg.sets(),
+            ways: cfg.ways,
+            entries: vec![None; n],
+            stamps: vec![0; n],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_range(&self, page_number: u64) -> std::ops::Range<usize> {
+        let set = (page_number as usize) & (self.sets - 1);
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    /// Looks `key` up in the set indexed by `page_number`, updating LRU
+    /// and hit/miss counters.
+    pub fn lookup(&mut self, page_number: u64, key: u64) -> bool {
+        self.clock += 1;
+        for i in self.set_range(page_number) {
+            if self.entries[i] == Some(key) {
+                self.stamps[i] = self.clock;
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        false
+    }
+
+    /// Presence check without perturbing LRU or counters.
+    pub fn probe(&self, page_number: u64, key: u64) -> bool {
+        self.set_range(page_number)
+            .any(|i| self.entries[i] == Some(key))
+    }
+
+    /// Inserts `key`, evicting the set's LRU entry if needed. Idempotent:
+    /// re-inserting a resident key only refreshes its LRU position.
+    pub fn insert(&mut self, page_number: u64, key: u64) {
+        self.clock += 1;
+        let range = self.set_range(page_number);
+        if let Some(i) = range.clone().find(|&i| self.entries[i] == Some(key)) {
+            self.stamps[i] = self.clock;
+            return;
+        }
+        let slot = range
+            .clone()
+            .find(|&i| self.entries[i].is_none())
+            .unwrap_or_else(|| {
+                range
+                    .min_by_key(|&i| self.stamps[i])
+                    .expect("ways >= 1 by TlbConfig::validate")
+            });
+        self.entries[slot] = Some(key);
+        self.stamps[slot] = self.clock;
+    }
+
+    /// Lifetime (hits, misses) counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Valid entries (diagnostics/tests).
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Tlb {
+        // 2 sets x 2 ways.
+        Tlb::new(&TlbConfig::new(4, 2, 0))
+    }
+
+    #[test]
+    fn miss_insert_hit() {
+        let mut t = tiny();
+        assert!(!t.lookup(0, 100));
+        t.insert(0, 100);
+        assert!(t.lookup(0, 100));
+        assert_eq!(t.counters(), (1, 1));
+        assert_eq!(t.occupancy(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_stalest_way() {
+        let mut t = tiny();
+        // Fill set 0 (even page numbers).
+        t.insert(0, 10);
+        t.insert(2, 12);
+        assert!(t.lookup(0, 10)); // 10 now MRU
+        t.insert(4, 14); // evicts 12
+        assert!(t.probe(0, 10));
+        assert!(!t.probe(2, 12));
+        assert!(t.probe(4, 14));
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut t = tiny();
+        t.insert(0, 10);
+        t.insert(1, 11);
+        t.insert(3, 13);
+        t.insert(5, 15); // evicts 11 from set 1; set 0 untouched
+        assert!(t.probe(0, 10));
+        assert!(!t.probe(1, 11));
+        assert_eq!(t.occupancy(), 3);
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut t = tiny();
+        t.insert(0, 10);
+        t.insert(0, 10);
+        assert_eq!(t.occupancy(), 1);
+        // The refresh protected it from the next eviction.
+        t.insert(2, 12);
+        t.insert(0, 10);
+        t.insert(4, 14);
+        assert!(t.probe(0, 10));
+    }
+
+    #[test]
+    fn probe_does_not_touch_lru_or_counters() {
+        let mut t = tiny();
+        t.insert(0, 10);
+        t.insert(2, 12);
+        let before = t.counters();
+        assert!(t.probe(0, 10));
+        assert_eq!(t.counters(), before);
+        // 10 stayed LRU (probe did not refresh), so it is the victim.
+        t.insert(4, 14);
+        assert!(!t.probe(0, 10));
+    }
+}

@@ -1,0 +1,101 @@
+//! The page-walk cache: a small fully-associative LRU cache of *non-leaf*
+//! page-table entries.
+//!
+//! Real walkers keep the top of the radix tree cached (Intel's paging
+//! structure caches, AMD's page-walk cache), so a warm walk usually
+//! issues only the leaf PTE access. Keys are
+//! [`PageMap::pwc_key`](crate::PageMap::pwc_key) values — `(prefix,
+//! depth)` pairs; leaf PTEs never enter (that is the TLB's job).
+
+/// See [module docs](self).
+#[derive(Debug, Clone)]
+pub struct WalkCache {
+    cap: usize,
+    /// `(key, stamp)`, unordered.
+    entries: Vec<(u64, u64)>,
+    clock: u64,
+}
+
+impl WalkCache {
+    /// An empty cache holding up to `cap` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "page-walk cache needs capacity");
+        Self {
+            cap,
+            entries: Vec::with_capacity(cap),
+            clock: 0,
+        }
+    }
+
+    /// Whether `key` is cached; refreshes its LRU position on a hit.
+    pub fn lookup(&mut self, key: u64) -> bool {
+        self.clock += 1;
+        if let Some(e) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            e.1 = self.clock;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts `key` (idempotent), evicting the LRU entry at capacity.
+    pub fn insert(&mut self, key: u64) {
+        self.clock += 1;
+        if let Some(e) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            e.1 = self.clock;
+            return;
+        }
+        if self.entries.len() == self.cap {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, s))| *s)
+                .map(|(i, _)| i)
+                .expect("cap >= 1");
+            self.entries.swap_remove(lru);
+        }
+        self.entries.push((key, self.clock));
+    }
+
+    /// Cached entries (diagnostics/tests).
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_at_capacity() {
+        let mut c = WalkCache::new(2);
+        c.insert(1);
+        c.insert(2);
+        assert!(c.lookup(1)); // 1 refreshed, 2 now LRU
+        c.insert(3);
+        assert!(c.lookup(1));
+        assert!(!c.lookup(2));
+        assert!(c.lookup(3));
+        assert_eq!(c.occupancy(), 2);
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut c = WalkCache::new(4);
+        c.insert(7);
+        c.insert(7);
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = WalkCache::new(0);
+    }
+}

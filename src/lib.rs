@@ -10,7 +10,8 @@
 //!   contribution).
 //! * [`hermes_sim`] — the full-system simulator.
 //! * [`hermes_trace`] — synthetic workload generators.
-//! * [`hermes_cpu`], [`hermes_cache`], [`hermes_dram`] — the substrate.
+//! * [`hermes_cpu`], [`hermes_cache`], [`hermes_dram`], [`hermes_vm`] —
+//!   the substrate.
 //! * [`hermes_prefetch`] — the five baseline data prefetchers.
 //! * [`hermes_exec`] — the parallel experiment-execution engine.
 
@@ -23,3 +24,4 @@ pub use hermes_prefetch;
 pub use hermes_sim;
 pub use hermes_trace;
 pub use hermes_types;
+pub use hermes_vm;

@@ -184,6 +184,82 @@ fn fast_forward_is_cycle_exact_across_topologies() {
     }
 }
 
+/// The vm counters, appended to [`digest`] when comparing vm-enabled
+/// runs (the pinned goldens predate the vm subsystem, so the base digest
+/// format must stay frozen).
+fn vm_digest(r: &RunStats) -> String {
+    let mut s = digest(r);
+    for c in &r.cores {
+        s.push_str(&format!(
+            ";vm[da={} dm={} sm={} w={} wc={} wa={} pwc={}]",
+            c.hier.dtlb_accesses,
+            c.hier.dtlb_misses,
+            c.hier.stlb_misses,
+            c.hier.walks_completed,
+            c.hier.walk_cycles_sum,
+            c.hier.walk_mem_accesses,
+            c.hier.pwc_levels_skipped,
+        ));
+    }
+    s
+}
+
+#[test]
+fn fast_forward_is_cycle_exact_with_vm() {
+    use hermes_repro::hermes_vm::{TlbConfig, VmConfig};
+    let smoke = suite::smoke_suite();
+    let vm = VmConfig::baseline().with_dtlb(TlbConfig::new(16, 4, 0));
+    let configs: Vec<(&str, SystemConfig)> = vec![
+        ("vm", SystemConfig::baseline_1c().with_vm(vm.clone())),
+        (
+            "vm+hermes",
+            SystemConfig::baseline_1c()
+                .with_vm(vm.clone().with_huge_page_pm(500))
+                .with_hermes(HermesConfig::hermes_o(PredictorKind::Popet)),
+        ),
+    ];
+    for (name, cfg) in configs {
+        for spec in [&smoke[0], &smoke[1]] {
+            let off = run_one(cfg.clone().with_fast_forward(false), spec, 3_000, 8_000);
+            let on = run_one(cfg.clone().with_fast_forward(true), spec, 3_000, 8_000);
+            assert_eq!(
+                vm_digest(&off),
+                vm_digest(&on),
+                "fast-forward changed vm-enabled results for {name}/{}",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn vm_multicore_shared_stlb_is_fast_forward_exact() {
+    use hermes_repro::hermes_vm::{TlbConfig, VmConfig};
+    let smoke = suite::smoke_suite();
+    let cfg = |ff| SystemConfig {
+        cores: 2,
+        ..SystemConfig::baseline_1c()
+            .with_vm(
+                VmConfig::baseline()
+                    .with_dtlb(TlbConfig::new(16, 4, 0))
+                    .with_shared_stlb(true),
+            )
+            .with_hermes(HermesConfig::hermes_o(PredictorKind::Popet))
+            .with_fast_forward(ff)
+    };
+    let off = System::new(cfg(false), &smoke[0..2]).run(2_000, 6_000);
+    let on = System::new(cfg(true), &smoke[0..2]).run(2_000, 6_000);
+    assert_eq!(vm_digest(&off), vm_digest(&on));
+    // The shared walker path actually ran on both cores.
+    for c in &off.cores {
+        assert!(
+            c.hier.dtlb_accesses > 0,
+            "{} never consulted the dTLB",
+            c.workload
+        );
+    }
+}
+
 #[test]
 fn fast_forward_is_cycle_exact_multicore() {
     let smoke = suite::smoke_suite();

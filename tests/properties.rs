@@ -8,6 +8,7 @@ use hermes_repro::hermes_cache::{CacheArray, CacheConfig, MshrTable, Replacement
 use hermes_repro::hermes_dram::{DramConfig, MemoryController, ReqKind};
 use hermes_repro::hermes_trace::suite;
 use hermes_repro::hermes_types::{LineAddr, VirtAddr};
+use hermes_repro::hermes_vm::{PageMap, HUGE_PAGE_BITS};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -114,6 +115,51 @@ proptest! {
         }
     }
 
+    /// Translation invariants, vm on and off, 4 KB and 2 MB pages:
+    /// page offsets survive translation, the mapping is a pure function,
+    /// cores see disjoint frames, and with 4 KB pages the vm subsystem's
+    /// map is bit-identical to the historical free translation (so
+    /// enabling vm changes timing, never data placement).
+    #[test]
+    fn translation_invariants(
+        raw in any::<u64>(),
+        core in 0usize..8,
+        pm_sel in 0usize..3,
+    ) {
+        use hermes_repro::hermes_sim::translate::translate;
+        let huge_pm = [0u32, 500, 1000][pm_sel];
+        let v = VirtAddr::new(raw);
+        let map = PageMap::new(huge_pm);
+        let (p, huge) = map.translate(core, v);
+
+        // Page-offset preservation: always at 4 KB granularity, and at
+        // 2 MB granularity for huge pages.
+        prop_assert_eq!(p.offset_in_page(), v.offset_in_page());
+        if huge {
+            let hmask = (1u64 << HUGE_PAGE_BITS) - 1;
+            prop_assert_eq!(p.raw() & hmask, v.raw() & hmask);
+        }
+
+        // Determinism, and same page -> same frame.
+        let (p2, huge2) = map.translate(core, v);
+        prop_assert_eq!((p2, huge2), (p, huge));
+        let sibling = VirtAddr::new(raw ^ (raw & 0xFFF) ^ 0x5A5);
+        prop_assert_eq!(
+            map.translate(core, sibling).0.page_number(),
+            p.page_number()
+        );
+
+        // Per-core disjointness (distinct frames for all 8 cores).
+        let frames: std::collections::HashSet<u64> =
+            (0..8).map(|c| map.translate(c, v).0.page_number()).collect();
+        prop_assert_eq!(frames.len(), 8);
+
+        // vm-off equivalence: the 4 KB formula is the historical one.
+        if !huge {
+            prop_assert_eq!(p, translate(core, v));
+        }
+    }
+
     /// Trace generators are deterministic and produce valid instructions
     /// (a register index never exceeds the register file).
     #[test]
@@ -140,14 +186,25 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// Full-system runs complete and produce coherent counters for any
-    /// smoke workload and any small window.
+    /// smoke workload and any small window, translation subsystem on or
+    /// off (and with either page size when on).
     #[test]
-    fn system_runs_are_coherent(which in 0usize..5, instr in 5_000u64..15_000) {
+    fn system_runs_are_coherent(
+        which in 0usize..5,
+        instr in 5_000u64..15_000,
+        vm in 0u32..3,
+    ) {
         use hermes_repro::hermes::{HermesConfig, PredictorKind};
         use hermes_repro::hermes_sim::{system::run_one, SystemConfig};
+        use hermes_repro::hermes_vm::VmConfig;
         let spec = &suite::smoke_suite()[which];
-        let cfg = SystemConfig::baseline_1c()
+        let mut cfg = SystemConfig::baseline_1c()
             .with_hermes(HermesConfig::hermes_o(PredictorKind::Popet));
+        match vm {
+            1 => cfg = cfg.with_vm(VmConfig::baseline()),
+            2 => cfg = cfg.with_vm(VmConfig::baseline().with_huge_page_pm(500)),
+            _ => {}
+        }
         let r = run_one(cfg, spec, 1_000, instr);
         let c = &r.cores[0];
         prop_assert_eq!(c.instructions, instr);
@@ -157,5 +214,18 @@ proptest! {
         prop_assert!(c.offchip_rate() >= 0.0 && c.offchip_rate() <= 1.0);
         prop_assert!(c.pred.accuracy() >= 0.0 && c.pred.accuracy() <= 1.0);
         prop_assert!(c.pred.coverage() >= 0.0 && c.pred.coverage() <= 1.0);
+        // Translation counters are internally coherent.
+        let h = &c.hier;
+        prop_assert!(h.dtlb_misses <= h.dtlb_accesses);
+        prop_assert!(h.stlb_misses <= h.dtlb_misses);
+        // Same-page requests merge, so walks never exceed STLB misses —
+        // modulo walks in flight across the warmup stat reset (those
+        // complete inside the window without a counted miss).
+        prop_assert!(h.walks_completed <= h.stlb_misses + 256);
+        if vm == 0 {
+            prop_assert_eq!(h.dtlb_accesses, 0);
+        } else {
+            prop_assert!(h.dtlb_accesses > 0);
+        }
     }
 }
