@@ -93,6 +93,10 @@ pub struct Evicted {
     pub dirty: bool,
     /// Whether it was a never-demanded prefetch (a useless prefetch).
     pub was_unused_prefetch: bool,
+    /// Sharer-directory bitmap the line carried (always zero outside a
+    /// coherent shared level); the hierarchy engine back-invalidates
+    /// these cores to keep the directory inclusive.
+    pub sharers: u64,
 }
 
 /// A set-associative cache tag array with pluggable replacement.
@@ -110,6 +114,10 @@ pub struct CacheArray {
     dirty: Vec<bool>,
     prefetched: Vec<bool>,
     demanded: Vec<bool>,
+    /// Per-line sharer-directory bitmap (one bit per core). Only a
+    /// coherent shared level ever sets bits; everywhere else the vector
+    /// stays all-zero and costs nothing but memory.
+    sharers: Vec<u64>,
     policy: PolicyState,
 }
 
@@ -128,6 +136,7 @@ impl CacheArray {
             dirty: vec![false; lines],
             prefetched: vec![false; lines],
             demanded: vec![false; lines],
+            sharers: vec![0; lines],
             policy: PolicyState::new(cfg.replacement, lines),
         }
     }
@@ -224,6 +233,7 @@ impl CacheArray {
                     line: LineAddr::new(self.tags[i]),
                     dirty: self.dirty[i],
                     was_unused_prefetch: self.prefetched[i] && !self.demanded[i],
+                    sharers: self.sharers[i],
                 };
                 (i, Some(ev))
             }
@@ -233,6 +243,7 @@ impl CacheArray {
         self.dirty[idx] = dirty;
         self.prefetched[idx] = prefetched;
         self.demanded[idx] = false;
+        self.sharers[idx] = 0;
         self.policy.on_fill(idx, pc_signature);
         evicted
     }
@@ -241,7 +252,52 @@ impl CacheArray {
     pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
         let idx = self.find(line)?;
         self.valid[idx] = false;
+        self.sharers[idx] = 0;
         Some(self.dirty[idx])
+    }
+
+    /// Whether the line is resident *and* dirty (no replacement-state
+    /// perturbation — a directory probe, not an access).
+    pub fn probe_dirty(&self, line: LineAddr) -> bool {
+        self.find(line).is_some_and(|idx| self.dirty[idx])
+    }
+
+    /// Clears a resident line's dirty bit (M → S downgrade on a dirty
+    /// intervention: the modified data moved to the outer level).
+    /// Returns whether the line was present.
+    pub fn clean(&mut self, line: LineAddr) -> bool {
+        if let Some(idx) = self.find(line) {
+            self.dirty[idx] = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Sharer-directory bitmap of a resident line (zero when absent or
+    /// never tracked).
+    pub fn sharers(&self, line: LineAddr) -> u64 {
+        self.find(line).map_or(0, |idx| self.sharers[idx])
+    }
+
+    /// Adds `core` to a resident line's sharer bitmap; returns whether
+    /// the line was present (a directory entry exists to update).
+    pub fn add_sharer(&mut self, line: LineAddr, core: usize) -> bool {
+        debug_assert!(core < 64, "sharer bitmap holds at most 64 cores");
+        if let Some(idx) = self.find(line) {
+            self.sharers[idx] |= 1 << core;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Replaces a resident line's sharer bitmap wholesale (the
+    /// post-invalidation "sole owner" write).
+    pub fn set_sharers(&mut self, line: LineAddr, sharers: u64) {
+        if let Some(idx) = self.find(line) {
+            self.sharers[idx] = sharers;
+        }
     }
 
     /// Number of valid lines currently resident (test/diagnostic helper).
@@ -341,6 +397,44 @@ mod tests {
             c.fill(LineAddr::new(i), false, false, 0);
         }
         assert!(c.occupancy() <= 8);
+    }
+
+    #[test]
+    fn sharer_bitmap_tracks_fills_invalidations_and_evictions() {
+        let mut c = small();
+        let l = |i: u64| LineAddr::new(i * 4);
+        c.fill(l(1), false, false, 0);
+        assert_eq!(c.sharers(l(1)), 0, "fresh fill starts with no sharers");
+        assert!(c.add_sharer(l(1), 0));
+        assert!(c.add_sharer(l(1), 3));
+        assert_eq!(c.sharers(l(1)), 0b1001);
+        c.set_sharers(l(1), 0b1000);
+        assert_eq!(c.sharers(l(1)), 0b1000);
+        assert!(!c.add_sharer(l(9), 1), "absent line has no directory entry");
+        assert_eq!(c.sharers(l(9)), 0);
+        // Eviction reports the bitmap so the engine can back-invalidate.
+        c.fill(l(2), false, false, 0);
+        c.access(l(2), 0); // make l(1) the LRU victim
+        let ev = c.fill(l(3), false, false, 0).unwrap();
+        assert_eq!((ev.line, ev.sharers), (l(1), 0b1000));
+        // Invalidation clears the bitmap with the line.
+        c.set_sharers(l(2), 0b11);
+        c.invalidate(l(2));
+        c.fill(l(2), false, false, 0);
+        assert_eq!(c.sharers(l(2)), 0, "re-fill must not resurrect sharers");
+    }
+
+    #[test]
+    fn probe_dirty_and_clean() {
+        let mut c = small();
+        let l = LineAddr::new(0x80);
+        assert!(!c.probe_dirty(l));
+        assert!(!c.clean(l), "clean of absent line reports absence");
+        c.fill(l, true, false, 0);
+        assert!(c.probe_dirty(l));
+        assert!(c.clean(l));
+        assert!(!c.probe_dirty(l), "clean drops the dirty bit");
+        assert!(c.probe(l), "clean keeps the line resident");
     }
 
     #[test]

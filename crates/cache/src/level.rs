@@ -124,6 +124,10 @@ pub struct LevelStats {
     /// Requests rejected because every MSHR was in use (each triggers a
     /// retry in the hierarchy engine).
     pub mshr_rejections: u64,
+    /// Lines invalidated by coherence actions (remote-store
+    /// invalidations and inclusive-directory back-invalidations); zero
+    /// with coherence off.
+    pub invalidations: u64,
 }
 
 /// See [module docs](self).
@@ -245,6 +249,50 @@ impl<W> CacheLevel<W> {
             self.stats.dirty_evictions += 1;
         }
         ev
+    }
+
+    /// Invalidates `line` in `core`'s instance (a coherence action,
+    /// counted in [`LevelStats::invalidations`]); returns whether it was
+    /// present and, if so, whether it was dirty.
+    pub fn invalidate(&mut self, core: usize, line: LineAddr) -> Option<bool> {
+        let slot = self.slot(core);
+        let res = self.arrays[slot].invalidate(line);
+        if res.is_some() {
+            self.stats.invalidations += 1;
+        }
+        res
+    }
+
+    /// Whether `line` is resident *and* dirty in `core`'s instance
+    /// (directory probe; no replacement/counter side effects).
+    pub fn probe_dirty(&self, core: usize, line: LineAddr) -> bool {
+        self.arrays[self.slot(core)].probe_dirty(line)
+    }
+
+    /// Clears the dirty bit of a resident line in `core`'s instance
+    /// (M → S downgrade); returns whether it was present.
+    pub fn clean(&mut self, core: usize, line: LineAddr) -> bool {
+        let slot = self.slot(core);
+        self.arrays[slot].clean(line)
+    }
+
+    /// Sharer-directory bitmap of `line` (zero when absent). Meaningful
+    /// on a coherent shared level; `core` only selects the instance.
+    pub fn sharers(&self, core: usize, line: LineAddr) -> u64 {
+        self.arrays[self.slot(core)].sharers(line)
+    }
+
+    /// Adds `core_bit` to `line`'s sharer bitmap in `core`'s instance;
+    /// returns whether a directory entry (resident line) existed.
+    pub fn add_sharer(&mut self, core: usize, line: LineAddr, core_bit: usize) -> bool {
+        let slot = self.slot(core);
+        self.arrays[slot].add_sharer(line, core_bit)
+    }
+
+    /// Replaces `line`'s sharer bitmap wholesale.
+    pub fn set_sharers(&mut self, core: usize, line: LineAddr, sharers: u64) {
+        let slot = self.slot(core);
+        self.arrays[slot].set_sharers(line, sharers);
     }
 
     /// Registers a miss for `line` carrying `waiter` in `core`'s MSHR
@@ -371,6 +419,31 @@ mod tests {
         let ev = lv.fill(0, l(3), false, false, 0).expect("must evict");
         assert!(ev.dirty);
         assert_eq!(lv.stats().dirty_evictions, 1);
+    }
+
+    #[test]
+    fn invalidate_counts_and_reports_dirty() {
+        let mut lv: CacheLevel<()> = CacheLevel::new(LevelConfig::private(small_cfg()), 2);
+        let line = LineAddr::new(0x40);
+        lv.fill(1, line, true, false, 0);
+        assert_eq!(lv.invalidate(0, line), None, "core 0 never held it");
+        assert_eq!(lv.invalidate(1, line), Some(true));
+        assert!(!lv.probe(1, line));
+        assert_eq!(lv.stats().invalidations, 1, "only real kills counted");
+    }
+
+    #[test]
+    fn shared_level_directory_round_trip() {
+        let mut lv: CacheLevel<()> = CacheLevel::new(LevelConfig::shared(small_cfg()), 4);
+        let line = LineAddr::new(0x40);
+        lv.fill(2, line, false, false, 0);
+        assert!(lv.add_sharer(0, line, 2));
+        assert!(lv.add_sharer(1, line, 3));
+        assert_eq!(lv.sharers(3, line), 0b1100, "one directory for all cores");
+        lv.set_sharers(0, line, 0b1);
+        assert_eq!(lv.sharers(0, line), 0b1);
+        assert!(lv.probe_dirty(0, LineAddr::new(0x40)) == lv.probe_dirty(3, line));
+        assert!(lv.clean(0, line), "clean on resident line");
     }
 
     #[test]

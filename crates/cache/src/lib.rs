@@ -25,11 +25,13 @@
 //! ```
 
 pub mod array;
+pub mod coherence;
 pub mod level;
 pub mod mshr;
 pub mod replacement;
 
 pub use array::{AccessResult, CacheArray, CacheConfig, Evicted};
+pub use coherence::{CoherenceConfig, Mesi};
 pub use level::{CacheLevel, LevelConfig, LevelScope, LevelStats};
 pub use mshr::{MshrFull, MshrTable};
 pub use replacement::ReplacementKind;

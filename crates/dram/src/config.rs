@@ -26,6 +26,12 @@ pub struct DramConfig {
     pub tcas_ns: f64,
     /// Read-queue capacity per channel.
     pub rq_capacity: usize,
+    /// Write-queue capacity per channel. `None` — the historical default
+    /// — makes fire-and-forget writebacks claim *read*-queue slots (so a
+    /// writeback burst inflates demand-read queueing delay); `Some(n)`
+    /// gives writes their own n-slot pool, decoupling writeback drain
+    /// from read queueing (banks and the data bus are still shared).
+    pub wq_capacity: Option<usize>,
 }
 
 impl DramConfig {
@@ -43,6 +49,7 @@ impl DramConfig {
             trp_ns: 12.5,
             tcas_ns: 12.5,
             rq_capacity: 64,
+            wq_capacity: None,
         }
     }
 
@@ -59,6 +66,14 @@ impl DramConfig {
     pub fn with_mtps(mut self, mtps: u64) -> Self {
         assert!(mtps > 0);
         self.mtps = mtps;
+        self
+    }
+
+    /// Returns a copy with a dedicated per-channel write queue of
+    /// `slots` entries (see [`DramConfig::wq_capacity`]).
+    pub fn with_write_queue(mut self, slots: usize) -> Self {
+        assert!(slots > 0, "write queue needs at least one slot");
+        self.wq_capacity = Some(slots);
         self
     }
 
@@ -114,6 +129,9 @@ impl DramConfig {
         assert!(self.bus_bits > 0 && 512 % self.bus_bits == 0);
         assert!(self.mtps > 0);
         assert!(self.rq_capacity > 0);
+        if let Some(wq) = self.wq_capacity {
+            assert!(wq > 0, "wq_capacity, when set, must be nonzero");
+        }
     }
 }
 

@@ -87,6 +87,14 @@ pub struct DramStats {
     /// Completed Hermes reads that no demand ever claimed (dropped, the
     /// bandwidth cost of a false-positive prediction).
     pub hermes_dropped: u64,
+    /// Sum over write enqueues of queue slots already busy at arrival in
+    /// the pool serving writes (the dedicated write queue when
+    /// configured, the shared read queue otherwise) — divide by `writes`
+    /// for mean write-queue occupancy.
+    pub wq_occupancy_sum: u64,
+    /// Write enqueues that found every slot of their pool busy (the
+    /// write had to wait for a slot before even contending for a bank).
+    pub wq_full_stalls: u64,
 }
 
 impl DramStats {
@@ -105,6 +113,9 @@ pub struct MemoryController {
     bus_free: Vec<Cycle>,
     /// Per-channel read-queue slots: each holds the cycle it frees.
     rq_slots: Vec<Vec<Cycle>>,
+    /// Per-channel dedicated write-queue slots (empty inner vectors when
+    /// `wq_capacity` is unset and writes share the read queue).
+    wq_slots: Vec<Vec<Cycle>>,
     inflight: HashMap<u64, Inflight>,
     heap: BinaryHeap<Reverse<(Cycle, u64)>>,
     stats: DramStats,
@@ -119,6 +130,7 @@ impl MemoryController {
             banks: vec![Bank::default(); nbanks],
             bus_free: vec![0; cfg.channels],
             rq_slots: vec![vec![0; cfg.rq_capacity]; cfg.channels],
+            wq_slots: vec![vec![0; cfg.wq_capacity.unwrap_or(0)]; cfg.channels],
             inflight: HashMap::new(),
             heap: BinaryHeap::new(),
             stats: DramStats::default(),
@@ -148,13 +160,28 @@ impl MemoryController {
             now
         };
 
-        // Claim the earliest-free read-queue slot (finite queue => extra
-        // queueing delay when oversubscribed).
-        let slots = &mut self.rq_slots[loc.channel];
+        // Claim the earliest-free queue slot (finite queue => extra
+        // queueing delay when oversubscribed). Writes use their own pool
+        // when one is configured, so writeback bursts stop stealing
+        // demand-read slots; otherwise they share the read queue
+        // (historical behaviour).
+        let dedicated_wq = is_write && !self.wq_slots[loc.channel].is_empty();
+        let slots = if dedicated_wq {
+            &mut self.wq_slots[loc.channel]
+        } else {
+            &mut self.rq_slots[loc.channel]
+        };
+        if is_write {
+            let busy = slots.iter().filter(|c| **c > arrival).count() as u64;
+            self.stats.wq_occupancy_sum += busy;
+            if busy as usize == slots.len() {
+                self.stats.wq_full_stalls += 1;
+            }
+        }
         let slot = slots
             .iter_mut()
             .min_by_key(|c| **c)
-            .expect("rq_capacity validated nonzero");
+            .expect("queue capacity validated nonzero");
         let start = arrival.max(*slot);
 
         let bank = &mut self.banks[loc.channel * self.cfg.banks_per_channel() + loc.bank];
@@ -495,6 +522,72 @@ mod tests {
             .completes_at;
         assert!(after > before, "writes should delay subsequent reads");
         assert_eq!(m2.stats().writes, 16);
+    }
+
+    #[test]
+    fn dedicated_write_queue_shields_demand_reads_from_writeback_storms() {
+        // Historical behaviour: fire-and-forget writebacks funnel through
+        // the shared read-queue slots, so a storm of them starves an
+        // unrelated demand read. With a dedicated write queue the read
+        // claims a free read slot immediately and pays at most bank/bus
+        // contention.
+        let small_rq = DramConfig {
+            rq_capacity: 2,
+            ..DramConfig::single_core()
+        };
+        let shared = small_rq.clone();
+        let split = small_rq.with_write_queue(16);
+        let cfg = DramConfig::single_core();
+        let lpr = cfg.lines_per_row();
+        let storm: Vec<LineAddr> = (1..13u64)
+            .map(|i| LineAddr::new(i * lpr)) // distinct banks/rows
+            .collect();
+        let read_line = LineAddr::new(7 * lpr + 5); // bank untouched late
+        let run = |cfg: DramConfig| {
+            let mut m = MemoryController::new(cfg);
+            for &w in &storm {
+                m.enqueue_write(w, 0);
+            }
+            m.enqueue_read(read_line, 0, ReqKind::Demand).completes_at
+        };
+        let with_shared = run(shared);
+        let with_split = run(split);
+        assert!(
+            with_split < with_shared,
+            "write queue must stop writebacks delaying reads: {with_split} vs {with_shared}"
+        );
+        // The shielded read pays only bank/bus tail-contention (the
+        // write-deferral window plus one burst per storm write on the
+        // shared bus), never the storm's full slot-queueing serialisation.
+        let bus_tail = 4 * cfg.tburst() + storm.len() as u64 * cfg.tburst();
+        assert!(
+            with_split <= cfg.trcd() + cfg.tcas() + cfg.tburst() + bus_tail + cfg.trp(),
+            "read behind a write queue should pay at most bus tail ({with_split})"
+        );
+        assert!(
+            with_split * 2 < with_shared,
+            "slot starvation should dominate the shared-queue delay: \
+             {with_split} vs {with_shared}"
+        );
+    }
+
+    #[test]
+    fn write_queue_occupancy_counted() {
+        let mut m = MemoryController::new(DramConfig::single_core().with_write_queue(2));
+        for i in 0..4u64 {
+            m.enqueue_write(LineAddr::new(1000 + i * 1097), 0);
+        }
+        let s = *m.stats();
+        assert_eq!(s.writes, 4);
+        // 1st write: 0 busy; 2nd: 1; 3rd and 4th: both slots busy.
+        assert_eq!(s.wq_occupancy_sum, 1 + 2 + 2);
+        assert_eq!(s.wq_full_stalls, 2);
+        // The shared-queue mode counts against the read queue instead.
+        let mut shared = MemoryController::new(DramConfig::single_core());
+        shared.enqueue_write(LineAddr::new(1), 0);
+        assert_eq!(shared.stats().wq_occupancy_sum, 0);
+        shared.enqueue_write(LineAddr::new(2), 0);
+        assert_eq!(shared.stats().wq_occupancy_sum, 1);
     }
 
     #[test]

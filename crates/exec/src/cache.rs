@@ -34,8 +34,11 @@ use crate::Provenance;
 /// `SystemConfig` grew fields, changing every config fingerprint — the
 /// bump keeps the orphaned v2 entries out of the way); v4 adds the
 /// address-translation subsystem (`SystemConfig::vm` enters every
-/// fingerprint and `RunLite` grew the dTLB/STLB/walk fields).
-pub const CACHE_SCHEMA_VERSION: u32 = 4;
+/// fingerprint and `RunLite` grew the dTLB/STLB/walk fields); v5 adds
+/// MESI coherence (`SystemConfig::coherence` enters every fingerprint,
+/// `RunLite` grew the coherence-traffic fields, and the writeback-path
+/// TTP-training fix legitimately moved TTP-predictor results).
+pub const CACHE_SCHEMA_VERSION: u32 = 5;
 
 /// How long a lock file may sit untouched before a waiter assumes its
 /// owner died and breaks it. Generous: a legitimate `--full` eight-core

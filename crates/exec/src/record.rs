@@ -52,13 +52,20 @@ pub struct RunLite {
     pub stlb_mpki: f64,
     /// Average page-walk latency in cycles.
     pub walk_cycles: f64,
+    /// Coherence write-permission upgrades per core (mean; zero with
+    /// `coherence: None`).
+    pub coh_upgrades: f64,
+    /// Remote copies invalidated by this core's stores (mean per core).
+    pub coh_invalidations: f64,
+    /// Dirty interventions served to this core (mean per core).
+    pub coh_dirty_forwards: f64,
     /// Measured cycles.
     pub cycles: f64,
 }
 
 /// Field order used by both the `key=value` cache format and the JSON
 /// manifest, so the two never drift apart.
-pub(crate) const FIELDS: [&str; 20] = [
+pub(crate) const FIELDS: [&str; 23] = [
     "ipc",
     "llc_mpki",
     "offchip_rate",
@@ -78,6 +85,9 @@ pub(crate) const FIELDS: [&str; 20] = [
     "dtlb_mpki",
     "stlb_mpki",
     "walk_cycles",
+    "coh_upgrades",
+    "coh_invalidations",
+    "coh_dirty_forwards",
     "cycles",
 ];
 
@@ -109,6 +119,9 @@ impl RunLite {
             dtlb_mpki: mean(&|c| c.dtlb_mpki()),
             stlb_mpki: mean(&|c| c.stlb_mpki()),
             walk_cycles: mean(&|c| c.avg_walk_cycles()),
+            coh_upgrades: mean(&|c| c.hier.coh_upgrades as f64),
+            coh_invalidations: mean(&|c| c.hier.coh_invalidations as f64),
+            coh_dirty_forwards: mean(&|c| c.hier.coh_dirty_forwards as f64),
             cycles: r.total_cycles as f64,
         }
     }
@@ -135,6 +148,9 @@ impl RunLite {
             "dtlb_mpki" => self.dtlb_mpki,
             "stlb_mpki" => self.stlb_mpki,
             "walk_cycles" => self.walk_cycles,
+            "coh_upgrades" => self.coh_upgrades,
+            "coh_invalidations" => self.coh_invalidations,
+            "coh_dirty_forwards" => self.coh_dirty_forwards,
             "cycles" => self.cycles,
             _ => unreachable!("unknown field {field}"),
         }
@@ -161,6 +177,9 @@ impl RunLite {
             "dtlb_mpki" => self.dtlb_mpki = v,
             "stlb_mpki" => self.stlb_mpki = v,
             "walk_cycles" => self.walk_cycles = v,
+            "coh_upgrades" => self.coh_upgrades = v,
+            "coh_invalidations" => self.coh_invalidations = v,
+            "coh_dirty_forwards" => self.coh_dirty_forwards = v,
             "cycles" => self.cycles = v,
             _ => return false,
         }
@@ -233,6 +252,9 @@ mod tests {
             dtlb_mpki: 3.5,
             stlb_mpki: 1.25,
             walk_cycles: 42.0,
+            coh_upgrades: 7.0,
+            coh_invalidations: 11.0,
+            coh_dirty_forwards: 2.5,
             cycles: 123.0,
         };
         let back = RunLite::from_kv(&r.to_kv()).unwrap();

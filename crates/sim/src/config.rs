@@ -3,7 +3,7 @@
 //! N-level cache topologies via [`LevelConfig`].
 
 use hermes::{HermesConfig, PopetConfig};
-use hermes_cache::{CacheConfig, LevelConfig, LevelScope, ReplacementKind};
+use hermes_cache::{CacheConfig, CoherenceConfig, LevelConfig, LevelScope, ReplacementKind};
 use hermes_cpu::CoreConfig;
 use hermes_dram::DramConfig;
 use hermes_prefetch::PrefetcherKind;
@@ -41,6 +41,21 @@ pub struct SystemConfig {
     /// through this very cache hierarchy, and Hermes's speculative DRAM
     /// read cannot issue before the physical address is known.
     pub vm: Option<VmConfig>,
+    /// Directory-style MESI coherence at the shared last level. `None` —
+    /// the default everywhere — keeps the historical coherence-free
+    /// hierarchy, bit-identical to the pre-coherence simulator (safe as
+    /// long as cores touch disjoint physical footprints, which every
+    /// non-sharing workload guarantees by construction). `Some` makes
+    /// stores acquire write permission: an inclusive sharer directory
+    /// piggybacks on the shared level's tags, store hits on Shared lines
+    /// pay a directory round trip that invalidates remote copies, reads
+    /// of remotely-Modified lines pay a dirty intervention, and shared-
+    /// level evictions back-invalidate private copies to keep the
+    /// directory inclusive. Requires every level but the last to be
+    /// core-private. On a single core the protocol is vacuous (every
+    /// line is trivially exclusive) and the simulation stays
+    /// cycle-exact with `None`.
+    pub coherence: Option<CoherenceConfig>,
     /// Data prefetcher at the last cache level (one instance per core).
     pub prefetcher: PrefetcherKind,
     /// Hermes configuration.
@@ -73,6 +88,7 @@ impl SystemConfig {
             levels: None,
             dram: DramConfig::single_core(),
             vm: None,
+            coherence: None,
             prefetcher: PrefetcherKind::Pythia,
             hermes: HermesConfig::disabled(),
             popet: PopetConfig::paper(),
@@ -165,6 +181,13 @@ impl SystemConfig {
     /// Enables the address-translation subsystem (TLB-pressure sweeps).
     pub fn with_vm(mut self, vm: VmConfig) -> Self {
         self.vm = Some(vm);
+        self
+    }
+
+    /// Enables directory-MESI coherence at the shared last level
+    /// (required for any workload with inter-core shared data).
+    pub fn with_coherence(mut self, coherence: CoherenceConfig) -> Self {
+        self.coherence = Some(coherence);
         self
     }
 
@@ -263,6 +286,16 @@ impl SystemConfig {
         for l in &levels {
             // Geometry checks (set counts, scaling) panic on bad shapes.
             let _ = l.instantiated(self.cores);
+        }
+        if let Some(coh) = &self.coherence {
+            coh.validate(self.cores);
+            assert!(
+                levels[..levels.len() - 1]
+                    .iter()
+                    .all(|l| l.scope == LevelScope::Private),
+                "coherence requires every level but the last to be core-private \
+                 (the sharer directory tracks private copies only)"
+            );
         }
     }
 }
@@ -412,6 +445,31 @@ mod tests {
         let base = SystemConfig::baseline_1c();
         base.clone()
             .with_levels(vec![LevelConfig::shared(base.llc_per_core.clone())])
+            .validate();
+    }
+
+    #[test]
+    fn coherence_config_attaches_and_validates() {
+        let c = SystemConfig::baseline_8c().with_coherence(CoherenceConfig::baseline());
+        assert!(c.coherence.is_some());
+        c.validate();
+        assert!(
+            SystemConfig::baseline_1c().coherence.is_none(),
+            "coherence off by default"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "core-private")]
+    fn coherence_with_shared_mid_level_rejected() {
+        let base = SystemConfig::baseline_1c();
+        base.clone()
+            .with_levels(vec![
+                LevelConfig::private(base.l1.clone()),
+                LevelConfig::shared(base.l2.clone()),
+                LevelConfig::shared(base.llc_per_core.clone()),
+            ])
+            .with_coherence(CoherenceConfig::baseline())
             .validate();
     }
 

@@ -50,6 +50,33 @@
 //! last-level eviction; the active prefetcher observes last-level demand
 //! accesses and receives usefulness feedback.
 //!
+//! ## Coherence
+//!
+//! With [`SystemConfig::coherence`] unset the hierarchy is coherence-free
+//! — correct only while cores touch disjoint physical lines, which every
+//! historical workload guarantees — and bit-identical to the
+//! pre-coherence simulator. With a [`hermes_cache::CoherenceConfig`], a
+//! directory-style MESI protocol runs at the shared last level:
+//!
+//! * the last level's tags carry an **inclusive sharer directory** (a
+//!   per-line core bitmap), updated as fills travel toward cores;
+//! * a **store hit** on a line with remote sharers sends a
+//!   write-permission upgrade through the event queue (the
+//!   `inv_latency` round trip) and invalidates the remote copies; a
+//!   **store miss** piggybacks its invalidations on the fetch (RFO);
+//! * a **read** of a line a remote core holds Modified pays a dirty
+//!   intervention: the owner is downgraded, the shared level absorbs the
+//!   dirty data, and the requester waits the same round-trip latency;
+//! * a shared-level **eviction back-invalidates** every private copy so
+//!   the directory stays inclusive, and a fill that races such a
+//!   back-invalidation delivers data without caching it.
+//!
+//! MESI states are derived, not stored: Modified = dirty private copy,
+//! Exclusive/Shared = clean copy with/without the directory listing other
+//! cores. Directory bits may over-approximate after silent clean private
+//! evictions (resolved by spurious invalidations), never
+//! under-approximate.
+//!
 //! ## Address translation
 //!
 //! With `SystemConfig::vm` unset, translation is the historical free
@@ -95,7 +122,7 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use hermes::{
     Hmp, LoadContext, OffChipPredictor, Popet, Prediction, PredictorKind, PredictorStats, Ttp,
 };
-use hermes_cache::{CacheLevel, LevelStats};
+use hermes_cache::{CacheLevel, LevelStats, Mesi};
 use hermes_cpu::{LoadIssue, MemoryPort, ServedBy, StoreIssue};
 use hermes_dram::{Completion, MemoryController, ReqKind};
 use hermes_prefetch::{self as pf, AccessCtx, PrefetchReq, Prefetcher};
@@ -117,8 +144,13 @@ const PF_MSHR_RESERVE: usize = 8;
 #[derive(Debug, Clone, Copy)]
 enum Waiter {
     /// First level: a core access awaiting data. `token` is `None` for
-    /// stores (write-allocate fetches).
-    Request { token: Option<u64>, is_store: bool },
+    /// stores (write-allocate fetches); `pc` re-issues the access when a
+    /// coherence upgrade loses its race.
+    Request {
+        token: Option<u64>,
+        is_store: bool,
+        pc: u64,
+    },
     /// Intermediate level: a merged request chain from `core`, resumed
     /// towards the core when the fill arrives.
     Merge { core: usize },
@@ -159,6 +191,23 @@ enum Ev {
     /// PTE access, or complete the translation when none remain.
     WalkStep {
         walk: u64,
+    },
+    /// Coherence: a store hit on a Shared line finished its directory
+    /// round trip — invalidate remote copies and take write permission
+    /// (or, if the copy was lost while the request travelled, redo the
+    /// store access).
+    Upgrade {
+        core: usize,
+        line: LineAddr,
+        pc: u64,
+    },
+    /// Coherence: a last-level hit whose data had to be forwarded out of
+    /// a remote Modified copy (dirty intervention) resumes its descent
+    /// toward the requester after the intervention latency.
+    CohResume {
+        core: usize,
+        line: LineAddr,
+        served: ServedBy,
     },
 }
 
@@ -259,6 +308,20 @@ pub struct CoreHierStats {
     pub walk_mem_accesses: u64,
     /// Radix levels skipped thanks to the page-walk cache.
     pub pwc_levels_skipped: u64,
+    /// Coherence: write-permission upgrades this core's stores paid a
+    /// directory round trip for (store hit on a Shared line). Zero with
+    /// `coherence: None`.
+    pub coh_upgrades: u64,
+    /// Coherence: remote private copies actually invalidated on behalf
+    /// of this core's stores (upgrades and store-miss RFOs).
+    pub coh_invalidations: u64,
+    /// Coherence: dirty interventions serving this core — a remote
+    /// Modified copy forwarded through the shared level to satisfy this
+    /// core's load or store.
+    pub coh_dirty_forwards: u64,
+    /// Coherence: this core's private copies killed by inclusive-
+    /// directory back-invalidation (the shared level evicted the line).
+    pub coh_back_invalidations: u64,
 }
 
 /// Parameters of one lookup travelling the stack ([`Ev::Lookup`] minus
@@ -393,6 +456,10 @@ pub struct Hierarchy {
     /// nothing-due test for `tick` and the retry term of
     /// [`Hierarchy::next_event_at`].
     retry_min: Cycle,
+    /// Write-permission upgrades in flight, keyed by (core, line): a
+    /// second store to the same line while one travels is subsumed by it
+    /// instead of spawning a duplicate directory transaction.
+    pending_upgrades: std::collections::HashSet<(usize, LineAddr)>,
     /// Translation subsystem; `None` = historical free translation.
     vm: Option<VmFrontend>,
 }
@@ -412,6 +479,19 @@ fn key(core: usize, token: u64) -> u64 {
 
 fn pc_sig(pc: u64) -> u16 {
     (hermes_types::mix64(pc) & 0x3FFF) as u16
+}
+
+/// Iterates the set bit positions of a sharer bitmap.
+fn sharer_bits(mut mask: u64) -> impl Iterator<Item = usize> {
+    std::iter::from_fn(move || {
+        if mask == 0 {
+            None
+        } else {
+            let i = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            Some(i)
+        }
+    })
 }
 
 impl Hierarchy {
@@ -451,6 +531,7 @@ impl Hierarchy {
             pf_buf: Vec::new(),
             retries: Vec::new(),
             retry_min: Cycle::MAX,
+            pending_upgrades: std::collections::HashSet::new(),
             vm: cfg.vm.as_ref().map(|v| VmFrontend::new(v, n)),
             cfg,
         }
@@ -625,7 +706,15 @@ impl Hierarchy {
         let res = self.levels[0].access(core, line, pc_sig(pc));
         if res.hit {
             if is_store {
-                self.levels[0].mark_dirty(core, line);
+                if self.needs_write_permission(core, line) {
+                    // Store hit on a Shared line: blind `mark_dirty`
+                    // would silently corrupt remote copies. Request
+                    // write permission from the directory; the remote
+                    // invalidations land after the round-trip latency.
+                    self.request_upgrade(core, line, pc, now);
+                } else {
+                    self.levels[0].mark_dirty(core, line);
+                }
             }
             if let Some(tok) = token {
                 let at = now + self.levels[0].latency() as Cycle;
@@ -640,7 +729,16 @@ impl Hierarchy {
             }
             return;
         }
-        match self.levels[0].mshr_allocate(core, line, Waiter::Request { token, is_store }, false) {
+        match self.levels[0].mshr_allocate(
+            core,
+            line,
+            Waiter::Request {
+                token,
+                is_store,
+                pc,
+            },
+            false,
+        ) {
             Ok(true) => {
                 let at = now + (self.levels[0].latency() + self.levels[1].latency()) as Cycle;
                 self.schedule(
@@ -937,7 +1035,16 @@ impl Hierarchy {
         }
 
         if res.hit {
-            self.descend(last, core, line, self.served_at(last), now);
+            let served = self.served_at(last);
+            if let Some(delay) = self.coh_read_intervention(core, line) {
+                // The data lives in a remote Modified copy: it is
+                // downgraded and forwarded through this level, and the
+                // requester's descent resumes after the intervention
+                // latency (through the normal event queue).
+                self.schedule(now + delay, Ev::CohResume { core, line, served });
+            } else {
+                self.descend(last, core, line, served, now);
+            }
             return;
         }
         if !retried && !walk {
@@ -999,25 +1106,55 @@ impl Hierarchy {
     }
 
     /// Fills the last level, handling eviction side effects (writeback to
-    /// DRAM, prefetcher and TTP notifications).
-    fn fill_last(&mut self, line: LineAddr, dirty: bool, prefetched: bool, sig: u16, now: Cycle) {
+    /// DRAM, inclusive-directory back-invalidation, prefetcher and TTP
+    /// notifications). `writeback` marks a fill whose data came *up* from
+    /// a private level's dirty victim, not down toward a core.
+    fn fill_last(
+        &mut self,
+        line: LineAddr,
+        dirty: bool,
+        prefetched: bool,
+        sig: u16,
+        now: Cycle,
+        writeback: bool,
+    ) {
         let last = self.last();
         if let Some(ev) = self.levels[last].fill(0, line, dirty, prefetched, sig) {
+            let mut ev_dirty = ev.dirty;
+            if ev.sharers != 0 {
+                // Inclusive directory: the shared level is dropping the
+                // line, so every private copy must die with it; a
+                // Modified private copy merges into this writeback.
+                for c in sharer_bits(ev.sharers) {
+                    let mut held = false;
+                    for lvl in 0..last {
+                        if let Some(d) = self.levels[lvl].invalidate(c, ev.line) {
+                            held = true;
+                            ev_dirty |= d;
+                        }
+                    }
+                    if held {
+                        self.stats[c].coh_back_invalidations += 1;
+                    }
+                }
+            }
             if ev.was_unused_prefetch {
                 for p in &mut self.prefetchers {
                     p.on_unused_eviction(ev.line);
                 }
             }
             self.notify_llc_eviction(ev.line);
-            if ev.dirty {
+            if ev_dirty {
                 self.dram.enqueue_write(ev.line, now);
             }
         }
         // TTP is a core-side structure (§7.2): it observes fills returning
-        // to the core, not prefetch fills happening inside the LLC. This
+        // to the core, not prefetch fills happening inside the LLC (this
         // blindness to prefetched lines is precisely what destroys its
-        // accuracy under a high-coverage prefetcher (paper Fig. 9).
-        if !prefetched {
+        // accuracy under a high-coverage prefetcher, paper Fig. 9) — and
+        // not dirty victims written back *into* the LLC either, which
+        // never pass the core on their way out.
+        if !prefetched && !writeback {
             for c in 0..self.cfg.cores {
                 self.notify_fill(c, line);
             }
@@ -1043,9 +1180,130 @@ impl Hierarchy {
             return;
         }
         if level == self.last() {
-            self.fill_last(line, true, false, 0, now);
+            self.fill_last(line, true, false, 0, now, true);
         } else {
             self.fill_mid(level, core, line, true, now);
+        }
+    }
+
+    /// Whether the coherence protocol is active: configured *and* more
+    /// than one core exists. On a single core every line is trivially
+    /// exclusive, so the protocol is vacuous — skipping it keeps
+    /// single-core `coherence: Some` cycle-exact with `None` (no
+    /// inclusive back-invalidations of the only core's hot lines).
+    fn coh_active(&self) -> bool {
+        self.cfg.coherence.is_some() && self.cfg.cores > 1
+    }
+
+    /// Whether a store hit must pay a directory round trip before
+    /// dirtying the line: coherence is active and the directory lists
+    /// sharers other than `core`.
+    fn needs_write_permission(&self, core: usize, line: LineAddr) -> bool {
+        if !self.coh_active() {
+            return false;
+        }
+        let sharers = self.levels[self.last()].sharers(0, line);
+        sharers & !(1 << core) != 0
+    }
+
+    /// Whether a fill travelling toward a core may populate private
+    /// levels: always with coherence inactive; with it active only while
+    /// the shared level still holds the line (its tags carry the sharer
+    /// directory, so caching a line without a directory entry would make
+    /// the copy invisible to invalidations). A fill racing a
+    /// back-invalidation delivers its data to the waiting core but
+    /// caches nothing.
+    fn coh_fill_allowed(&self, line: LineAddr) -> bool {
+        !self.coh_active() || self.levels[self.last()].probe(0, line)
+    }
+
+    /// Invalidates every remote private copy of `line` on behalf of
+    /// `requester`'s store and rewrites the directory to the sole new
+    /// owner. A remote Modified copy is forwarded: its data is absorbed
+    /// by the shared level (dirty) on its way to the requester.
+    fn kill_remote_copies(&mut self, requester: usize, line: LineAddr) {
+        let last = self.last();
+        let remote = self.levels[last].sharers(0, line) & !(1 << requester);
+        let mut invals = 0;
+        let mut forwards = 0;
+        for c in sharer_bits(remote) {
+            let mut held = false;
+            let mut dirty = false;
+            for lvl in 0..last {
+                if let Some(d) = self.levels[lvl].invalidate(c, line) {
+                    held = true;
+                    dirty |= d;
+                }
+            }
+            if held {
+                invals += 1;
+            }
+            if dirty {
+                self.levels[last].mark_dirty(0, line);
+                forwards += 1;
+            }
+        }
+        self.levels[last].set_sharers(0, line, 1 << requester);
+        self.stats[requester].coh_invalidations += invals;
+        self.stats[requester].coh_dirty_forwards += forwards;
+    }
+
+    /// Downgrades a remote Modified copy of `line` to Shared on behalf
+    /// of `core`'s read: the dirty data moves into the shared level and
+    /// the forward is counted for the requester. Returns whether an
+    /// owner was downgraded.
+    fn downgrade_remote_modified(&mut self, core: usize, line: LineAddr) -> bool {
+        let last = self.last();
+        let remote = self.levels[last].sharers(0, line) & !(1 << core);
+        for c in sharer_bits(remote) {
+            if (0..last).any(|lvl| self.levels[lvl].probe_dirty(c, line)) {
+                for lvl in 0..last {
+                    self.levels[lvl].clean(c, line);
+                }
+                self.levels[last].mark_dirty(0, line);
+                self.stats[core].coh_dirty_forwards += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Read-side dirty-intervention check at the shared level: if a
+    /// remote core holds `line` Modified, downgrade it to Shared (the
+    /// data moves into the shared level) and return the intervention
+    /// latency the requester must wait; `None` when the read can be
+    /// served in place.
+    fn coh_read_intervention(&mut self, core: usize, line: LineAddr) -> Option<Cycle> {
+        if !self.coh_active() {
+            return None;
+        }
+        let lat = self.cfg.coherence.as_ref().expect("active").inv_latency as Cycle;
+        self.downgrade_remote_modified(core, line).then_some(lat)
+    }
+
+    /// Sends a write-permission upgrade for `core`'s store to the
+    /// directory, resolving after the round-trip latency. Stores to a
+    /// line whose upgrade is already in flight are subsumed by it (one
+    /// logical transaction, counted once).
+    fn request_upgrade(&mut self, core: usize, line: LineAddr, pc: u64, now: Cycle) {
+        if !self.pending_upgrades.insert((core, line)) {
+            return;
+        }
+        self.stats[core].coh_upgrades += 1;
+        let lat = self.cfg.coherence.as_ref().expect("coh_active").inv_latency;
+        self.schedule(now + lat as Cycle, Ev::Upgrade { core, line, pc });
+    }
+
+    /// A store's write permission resolved (see [`Ev::Upgrade`]): take
+    /// ownership if the copy survived the round trip, otherwise redo the
+    /// whole store access (it will miss or re-request).
+    fn handle_upgrade(&mut self, core: usize, line: LineAddr, pc: u64, now: Cycle) {
+        self.pending_upgrades.remove(&(core, line));
+        if self.levels[0].probe(core, line) {
+            self.kill_remote_copies(core, line);
+            self.levels[0].mark_dirty(core, line);
+        } else {
+            self.access_first(core, line, None, true, pc, now);
         }
     }
 
@@ -1073,7 +1331,9 @@ impl Hierarchy {
             self.complete_first_path(core, line, served, now);
             return;
         }
-        self.fill_mid(level, core, line, false, now);
+        if self.coh_fill_allowed(line) {
+            self.fill_mid(level, core, line, false, now);
+        }
         let completed = self.levels[level].mshr_complete(core, line);
         debug_assert!(
             completed.is_some(),
@@ -1097,15 +1357,49 @@ impl Hierarchy {
         let Some((waiters, _)) = self.levels[0].mshr_complete(core, line) else {
             return;
         };
-        let any_store = waiters
-            .iter()
-            .any(|w| matches!(w, Waiter::Request { is_store: true, .. }));
-        if let Some(ev) = self.levels[0].fill(core, line, any_store, false, 0) {
-            if ev.dirty {
-                self.writeback(1, core, ev.line, now);
+        let store_pc = waiters.iter().find_map(|w| match w {
+            Waiter::Request {
+                is_store: true, pc, ..
+            } => Some(*pc),
+            _ => None,
+        });
+        let any_store = store_pc.is_some();
+        if self.coh_fill_allowed(line) {
+            // A store whose data came out of this core's *own private
+            // mid level* never visited the directory, so its write
+            // permission still costs the upgrade round trip — the line
+            // fills clean for now and is dirtied when the upgrade
+            // resolves. Stores served by the shared level or DRAM
+            // carried their RFO with the request and take ownership
+            // immediately (the invalidations overlapped the fetch).
+            let deferred_upgrade =
+                any_store && served == ServedBy::L2 && self.needs_write_permission(core, line);
+            if let Some(ev) =
+                self.levels[0].fill(core, line, any_store && !deferred_upgrade, false, 0)
+            {
+                if ev.dirty {
+                    self.writeback(1, core, ev.line, now);
+                }
+            }
+            self.notify_fill(core, line);
+            if self.coh_active() {
+                let last = self.last();
+                self.levels[last].add_sharer(0, line, core);
+                if deferred_upgrade {
+                    self.request_upgrade(core, line, store_pc.expect("store"), now);
+                } else if any_store {
+                    self.kill_remote_copies(core, line);
+                } else {
+                    // A racing RFO that merged into the same outstanding
+                    // miss may have granted another core ownership before
+                    // this load's chain resumed; serialise the load after
+                    // that store by downgrading the owner (the forward
+                    // rides the same memory round trip — no extra
+                    // latency).
+                    self.downgrade_remote_modified(core, line);
+                }
             }
         }
-        self.notify_fill(core, line);
         for w in waiters {
             match w {
                 Waiter::Request {
@@ -1128,7 +1422,7 @@ impl Hierarchy {
                     _ => None,
                 })
                 .unwrap_or(0);
-            self.fill_last(c.line, false, prefetch_only, sig, now);
+            self.fill_last(c.line, false, prefetch_only, sig, now, false);
             for w in waiters {
                 if let Waiter::Demand { core, .. } = w {
                     self.fill_and_resume(last - 1, core, c.line, ServedBy::Dram, now);
@@ -1179,6 +1473,11 @@ impl Hierarchy {
                 self.finish_demand(core, token, served, now);
             }
             Ev::WalkStep { walk } => self.walk_advance(walk, now),
+            Ev::Upgrade { core, line, pc } => self.handle_upgrade(core, line, pc, now),
+            Ev::CohResume { core, line, served } => {
+                let last = self.last();
+                self.descend(last, core, line, served, now);
+            }
         }
     }
 
@@ -1237,6 +1536,61 @@ impl Hierarchy {
     /// for `core`.
     pub fn present_anywhere(&self, core: usize, line: LineAddr) -> bool {
         self.levels.iter().any(|l| l.probe(core, line))
+    }
+
+    /// Oracle visibility for tests: whether `core` holds `line` in any
+    /// *private* level (the levels the sharer directory tracks).
+    pub fn privately_held(&self, core: usize, line: LineAddr) -> bool {
+        (0..self.last()).any(|lvl| self.levels[lvl].probe(core, line))
+    }
+
+    /// Oracle visibility for tests: the derived MESI state of `line` in
+    /// `core`'s private hierarchy (see [`hermes_cache::coherence`] for
+    /// the derivation). Meaningful with coherence enabled; with it off
+    /// every resident line reads as Exclusive/Modified because no
+    /// directory entry ever lists other sharers.
+    pub fn mesi_state(&self, core: usize, line: LineAddr) -> Mesi {
+        let last = self.last();
+        let mut present = false;
+        let mut dirty = false;
+        for lvl in 0..last {
+            if self.levels[lvl].probe(core, line) {
+                present = true;
+                dirty |= self.levels[lvl].probe_dirty(core, line);
+            }
+        }
+        if !present {
+            Mesi::Invalid
+        } else if dirty {
+            Mesi::Modified
+        } else if self.levels[last].sharers(0, line) & !(1 << core) == 0 {
+            Mesi::Exclusive
+        } else {
+            Mesi::Shared
+        }
+    }
+
+    /// Oracle visibility for tests: the sharer-directory bitmap the
+    /// shared last level holds for `line` (zero when untracked).
+    pub fn directory_sharers(&self, line: LineAddr) -> u64 {
+        self.levels[self.last()].sharers(0, line)
+    }
+
+    /// Oracle visibility for tests: whether the shared last level holds
+    /// `line` at all.
+    pub fn llc_holds(&self, line: LineAddr) -> bool {
+        self.levels[self.last()].probe(0, line)
+    }
+
+    /// Oracle visibility for tests: whether `core`'s off-chip predictor
+    /// is TTP and currently tracks `line` as on-chip (`None` when the
+    /// predictor is not TTP). Pins the writeback-path training fix: a
+    /// dirty victim written back into the LLC must not re-enter TTP.
+    pub fn ttp_tracks(&self, core: usize, line: LineAddr) -> Option<bool> {
+        match &self.predictors[core] {
+            PredictorImpl::Ttp(t) => Some(t.contains(line)),
+            _ => None,
+        }
     }
 
     /// Translations currently in flight (page walks plus STLB refills);

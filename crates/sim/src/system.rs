@@ -37,7 +37,10 @@ impl System {
         let cores = (0..cfg.cores)
             .map(|i| {
                 let spec = &workloads[i % workloads.len()];
-                Core::new(i, cfg.core.clone(), spec.build())
+                // Core-aware instantiation: sharing generators derive a
+                // role/lane from the index; every historical generator
+                // ignores it, keeping homogeneous mixes bit-identical.
+                Core::new(i, cfg.core.clone(), spec.build_for(i))
             })
             .collect();
         let specs: Vec<WorkloadSpec> = (0..cfg.cores)

@@ -8,6 +8,14 @@
 //! allocator does, and costs no memory. Translation latency is folded
 //! into the L1 latency, mirroring the paper's observation that the TLB is
 //! accessed in parallel with the L1 (§3.1).
+//!
+//! Addresses in the shared virtual region
+//! ([`hermes_types::SHARED_BASE`] and above) drop the per-core salt, so
+//! every core maps them to the *same* physical frame — the convention the
+//! sharing-aware workload generators use to build genuinely shared data
+//! structures (with coherence handled by the hierarchy when enabled). No
+//! historical workload touches that region, so results below it are
+//! unchanged.
 
 use hermes_types::{mix64, CoreId, PhysAddr, VirtAddr};
 
@@ -34,7 +42,14 @@ const FRAME_BITS: u32 = 36;
 #[inline]
 pub fn translate(core: CoreId, vaddr: VirtAddr) -> PhysAddr {
     let vpn = vaddr.page_number();
-    let pfn = mix64(vpn ^ ((core as u64 + 1) << 57)) & ((1 << FRAME_BITS) - 1);
+    // Shared-region pages drop the per-core salt (no core uses salt 0),
+    // giving every core the identical frame.
+    let salt = if vaddr.is_shared() {
+        0
+    } else {
+        (core as u64 + 1) << 57
+    };
+    let pfn = mix64(vpn ^ salt) & ((1 << FRAME_BITS) - 1);
     PhysAddr::from_frame(pfn, vaddr.offset_in_page())
 }
 
@@ -70,5 +85,14 @@ mod tests {
         let frames: std::collections::HashSet<u64> =
             (0..8).map(|c| translate(c, v).page_number()).collect();
         assert_eq!(frames.len(), 8);
+    }
+
+    #[test]
+    fn shared_region_maps_identically_for_all_cores() {
+        let v = VirtAddr::new(hermes_types::SHARED_BASE + 0x1234_5678);
+        let frames: std::collections::HashSet<u64> =
+            (0..8).map(|c| translate(c, v).page_number()).collect();
+        assert_eq!(frames.len(), 1, "shared pages must alias across cores");
+        assert_eq!(translate(0, v).offset_in_page(), v.offset_in_page());
     }
 }

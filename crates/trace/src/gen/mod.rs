@@ -12,6 +12,7 @@ pub mod mixed;
 pub mod pointer_chase;
 pub mod random_access;
 pub mod server;
+pub mod sharing;
 pub mod stencil;
 pub mod stream;
 pub mod streamcluster;
@@ -85,6 +86,46 @@ impl Layout {
 }
 
 impl Default for Layout {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Layout of the *inter-core shared* address space: same region
+/// carving as [`Layout`], rooted at [`hermes_types::SHARED_BASE`], where
+/// every core's translation maps a page to the identical physical frame.
+/// Only the sharing-aware generators allocate here; simulating these
+/// workloads on multiple cores honestly requires
+/// `SystemConfig::coherence` to be enabled.
+#[derive(Debug, Clone, Copy)]
+pub struct SharedLayout {
+    base: u64,
+}
+
+impl SharedLayout {
+    /// A layout rooted at the shared-region base.
+    pub fn new() -> Self {
+        Self {
+            base: hermes_types::SHARED_BASE,
+        }
+    }
+
+    /// Base address of shared region `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics past the end of the shared range (256 regions).
+    #[inline]
+    pub fn region(&self, idx: u64) -> u64 {
+        debug_assert!(
+            (idx + 1) * Layout::REGION <= hermes_types::SHARED_SIZE,
+            "region {idx} exceeds the shared range"
+        );
+        self.base + idx * Layout::REGION
+    }
+}
+
+impl Default for SharedLayout {
     fn default() -> Self {
         Self::new()
     }

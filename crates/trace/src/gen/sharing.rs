@@ -1,0 +1,339 @@
+//! Sharing-aware workloads: the first generators whose cores touch the
+//! *same* physical cache lines (through the shared virtual region, see
+//! [`super::SharedLayout`]).
+//!
+//! Unlike every other generator, these are **core-aware**: the builder
+//! receives the core index and derives the core's role (producer vs
+//! consumer lanes) and a decorrelated access stream from it, so a
+//! homogeneous N-core run — the only shape the experiment engine
+//! dispatches — becomes a genuine multi-threaded program instead of N
+//! lock-step clones. Running them on more than one core without
+//! `SystemConfig::coherence` enabled silently loses store visibility,
+//! exactly the incoherence the MESI layer exists to fix.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use hermes_types::VirtAddr;
+
+use super::{pc, Layout, RegRotor, SharedLayout};
+use crate::instr::Instr;
+use crate::source::TraceSource;
+
+/// A producer-consumer ring over shared memory.
+///
+/// The ring lives in the shared region: `slots` header lines in one
+/// region, each with a `payload_lines`-line payload block in the next.
+/// Even cores are producers (store a slot's payload then its header),
+/// odd cores are consumers (load the header then the payload) — the
+/// classic communication pattern whose writes *must* invalidate remote
+/// copies to be visible. Lanes start phase-shifted so multiple
+/// producer/consumer pairs do not ping-pong the same slot forever.
+#[derive(Debug)]
+pub struct PcRing {
+    slots: u64,
+    payload_lines: u32,
+    work: u32,
+    header_base: u64,
+    payload_base: u64,
+    /// Current slot index (pre-wrapped).
+    pos: u64,
+    /// Step within the current slot: 0 = header, 1..=payload = payload,
+    /// then `work` ALU ops.
+    step: u32,
+    producer: bool,
+    rng: SmallRng,
+    rot: RegRotor,
+}
+
+impl PcRing {
+    /// A ring of `slots` slots with `payload_lines` payload lines each
+    /// and `work` ALU instructions per slot visit; `core` selects the
+    /// role and lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` or `payload_lines` is zero.
+    pub fn new(slots: u64, payload_lines: u32, work: u32, seed: u64, core: usize) -> Self {
+        assert!(slots > 0 && payload_lines > 0);
+        let l = SharedLayout::new();
+        let lane = (core / 2) as u64;
+        Self {
+            slots,
+            payload_lines,
+            work,
+            header_base: l.region(0),
+            payload_base: l.region(1),
+            // Phase-shift lanes so pairs of cores work different slots.
+            pos: (lane * 97) % slots,
+            step: 0,
+            producer: core.is_multiple_of(2),
+            rng: SmallRng::seed_from_u64(seed ^ 0x5043_5249 ^ ((core as u64) << 32)),
+            rot: RegRotor::new(8, 6),
+        }
+    }
+
+    fn header_addr(&self) -> u64 {
+        self.header_base + (self.pos % self.slots) * 64
+    }
+
+    fn payload_addr(&self, line: u32) -> u64 {
+        self.payload_base
+            + (self.pos % self.slots) * self.payload_lines as u64 * 64
+            + line as u64 * 64
+    }
+}
+
+impl TraceSource for PcRing {
+    fn next_instr(&mut self) -> Instr {
+        let payload = self.payload_lines;
+        let instr = if self.step == 0 {
+            // Header touch: the consumer reads what the producer wrote.
+            let a = VirtAddr::new(self.header_addr());
+            if self.producer {
+                Instr::store(pc(110), a, [Some(7), Some(1)])
+            } else {
+                Instr::load(pc(111), a, Some(self.rot.next_reg()), [Some(1), None])
+            }
+        } else if self.step <= payload {
+            let a = VirtAddr::new(self.payload_addr(self.step - 1));
+            if self.producer {
+                Instr::store(pc(112), a, [Some(7), Some(1)])
+            } else {
+                Instr::load(pc(113), a, Some(self.rot.next_reg()), [Some(1), None])
+            }
+        } else {
+            Instr::alu(pc(114), Some(7), [Some(7), Some(8)])
+        };
+        self.step += 1;
+        if self.step > payload + self.work {
+            self.step = 0;
+            // Mostly sequential, with an occasional skip so lanes drift.
+            self.pos += 1 + (self.rng.gen::<u32>() % 16 == 0) as u64;
+        }
+        instr
+    }
+
+    fn name(&self) -> &str {
+        if self.producer {
+            "pc_ring(producer)"
+        } else {
+            "pc_ring(consumer)"
+        }
+    }
+}
+
+/// A server-style mix over a shared hot set.
+///
+/// Every memory access picks the shared hot set with probability
+/// `shared_per_mille`/1000 (any core may read *or write* those lines —
+/// the invalidation-traffic knob) and a large per-core private session
+/// table otherwise (the off-chip-pressure knob that keeps POPET busy).
+/// Streams are decorrelated per core.
+#[derive(Debug)]
+pub struct SharedHotSet {
+    shared_base: u64,
+    shared_lines: u64,
+    private_base: u64,
+    private_lines: u64,
+    shared_per_mille: u32,
+    store_per_mille: u32,
+    rng: SmallRng,
+    rot: RegRotor,
+    /// Alternates memory and ALU/branch filler.
+    phase: u32,
+}
+
+impl SharedHotSet {
+    /// `shared_bytes` of inter-core shared hot state, `private_bytes` of
+    /// per-core cold state; `shared_per_mille` of accesses go to the hot
+    /// set, `store_per_mille` of those are stores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either size is below 4 KiB or a per-mille knob exceeds
+    /// 1000.
+    pub fn new(
+        shared_bytes: u64,
+        private_bytes: u64,
+        shared_per_mille: u32,
+        store_per_mille: u32,
+        seed: u64,
+        core: usize,
+    ) -> Self {
+        assert!(shared_bytes >= 4096 && private_bytes >= 4096);
+        assert!(shared_per_mille <= 1000 && store_per_mille <= 1000);
+        Self {
+            shared_base: SharedLayout::new().region(2),
+            shared_lines: shared_bytes / 64,
+            private_base: Layout::new().region(24),
+            private_lines: private_bytes.next_power_of_two() / 64,
+            shared_per_mille,
+            store_per_mille,
+            rng: SmallRng::seed_from_u64(seed ^ 0x5348_4F54 ^ ((core as u64) << 32)),
+            rot: RegRotor::new(8, 6),
+            phase: 0,
+        }
+    }
+}
+
+impl TraceSource for SharedHotSet {
+    fn next_instr(&mut self) -> Instr {
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                Instr::branch(pc(120), self.rng.gen::<u8>() % 4 == 0, Some(7))
+            }
+            1 => {
+                self.phase = 2;
+                let shared = self.rng.gen::<u32>() % 1000 < self.shared_per_mille;
+                let addr = if shared {
+                    self.shared_base + (self.rng.gen::<u64>() % self.shared_lines) * 64
+                } else {
+                    self.private_base + (self.rng.gen::<u64>() % self.private_lines) * 64
+                };
+                let store = shared && self.rng.gen::<u32>() % 1000 < self.store_per_mille;
+                if store {
+                    Instr::store(pc(121), VirtAddr::new(addr), [Some(7), Some(1)])
+                } else {
+                    Instr::load(
+                        pc(122),
+                        VirtAddr::new(addr),
+                        Some(self.rot.next_reg()),
+                        [Some(1), None],
+                    )
+                }
+            }
+            _ => {
+                self.phase = 0;
+                Instr::alu(pc(123), Some(7), [Some(7), None])
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "shared_hot_set"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_types::SHARED_BASE;
+
+    fn shared_fraction(src: &mut dyn TraceSource, n: usize) -> (f64, f64) {
+        let mut mem = 0u64;
+        let mut shared = 0u64;
+        let mut stores = 0u64;
+        for _ in 0..n {
+            let i = src.next_instr();
+            if let Some(m) = i.mem {
+                mem += 1;
+                if m.vaddr.is_shared() {
+                    shared += 1;
+                }
+                if m.kind == crate::instr::MemKind::Store {
+                    stores += 1;
+                }
+            }
+        }
+        (shared as f64 / mem as f64, stores as f64 / mem as f64)
+    }
+
+    #[test]
+    fn ring_roles_follow_core_parity() {
+        let mut p = PcRing::new(256, 2, 4, 1, 0);
+        let mut c = PcRing::new(256, 2, 4, 1, 1);
+        let mut p_stores = 0;
+        let mut c_loads = 0;
+        for _ in 0..1000 {
+            if let Some(m) = p.next_instr().mem {
+                assert!(m.vaddr.raw() >= SHARED_BASE, "ring lives in shared region");
+                assert_eq!(m.kind, crate::instr::MemKind::Store);
+                p_stores += 1;
+            }
+            if let Some(m) = c.next_instr().mem {
+                assert_eq!(m.kind, crate::instr::MemKind::Load);
+                c_loads += 1;
+            }
+        }
+        assert!(p_stores > 100 && c_loads > 100);
+    }
+
+    #[test]
+    fn ring_producer_and_consumer_touch_the_same_lines() {
+        let lines = |core: usize| {
+            let mut g = PcRing::new(64, 2, 0, 7, core);
+            let mut s = std::collections::HashSet::new();
+            for _ in 0..2000 {
+                if let Some(m) = g.next_instr().mem {
+                    s.insert(m.vaddr.line());
+                }
+            }
+            s
+        };
+        let p = lines(0);
+        let c = lines(1);
+        let overlap = p.intersection(&c).count();
+        assert!(
+            overlap * 2 > p.len(),
+            "producer/consumer must share most of the ring ({overlap} of {})",
+            p.len()
+        );
+    }
+
+    #[test]
+    fn hot_set_shared_fraction_follows_knob() {
+        for pm in [0u32, 300, 800] {
+            let mut g = SharedHotSet::new(1 << 20, 8 << 20, pm, 500, 3, 0);
+            let (frac, _) = shared_fraction(&mut g, 60_000);
+            let want = pm as f64 / 1000.0;
+            assert!(
+                (frac - want).abs() < 0.05,
+                "shared fraction {frac} for knob {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn hot_set_streams_decorrelate_per_core_but_share_lines() {
+        let mut a = SharedHotSet::new(1 << 18, 1 << 20, 600, 300, 9, 0);
+        let mut b = SharedHotSet::new(1 << 18, 1 << 20, 600, 300, 9, 1);
+        let mut identical = 0;
+        let mut sa = std::collections::HashSet::new();
+        let mut sb = std::collections::HashSet::new();
+        for _ in 0..3000 {
+            let (ia, ib) = (a.next_instr(), b.next_instr());
+            if ia == ib {
+                identical += 1;
+            }
+            if let Some(m) = ia.mem {
+                if m.vaddr.is_shared() {
+                    sa.insert(m.vaddr.line());
+                }
+            }
+            if let Some(m) = ib.mem {
+                if m.vaddr.is_shared() {
+                    sb.insert(m.vaddr.line());
+                }
+            }
+        }
+        assert!(identical < 2500, "cores must not run in lock step");
+        let overlap = sa.intersection(&sb).count();
+        assert!(overlap > 0, "hot set must actually be shared");
+    }
+
+    #[test]
+    fn deterministic_per_core() {
+        let mut a = PcRing::new(128, 3, 5, 11, 2);
+        let mut b = PcRing::new(128, 3, 5, 11, 2);
+        for _ in 0..500 {
+            assert_eq!(a.next_instr(), b.next_instr());
+        }
+        let mut a = SharedHotSet::new(1 << 16, 1 << 20, 400, 200, 11, 3);
+        let mut b = SharedHotSet::new(1 << 16, 1 << 20, 400, 200, 11, 3);
+        for _ in 0..500 {
+            assert_eq!(a.next_instr(), b.next_instr());
+        }
+    }
+}

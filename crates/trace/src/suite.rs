@@ -118,6 +118,22 @@ pub enum GenConfig {
     /// instruction of the inner config (scales MPKI toward the paper's
     /// ~8-per-kilo-instruction regime).
     Diluted { inner: Box<GenConfig>, work: u32 },
+    /// Producer-consumer ring over the shared region (core-aware:
+    /// even cores produce, odd cores consume): (slots, payload_lines,
+    /// work).
+    PcRing {
+        slots: u64,
+        payload_lines: u32,
+        work: u32,
+    },
+    /// Shared-hot-set server mix (core-aware, decorrelated streams):
+    /// (shared_bytes, private_bytes, shared_per_mille, store_per_mille).
+    SharedHot {
+        shared_bytes: u64,
+        private_bytes: u64,
+        shared_per_mille: u32,
+        store_per_mille: u32,
+    },
 }
 
 /// A named, seeded workload: the unit the experiment harness iterates over.
@@ -144,13 +160,23 @@ impl WorkloadSpec {
         }
     }
 
-    /// Instantiates the generator.
+    /// Instantiates the generator as core 0 sees it.
     pub fn build(&self) -> Box<dyn TraceSource> {
-        build_config(&self.config, self.seed)
+        self.build_for(0)
+    }
+
+    /// Instantiates the generator for one core of a multi-core run.
+    ///
+    /// Every historical generator ignores `core` (all cores replay the
+    /// identical stream, the paper's homogeneous-mix methodology); the
+    /// sharing-aware generators derive the core's role and a
+    /// decorrelated stream from it.
+    pub fn build_for(&self, core: usize) -> Box<dyn TraceSource> {
+        build_config(&self.config, self.seed, core)
     }
 }
 
-fn build_config(config: &GenConfig, seed: u64) -> Box<dyn TraceSource> {
+fn build_config(config: &GenConfig, seed: u64, core: usize) -> Box<dyn TraceSource> {
     match config {
         GenConfig::PointerChase { nodes, work } => Box::new(PointerChase::new(*nodes, *work, seed)),
         GenConfig::Stream {
@@ -199,13 +225,37 @@ fn build_config(config: &GenConfig, seed: u64) -> Box<dyn TraceSource> {
         } => Box::new(StreamCluster::new(*points, *medoids, *dims, seed)),
         GenConfig::Canneal { elems } => Box::new(Canneal::new(*elems, seed)),
         GenConfig::Mixed { a, b, period } => Box::new(MixedPhase::new(
-            build_config(a, seed),
-            build_config(b, seed ^ 0x5A5A),
+            build_config(a, seed, core),
+            build_config(b, seed ^ 0x5A5A, core),
             *period,
         )),
         GenConfig::Diluted { inner, work } => Box::new(crate::gen::dilute::Dilute::new(
-            build_config(inner, seed),
+            build_config(inner, seed, core),
             *work,
+        )),
+        GenConfig::PcRing {
+            slots,
+            payload_lines,
+            work,
+        } => Box::new(crate::gen::sharing::PcRing::new(
+            *slots,
+            *payload_lines,
+            *work,
+            seed,
+            core,
+        )),
+        GenConfig::SharedHot {
+            shared_bytes,
+            private_bytes,
+            shared_per_mille,
+            store_per_mille,
+        } => Box::new(crate::gen::sharing::SharedHotSet::new(
+            *shared_bytes,
+            *private_bytes,
+            *shared_per_mille,
+            *store_per_mille,
+            seed,
+            core,
         )),
     }
 }
@@ -871,6 +921,54 @@ pub fn tlb_suite() -> Vec<WorkloadSpec> {
     ]
 }
 
+/// Sharing workloads at a given shared-access fraction (per mille):
+/// a producer-consumer ring (inherently 100% shared; even cores
+/// produce, odd cores consume) and a shared-hot-set server mix whose
+/// shared fraction follows the knob. Multi-core runs of this suite
+/// require `SystemConfig::coherence` — without it, stores to shared
+/// lines are silently invisible to other cores. The `sharing_sweep`
+/// experiment sweeps the fraction × core count × Hermes grid over it.
+pub fn sharing_suite(shared_per_mille: u32) -> Vec<WorkloadSpec> {
+    use Category::*;
+    use GenConfig::*;
+    let dil = |inner: GenConfig, work: u32| Diluted {
+        inner: Box::new(inner),
+        work,
+    };
+    vec![
+        WorkloadSpec::new(
+            "pc-ring",
+            Parsec,
+            dil(
+                PcRing {
+                    slots: 4096,
+                    payload_lines: 3,
+                    work: 4,
+                },
+                6,
+            ),
+            71,
+        ),
+        WorkloadSpec::new(
+            format!("shared-hot-{shared_per_mille}"),
+            Cvp,
+            dil(
+                SharedHot {
+                    // Small enough to be genuinely hot (L1/L2-resident),
+                    // so contended stores *hit* Shared lines and exercise
+                    // the upgrade path, not just store-miss RFOs.
+                    shared_bytes: 64 << 10,
+                    private_bytes: 16 * MB,
+                    shared_per_mille,
+                    store_per_mille: 300,
+                },
+                8,
+            ),
+            72,
+        ),
+    ]
+}
+
 /// A reduced suite for fast smoke tests (one trace per category, smaller
 /// footprints).
 pub fn smoke_suite() -> Vec<WorkloadSpec> {
@@ -952,6 +1050,50 @@ mod tests {
                 w.name,
                 pages.len()
             );
+        }
+    }
+
+    #[test]
+    fn sharing_suite_emits_shared_and_private_traffic() {
+        for pm in [0u32, 500] {
+            for w in sharing_suite(pm) {
+                for core in 0..2 {
+                    let mut src = w.build_for(core);
+                    let mut mem = 0u64;
+                    let mut shared = 0u64;
+                    for _ in 0..20_000 {
+                        if let Some(m) = src.next_instr().mem {
+                            // Ignore the dilution wrapper's hot-stack
+                            // filler; only the kernel's traffic matters.
+                            if m.vaddr.raw() >= 0x7FFF_0000_0000 {
+                                continue;
+                            }
+                            mem += 1;
+                            if m.vaddr.is_shared() {
+                                shared += 1;
+                            }
+                        }
+                    }
+                    assert!(mem > 0, "{} generated no memory traffic", w.name);
+                    if w.name.starts_with("pc-ring") {
+                        assert_eq!(shared, mem, "the ring is entirely shared");
+                    } else if pm == 0 {
+                        assert_eq!(shared, 0, "{} knob 0 must stay private", w.name);
+                    } else {
+                        assert!(shared > 0, "{} knob {pm} never went shared", w.name);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn historical_generators_ignore_the_core_index() {
+        let w = &default_suite()[0];
+        let mut a = w.build_for(0);
+        let mut b = w.build_for(5);
+        for _ in 0..500 {
+            assert_eq!(a.next_instr(), b.next_instr());
         }
     }
 

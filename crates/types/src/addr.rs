@@ -20,6 +20,18 @@ pub const LINE_BITS: u32 = 6;
 pub const PAGE_SIZE: usize = 4096;
 /// log2 of [`PAGE_SIZE`].
 pub const PAGE_BITS: u32 = 12;
+/// Base of the inter-core *shared* virtual region. Virtual addresses in
+/// `[SHARED_BASE, SHARED_BASE + SHARED_SIZE)` translate identically for
+/// every core (the address-space convention for shared data
+/// structures); everything outside keeps the historical
+/// per-core-disjoint mapping. The range is chosen in the gap no
+/// pre-existing workload touches: the per-core heap layout tops out
+/// near 2^44 and the compute-dilution "stack" region sits at
+/// 0x7FFF_0000_0000.
+pub const SHARED_BASE: u64 = 0x2000_0000_0000;
+/// Size of the shared virtual region (64 GiB — 256 of the generators'
+/// 256 MiB regions).
+pub const SHARED_SIZE: u64 = 0x10_0000_0000;
 
 macro_rules! addr_common {
     ($t:ident, $doc_space:literal) => {
@@ -104,6 +116,17 @@ macro_rules! addr_common {
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct VirtAddr(u64);
 addr_common!(VirtAddr, "virtual");
+
+impl VirtAddr {
+    /// Whether the address falls in the inter-core shared region (see
+    /// [`SHARED_BASE`]). A *virtual*-address-space property: physical
+    /// frames are hash-scattered, so the numeric test would be
+    /// meaningless on a [`PhysAddr`].
+    #[inline]
+    pub const fn is_shared(self) -> bool {
+        self.0 >= SHARED_BASE && self.0 < SHARED_BASE + SHARED_SIZE
+    }
+}
 
 /// A physical (post-translation) address.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -217,6 +240,17 @@ mod tests {
         let l = LineAddr::new(100);
         assert_eq!(l.offset_by(5).raw(), 105);
         assert_eq!(l.offset_by(-5).raw(), 95);
+    }
+
+    #[test]
+    fn shared_region_classification() {
+        assert!(!VirtAddr::new(0x1000_0000_0000).is_shared()); // heap base
+        assert!(!VirtAddr::new(0x1FFF_FFFF_FFFF).is_shared());
+        assert!(VirtAddr::new(SHARED_BASE).is_shared());
+        assert!(VirtAddr::new(SHARED_BASE + 0x1234).is_shared());
+        assert!(!VirtAddr::new(SHARED_BASE + SHARED_SIZE).is_shared());
+        // The dilution wrapper's hot-stack region must stay per-core.
+        assert!(!VirtAddr::new(0x7FFF_0000_0000).is_shared());
     }
 
     #[test]

@@ -22,7 +22,10 @@ pub mod counter;
 pub mod hashing;
 pub mod summary;
 
-pub use addr::{LineAddr, PhysAddr, VirtAddr, LINE_BITS, LINE_SIZE, PAGE_BITS, PAGE_SIZE};
+pub use addr::{
+    LineAddr, PhysAddr, VirtAddr, LINE_BITS, LINE_SIZE, PAGE_BITS, PAGE_SIZE, SHARED_BASE,
+    SHARED_SIZE,
+};
 pub use counter::{SatCounter, SatWeight};
 pub use hashing::{fold_bits, hash_index, mix64};
 pub use summary::{geomean, mean, BoxplotSummary};

@@ -46,6 +46,18 @@ fn core_salt(core: CoreId) -> u64 {
     (core as u64 + 1) << 57
 }
 
+/// The per-core salt applied to data-frame selection: zero (shared by
+/// every core) for addresses in the inter-core shared region, the
+/// historical per-core salt otherwise — mirroring `hermes-sim`'s
+/// stateless translation so vm on/off never changes data placement.
+fn data_salt(core: CoreId, vaddr: VirtAddr) -> u64 {
+    if vaddr.is_shared() {
+        0
+    } else {
+        core_salt(core)
+    }
+}
+
 /// See [module docs](self).
 #[derive(Debug, Clone)]
 pub struct PageMap {
@@ -72,7 +84,7 @@ impl PageMap {
             1000 => true,
             pm => {
                 let hvpn = vaddr.raw() >> HUGE_PAGE_BITS;
-                mix64(hvpn ^ core_salt(core) ^ SIZE_SALT) % 1000 < pm as u64
+                mix64(hvpn ^ data_salt(core, vaddr) ^ SIZE_SALT) % 1000 < pm as u64
             }
         }
     }
@@ -82,14 +94,14 @@ impl PageMap {
     pub fn translate(&self, core: CoreId, vaddr: VirtAddr) -> (PhysAddr, bool) {
         if self.is_huge(core, vaddr) {
             let hvpn = vaddr.raw() >> HUGE_PAGE_BITS;
-            let base = mix64(hvpn ^ core_salt(core) ^ HUGE_SALT)
+            let base = mix64(hvpn ^ data_salt(core, vaddr) ^ HUGE_SALT)
                 & ((1 << FRAME_BITS) - 1)
                 & !(FRAMES_PER_HUGE - 1);
             let offset = vaddr.raw() & (HUGE_PAGE_SIZE as u64 - 1);
             (PhysAddr::new((base << PAGE_BITS) | offset), true)
         } else {
             // Bit-identical to the historical stateless translation.
-            let pfn = mix64(vaddr.page_number() ^ core_salt(core)) & ((1 << FRAME_BITS) - 1);
+            let pfn = mix64(vaddr.page_number() ^ data_salt(core, vaddr)) & ((1 << FRAME_BITS) - 1);
             (PhysAddr::from_frame(pfn, vaddr.offset_in_page()), false)
         }
     }
@@ -216,6 +228,25 @@ mod tests {
                 .map(|c| map.translate(c, v).0.raw() >> PAGE_BITS)
                 .collect();
             assert_eq!(frames.len(), 8, "huge_pm={pm}");
+        }
+    }
+
+    #[test]
+    fn shared_region_aliases_across_cores_both_page_sizes() {
+        for pm in [0, 500, 1000] {
+            let map = PageMap::new(pm);
+            let v = VirtAddr::new(hermes_types::SHARED_BASE + 0x1234_5678);
+            let results: std::collections::HashSet<(u64, bool)> = (0..8)
+                .map(|c| {
+                    let (p, huge) = map.translate(c, v);
+                    (p.raw(), huge)
+                })
+                .collect();
+            assert_eq!(
+                results.len(),
+                1,
+                "shared pages must map identically (huge_pm={pm})"
+            );
         }
     }
 
