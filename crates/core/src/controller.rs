@@ -38,6 +38,19 @@ pub struct HermesConfig {
     /// measure predictor accuracy/coverage in an unmodified baseline
     /// (Fig. 9/10/11).
     pub passive: bool,
+    /// Coherence-aware prediction: feed the coherence-event hints into
+    /// POPET's feature set ([`crate::features::Feature::COHERENCE`]) and
+    /// split the training label three ways — a load served by a dirty
+    /// intervention or a racing upgrade trains as *on-chip*, not as a
+    /// DRAM fill. Off by default: the paper never evaluated sharing, and
+    /// every historical configuration must stay byte-identical.
+    pub coh_features: bool,
+    /// Second-level speculative-read filter (modeled on Jamet et al.'s
+    /// two-level off-chip-prediction gate, arXiv:2403.15181): a
+    /// predicted-off-chip load only launches its speculative DRAM read
+    /// when the per-PC usefulness counters allow it and no coherence hint
+    /// vetoes it. Off by default.
+    pub filter: bool,
 }
 
 impl HermesConfig {
@@ -47,6 +60,8 @@ impl HermesConfig {
             predictor: PredictorKind::None,
             issue_latency: 0,
             passive: false,
+            coh_features: false,
+            filter: false,
         }
     }
 
@@ -56,6 +71,8 @@ impl HermesConfig {
             predictor,
             issue_latency: HermesVariant::O.issue_latency(),
             passive: false,
+            coh_features: false,
+            filter: false,
         }
     }
 
@@ -65,6 +82,8 @@ impl HermesConfig {
             predictor,
             issue_latency: HermesVariant::P.issue_latency(),
             passive: false,
+            coh_features: false,
+            filter: false,
         }
     }
 
@@ -76,12 +95,27 @@ impl HermesConfig {
             predictor,
             issue_latency: 0,
             passive: true,
+            coh_features: false,
+            filter: false,
         }
     }
 
     /// A custom issue latency (the §8.4.3 sweep).
     pub fn with_issue_latency(mut self, cycles: u32) -> Self {
         self.issue_latency = cycles;
+        self
+    }
+
+    /// Enables coherence-aware prediction (coherence features + split
+    /// training label).
+    pub fn with_coh_features(mut self) -> Self {
+        self.coh_features = true;
+        self
+    }
+
+    /// Enables the second-level speculative-read filter.
+    pub fn with_filter(mut self) -> Self {
+        self.filter = true;
         self
     }
 
@@ -172,6 +206,25 @@ mod tests {
         assert_eq!(o.issue_latency, 6);
         let swept = o.with_issue_latency(24);
         assert_eq!(swept.issue_latency, 24);
+    }
+
+    #[test]
+    fn coherence_knobs_default_off_everywhere() {
+        // Every stock constructor must leave the coherence-aware knobs
+        // off — historical configurations stay byte-identical.
+        for cfg in [
+            HermesConfig::disabled(),
+            HermesConfig::hermes_o(PredictorKind::Popet),
+            HermesConfig::hermes_p(PredictorKind::Popet),
+            HermesConfig::passive(PredictorKind::Popet),
+            HermesConfig::default(),
+        ] {
+            assert!(!cfg.coh_features && !cfg.filter);
+        }
+        let on = HermesConfig::hermes_o(PredictorKind::Popet)
+            .with_coh_features()
+            .with_filter();
+        assert!(on.coh_features && on.filter);
     }
 
     #[test]

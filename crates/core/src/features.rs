@@ -17,6 +17,8 @@
 
 use hermes_types::hashing::shifted_xor;
 
+use crate::predictor::CohHints;
+
 /// One POPET program feature.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Feature {
@@ -30,6 +32,16 @@ pub enum Feature {
     LineOffsetPlusFirstAccess,
     /// Shifted XOR of the last four load PCs.
     Last4LoadPcs,
+    /// (PC << 1) | line-was-remote-Modified-recently hint: lets the
+    /// perceptron learn, per PC, that a re-read of a line a remote store
+    /// just took is a dirty intervention — an *on-chip* miss.
+    PcPlusLineRemoteMod,
+    /// (PC << 1) | recent-invalidation-on-page hint: page-granular
+    /// contention context.
+    PcPlusPageRecentInval,
+    /// (PC << 1) | upgrade-in-flight hint: the load races a store's
+    /// write-permission upgrade and resolves through the directory.
+    PcPlusUpgradeInFlight,
 }
 
 impl Feature {
@@ -42,6 +54,15 @@ impl Feature {
         Feature::Last4LoadPcs,
     ];
 
+    /// The coherence-derived feature slots appended by
+    /// [`crate::popet::PopetConfig::with_coh_features`] — not part of the
+    /// paper's search space (it never evaluated inter-core sharing).
+    pub const COHERENCE: [Feature; 3] = [
+        Feature::PcPlusLineRemoteMod,
+        Feature::PcPlusPageRecentInval,
+        Feature::PcPlusUpgradeInFlight,
+    ];
+
     /// Display label matching the paper's figures.
     pub fn label(self) -> &'static str {
         match self {
@@ -50,14 +71,22 @@ impl Feature {
             Feature::PcPlusFirstAccess => "PC + first access",
             Feature::LineOffsetPlusFirstAccess => "Cacheline offset + first access",
             Feature::Last4LoadPcs => "Last-4 load PCs",
+            Feature::PcPlusLineRemoteMod => "PC + line remote-Modified",
+            Feature::PcPlusPageRecentInval => "PC + page recent invalidation",
+            Feature::PcPlusUpgradeInFlight => "PC + upgrade in flight",
         }
     }
 
     /// Default weight-table size in index bits (Table 3: 1024 entries for
-    /// all features except cacheline-offset+first-access at 128).
+    /// all features except cacheline-offset+first-access at 128; the
+    /// coherence features use 128-entry tables — the hint bit carries
+    /// most of the signal, the PC only disambiguates).
     pub fn default_table_bits(self) -> u32 {
         match self {
             Feature::LineOffsetPlusFirstAccess => 7,
+            Feature::PcPlusLineRemoteMod
+            | Feature::PcPlusPageRecentInval
+            | Feature::PcPlusUpgradeInFlight => 7,
             _ => 10,
         }
     }
@@ -74,6 +103,11 @@ impl Feature {
                 (inputs.line_offset << 1) | inputs.first_access as u64
             }
             Feature::Last4LoadPcs => shifted_xor(&inputs.last4_pcs, 2),
+            Feature::PcPlusLineRemoteMod => (inputs.pc << 1) | inputs.coh.line_remote_mod as u64,
+            Feature::PcPlusPageRecentInval => {
+                (inputs.pc << 1) | inputs.coh.page_recent_inval as u64
+            }
+            Feature::PcPlusUpgradeInFlight => (inputs.pc << 1) | inputs.coh.upgrade_inflight as u64,
         }
     }
 }
@@ -91,6 +125,8 @@ pub struct FeatureInputs {
     pub first_access: bool,
     /// The last four load PCs, most recent last.
     pub last4_pcs: [u64; 4],
+    /// Coherence-event hints (all-false unless the hierarchy feeds them).
+    pub coh: CohHints,
 }
 
 #[cfg(test)]
@@ -104,6 +140,7 @@ mod tests {
             byte_offset: 12,
             first_access: true,
             last4_pcs: [0x400100, 0x400104, 0x400108, 0x40010c],
+            coh: CohHints::default(),
         }
     }
 
@@ -172,5 +209,55 @@ mod tests {
     #[test]
     fn labels_are_paper_strings() {
         assert_eq!(Feature::Last4LoadPcs.label(), "Last-4 load PCs");
+    }
+
+    #[test]
+    fn coherence_features_key_on_their_hint_bit() {
+        let cold = inputs();
+        for (f, set) in [
+            (
+                Feature::PcPlusLineRemoteMod,
+                CohHints {
+                    line_remote_mod: true,
+                    ..CohHints::default()
+                },
+            ),
+            (
+                Feature::PcPlusPageRecentInval,
+                CohHints {
+                    page_recent_inval: true,
+                    ..CohHints::default()
+                },
+            ),
+            (
+                Feature::PcPlusUpgradeInFlight,
+                CohHints {
+                    upgrade_inflight: true,
+                    ..CohHints::default()
+                },
+            ),
+        ] {
+            let hot = FeatureInputs { coh: set, ..cold };
+            assert_ne!(f.key(&cold), f.key(&hot), "{f:?} ignores its hint");
+            // Each coherence feature reads exactly its own hint.
+            for g in Feature::COHERENCE {
+                if g != f {
+                    assert_eq!(g.key(&cold), g.key(&hot), "{g:?} reads {f:?}'s hint");
+                }
+            }
+        }
+        // Program features are hint-blind: the classic five keys are
+        // unchanged by any coherence state.
+        let all = FeatureInputs {
+            coh: CohHints {
+                line_remote_mod: true,
+                page_recent_inval: true,
+                upgrade_inflight: true,
+            },
+            ..cold
+        };
+        for f in Feature::SELECTED {
+            assert_eq!(f.key(&cold), f.key(&all));
+        }
     }
 }

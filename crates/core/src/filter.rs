@@ -1,0 +1,295 @@
+//! Second-level speculative-read filtering: a per-PC usefulness gate for
+//! Hermes requests plus the per-core recent-coherence-event table that
+//! feeds the coherence hints.
+//!
+//! The shape follows Jamet et al.'s two-level neural off-chip prediction
+//! (arXiv:2403.15181): the first level (POPET) decides *whether the load
+//! will miss the on-chip hierarchy*, the second level decides *whether
+//! acting on that prediction pays*. Under directory-MESI sharing the two
+//! questions diverge — a dirty intervention or a racing upgrade is a miss
+//! everywhere private yet resolves on-chip, so the speculative DRAM read
+//! it would trigger is pure waste. [`SpecReadFilter`] learns, per load
+//! PC, whether past speculative reads beat the demand path; on top of the
+//! learned counters it applies a hard veto when the coherence hints say
+//! the line's data lives on-chip right now.
+
+use hermes_types::{hash_index, LineAddr, SatWeight};
+
+use crate::predictor::CohHints;
+
+/// Index bits of the filter's usefulness-counter table (512 entries).
+const FILTER_INDEX_BITS: u32 = 9;
+
+/// Width of each usefulness counter (3-bit signed: \[−4, +3\]).
+const FILTER_COUNTER_BITS: u32 = 3;
+
+/// Entries in the recent-remote-Modified line table (per core).
+const REMOTE_MOD_BITS: u32 = 6;
+
+/// Entries in the recent-invalidated-page table (per core).
+const PAGE_INVAL_BITS: u32 = 5;
+
+/// Sentinel for an empty tag slot (no real line/page hashes to it: line
+/// numbers and page numbers are physical-address shards far below 2^64).
+const EMPTY: u64 = u64::MAX;
+
+/// The second-level gate on speculative DRAM reads.
+///
+/// A table of signed saturating usefulness counters indexed by a hash of
+/// the load PC. Counters start at zero and the gate opens only at
+/// strictly positive counts: speculation must *earn* its DRAM bandwidth.
+/// A useful outcome (the load truly went to DRAM) trains up, a wasted
+/// one (the load resolved on-chip — e.g. out of a dirty intervention)
+/// trains down. Training happens for every predicted-off-chip load,
+/// *including suppressed ones*, so a fully closed gate costs exactly one
+/// suppressed read per PC phase before reopening — and a fully closed
+/// filter degrades Hermes to baseline timing, never below it (a merged
+/// demand rides the speculative read for free; only unmerged reads cost
+/// bandwidth).
+#[derive(Debug, Clone)]
+pub struct SpecReadFilter {
+    table: Vec<SatWeight>,
+}
+
+impl SpecReadFilter {
+    /// Builds a closed (zero-counter) filter: every gated PC must prove
+    /// one useful outcome before its speculative reads flow.
+    pub fn new() -> Self {
+        let mut w0 = SatWeight::new_bits(FILTER_COUNTER_BITS);
+        w0.set(0);
+        Self {
+            table: vec![w0; 1 << FILTER_INDEX_BITS],
+        }
+    }
+
+    fn idx(pc: u64) -> usize {
+        hash_index(pc, FILTER_INDEX_BITS)
+    }
+
+    /// Whether a predicted-off-chip load at `pc` may launch its
+    /// speculative DRAM read. A coherence hint that the line is (or is
+    /// about to be) owned by a remote store is a hard veto — the data
+    /// provably lives on-chip; otherwise the learned per-PC counter
+    /// decides, and only a strictly positive count (at least one more
+    /// useful outcome than wasted) opens the gate.
+    pub fn allow(&self, pc: u64, hints: CohHints) -> bool {
+        if hints.line_remote_mod || hints.upgrade_inflight {
+            return false;
+        }
+        self.table[Self::idx(pc)].get() > 0
+    }
+
+    /// Trains on a resolved predicted-off-chip load: `useful` when the
+    /// speculative read beat (or would have beaten) the demand path —
+    /// i.e. the load was a genuine DRAM fill, not served out of the
+    /// directory. The penalty is asymmetric: a wasted read costs double,
+    /// because it burned a DRAM queue slot *and* bus bandwidth for
+    /// nothing, while a useful one merely moved a fetch earlier. A PC
+    /// must therefore stay useful at least two loads in three to hold
+    /// the gate open.
+    pub fn train(&mut self, pc: u64, useful: bool) {
+        let w = &mut self.table[Self::idx(pc)];
+        w.train(useful);
+        if !useful {
+            w.train(false);
+        }
+    }
+
+    /// Storage in bits (Table 3/6 style accounting).
+    pub fn storage_bits(&self) -> usize {
+        self.table.len() * FILTER_COUNTER_BITS as usize
+    }
+}
+
+impl Default for SpecReadFilter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A per-core record of recent coherence events, consulted at prediction
+/// time to build [`CohHints`].
+///
+/// Two small direct-mapped tag arrays:
+///
+/// * **remote-Modified lines** — recorded when a remote store invalidates
+///   this core's private copy (upgrade or RFO): the line now lives
+///   Modified in another core, so this core's next read is a dirty
+///   intervention. Cleared when this core re-acquires the line.
+/// * **invalidated pages** — page numbers touched by any invalidation of
+///   this core's copies, remote stores and inclusive back-invalidations
+///   alike: page-granular contention context.
+///
+/// Entries age out by direct-mapped replacement; the table is a hint
+/// source, never authoritative, so aliasing only perturbs predictions.
+#[derive(Debug, Clone)]
+pub struct CohEventTable {
+    lines: Vec<u64>,
+    pages: Vec<u64>,
+}
+
+impl CohEventTable {
+    /// Builds an empty table.
+    pub fn new() -> Self {
+        Self {
+            lines: vec![EMPTY; 1 << REMOTE_MOD_BITS],
+            pages: vec![EMPTY; 1 << PAGE_INVAL_BITS],
+        }
+    }
+
+    /// Records that `line` was taken Modified by a remote core (this
+    /// core's copy was just invalidated by a remote store).
+    pub fn record_remote_mod(&mut self, line: LineAddr) {
+        let i = hash_index(line.raw(), REMOTE_MOD_BITS);
+        self.lines[i] = line.raw();
+        self.record_page_inval(line);
+    }
+
+    /// Records an invalidation touching `line`'s page (remote store or
+    /// inclusive back-invalidation).
+    pub fn record_page_inval(&mut self, line: LineAddr) {
+        let p = line.page_number();
+        let i = hash_index(p, PAGE_INVAL_BITS);
+        self.pages[i] = p;
+    }
+
+    /// Forgets the remote-Modified mark on `line` (this core re-acquired
+    /// it, so the old knowledge is stale).
+    pub fn clear_line(&mut self, line: LineAddr) {
+        let i = hash_index(line.raw(), REMOTE_MOD_BITS);
+        if self.lines[i] == line.raw() {
+            self.lines[i] = EMPTY;
+        }
+    }
+
+    /// Whether `line` was recently observed going remote-Modified.
+    pub fn line_remote_mod(&self, line: LineAddr) -> bool {
+        self.lines[hash_index(line.raw(), REMOTE_MOD_BITS)] == line.raw()
+    }
+
+    /// Whether `line`'s page saw a recent invalidation.
+    pub fn page_recent_inval(&self, line: LineAddr) -> bool {
+        self.pages[hash_index(line.page_number(), PAGE_INVAL_BITS)] == line.page_number()
+    }
+
+    /// Storage in bits: full tags in both arrays (a real implementation
+    /// would store partial tags; the accounting is deliberately
+    /// conservative).
+    pub fn storage_bits(&self) -> usize {
+        (self.lines.len() + self.pages.len()) * 64
+    }
+}
+
+impl Default for CohEventTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn untrained_filter_is_closed_and_one_useful_opens_it() {
+        let mut f = SpecReadFilter::new();
+        // Closed until the PC proves a useful speculative read…
+        assert!(!f.allow(0x400100, CohHints::default()));
+        f.train(0x400100, true);
+        // …then open, and the veto hints still override the counter.
+        assert!(f.allow(0x400100, CohHints::default()));
+        assert!(!f.allow(
+            0x400100,
+            CohHints {
+                line_remote_mod: true,
+                ..CohHints::default()
+            }
+        ));
+        assert!(!f.allow(
+            0x400100,
+            CohHints {
+                upgrade_inflight: true,
+                ..CohHints::default()
+            }
+        ));
+        // A page-level hint alone is context, not a veto.
+        assert!(f.allow(
+            0x400100,
+            CohHints {
+                page_recent_inval: true,
+                ..CohHints::default()
+            }
+        ));
+    }
+
+    #[test]
+    fn filter_learns_to_deny_and_reopens() {
+        let mut f = SpecReadFilter::new();
+        let pc = 0xBEEF0;
+        for _ in 0..3 {
+            f.train(pc, true);
+        }
+        assert!(f.allow(pc, CohHints::default()));
+        // A run of wasted speculative reads closes the gate…
+        for _ in 0..6 {
+            f.train(pc, false);
+        }
+        assert!(!f.allow(pc, CohHints::default()));
+        // …and a phase change back to genuine DRAM misses reopens it
+        // (training continues on suppressed loads).
+        for _ in 0..8 {
+            f.train(pc, true);
+        }
+        assert!(f.allow(pc, CohHints::default()));
+        // Other PCs were never affected.
+        assert!(!f.allow(0x12345, CohHints::default()));
+    }
+
+    #[test]
+    fn event_table_round_trip() {
+        let mut t = CohEventTable::new();
+        let l = line(0x7000_1234);
+        assert!(!t.line_remote_mod(l));
+        assert!(!t.page_recent_inval(l));
+        t.record_remote_mod(l);
+        assert!(t.line_remote_mod(l));
+        assert!(t.page_recent_inval(l), "remote-mod implies page inval");
+        // Same page, different line: page hint fires, line hint doesn't.
+        let sibling = line(l.raw() ^ 1);
+        assert_eq!(sibling.page_number(), l.page_number());
+        assert!(!t.line_remote_mod(sibling));
+        assert!(t.page_recent_inval(sibling));
+        // Re-acquiring the line clears the line mark, not the page mark.
+        t.clear_line(l);
+        assert!(!t.line_remote_mod(l));
+        assert!(t.page_recent_inval(l));
+    }
+
+    #[test]
+    fn event_table_ages_by_replacement() {
+        let mut t = CohEventTable::new();
+        let a = line(0x10);
+        t.record_remote_mod(a);
+        assert!(t.line_remote_mod(a));
+        // Flood with conflicting lines until a's slot is overwritten.
+        let mut evicted = false;
+        for n in 0..1_000u64 {
+            t.record_remote_mod(line(0x9_0000 + n));
+            if !t.line_remote_mod(a) {
+                evicted = true;
+                break;
+            }
+        }
+        assert!(evicted, "direct-mapped slot never aged out");
+    }
+
+    #[test]
+    fn storage_accounting_nonzero() {
+        assert_eq!(SpecReadFilter::new().storage_bits(), 512 * 3);
+        assert!(CohEventTable::new().storage_bits() > 0);
+    }
+}

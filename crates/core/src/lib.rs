@@ -37,6 +37,7 @@
 
 pub mod controller;
 pub mod features;
+pub mod filter;
 pub mod hmp;
 pub mod page_buffer;
 pub mod popet;
@@ -46,8 +47,11 @@ pub mod ttp;
 
 pub use controller::{HermesConfig, HermesVariant, PredictorStats};
 pub use features::Feature;
+pub use filter::{CohEventTable, SpecReadFilter};
 pub use hmp::Hmp;
 pub use page_buffer::PageBuffer;
 pub use popet::{Popet, PopetConfig};
-pub use predictor::{LoadContext, OffChipPredictor, Prediction, PredictionMeta, PredictorKind};
+pub use predictor::{
+    CohHints, LoadContext, OffChipPredictor, Prediction, PredictionMeta, PredictorKind,
+};
 pub use ttp::Ttp;

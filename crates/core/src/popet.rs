@@ -84,6 +84,29 @@ impl PopetConfig {
         self
     }
 
+    /// Appends the coherence-derived feature slots
+    /// ([`Feature::COHERENCE`]) to the active set, rescaling the
+    /// thresholds for the larger attainable |Wσ| exactly as
+    /// [`PopetConfig::with_features`] does for subsets. Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined set would exceed [`MAX_FEATURES`].
+    pub fn with_coh_features(mut self) -> Self {
+        let before = self.features.len();
+        for &f in Feature::COHERENCE.iter() {
+            if !self.features.iter().any(|&(g, _)| g == f) {
+                self.features.push((f, f.default_table_bits()));
+            }
+        }
+        assert!(self.features.len() <= MAX_FEATURES);
+        let scale = self.features.len() as f64 / before as f64;
+        self.tau_act = (self.tau_act as f64 * scale).round() as i32;
+        self.t_neg = (self.t_neg as f64 * scale).round() as i32;
+        self.t_pos = (self.t_pos as f64 * scale).round() as i32;
+        self
+    }
+
     /// Weight-table storage in bits (the "POPET" rows of Table 3, page
     /// buffer excluded).
     pub fn table_bits(&self) -> usize {
@@ -155,6 +178,7 @@ impl Popet {
             byte_offset: ctx.vaddr.byte_offset_in_line(),
             first_access,
             last4_pcs: self.last4_pcs,
+            coh: ctx.coh,
         }
     }
 }
@@ -344,6 +368,54 @@ mod tests {
         let c = ctx(0xF000, 0x60_0000);
         let pred = p.predict(&c);
         p.train(&c, &pred, true);
+    }
+
+    #[test]
+    fn coh_feature_config_is_cold_safe_and_idempotent() {
+        let cfg = PopetConfig::paper().with_coh_features();
+        assert_eq!(cfg.features.len(), 8);
+        // Idempotent: a second application changes nothing.
+        assert_eq!(cfg, cfg.clone().with_coh_features());
+        // Thresholds rescaled 5 -> 8 features.
+        assert_eq!(cfg.tau_act, -29);
+        assert_eq!((cfg.t_neg, cfg.t_pos), (-56, 64));
+        // The cold predictor must still refuse to fire, coherence hints
+        // present or not.
+        let mut p = Popet::new(cfg);
+        for i in 0..64u64 {
+            let mut c = ctx(0x400000 + i * 4, i * 4096 + (i % 64) * 8);
+            c.coh.line_remote_mod = i % 2 == 0;
+            c.coh.upgrade_inflight = i % 3 == 0;
+            assert!(!p.predict(&c).go_offchip, "cold +coh predictor fired");
+        }
+    }
+
+    #[test]
+    fn coh_features_learn_to_separate_coherence_misses() {
+        // One PC alternates between genuinely-off-chip loads (no hints)
+        // and dirty-intervention re-reads (line_remote_mod set, on-chip).
+        // The classic features cannot split the two populations by PC
+        // alone; the coherence feature can.
+        let mut p = Popet::new(PopetConfig::paper().with_coh_features());
+        let (mut tp, mut fp) = (0u64, 0u64);
+        for i in 0..8000u64 {
+            let coherent = i % 2 == 0;
+            let mut c = ctx(0xA0C0, 0x70_0000 + i * 64);
+            c.coh.line_remote_mod = coherent;
+            let pred = p.predict(&c);
+            let offchip = !coherent;
+            if i >= 4000 && pred.go_offchip {
+                if offchip {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+            }
+            p.train(&c, &pred, offchip);
+        }
+        assert!(tp > 0, "never fired on the off-chip half");
+        let acc = tp as f64 / (tp + fp) as f64;
+        assert!(acc > 0.85, "hint-split accuracy {acc} (tp={tp}, fp={fp})");
     }
 
     #[test]

@@ -2,6 +2,32 @@
 
 use hermes_types::{LineAddr, VirtAddr};
 
+/// Coherence-derived hints available at prediction time, fed from the
+/// hierarchy's per-core recent-coherence-event table. All-false with
+/// `coherence: None`, on a single core, or when the coherence-aware
+/// feature knobs are off — the paper's original five-feature POPET never
+/// sees them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CohHints {
+    /// The line was recently taken Modified by a remote core (this core's
+    /// copy was invalidated by a remote store): a re-read is likely a
+    /// dirty intervention, an *on-chip* miss.
+    pub line_remote_mod: bool,
+    /// A recent invalidation (remote store or inclusive back-invalidation)
+    /// hit this page — the page is contended.
+    pub page_recent_inval: bool,
+    /// A write-permission upgrade for this line is in flight somewhere:
+    /// the load races a store and resolves on-chip via the directory.
+    pub upgrade_inflight: bool,
+}
+
+impl CohHints {
+    /// Whether any hint is set.
+    pub fn any(&self) -> bool {
+        self.line_remote_mod || self.page_recent_inval || self.upgrade_inflight
+    }
+}
+
 /// What a predictor sees when a load generates its address — the moment
 /// POPET predicts and Hermes may launch its speculative request (§5,
 /// step 1 of Fig. 6).
@@ -15,6 +41,9 @@ pub struct LoadContext {
     /// Physical cache line (prediction happens after translation, §3.1;
     /// TTP's tag store is physically indexed).
     pub pline: LineAddr,
+    /// Coherence-event hints (all-false unless the hierarchy runs with
+    /// coherence *and* the coherence-aware knobs on).
+    pub coh: CohHints,
 }
 
 impl LoadContext {
@@ -25,6 +54,7 @@ impl LoadContext {
             pc,
             vaddr,
             pline: vaddr.line(),
+            coh: CohHints::default(),
         }
     }
 }

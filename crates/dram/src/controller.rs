@@ -297,6 +297,18 @@ impl MemoryController {
         self.heap.peek().map(|Reverse((at, _))| *at)
     }
 
+    /// Read-queue pressure on `line`'s channel at `now`: the number of
+    /// slots still reserved past `now`, and the channel's capacity. This
+    /// is the occupancy a Hermes request observes when it consults the
+    /// controller (the paper's step 3); the speculative-read filter uses
+    /// it to skip firing into a congested channel, where the read would
+    /// queue behind real demands instead of hiding latency.
+    pub fn read_queue_pressure(&self, line: LineAddr, now: Cycle) -> (usize, usize) {
+        let loc = map_line(&self.cfg, line);
+        let slots = &self.rq_slots[loc.channel];
+        (slots.iter().filter(|c| **c > now).count(), slots.len())
+    }
+
     /// Statistics so far.
     pub fn stats(&self) -> &DramStats {
         &self.stats

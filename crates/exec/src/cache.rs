@@ -37,8 +37,11 @@ use crate::Provenance;
 /// fingerprint and `RunLite` grew the dTLB/STLB/walk fields); v5 adds
 /// MESI coherence (`SystemConfig::coherence` enters every fingerprint,
 /// `RunLite` grew the coherence-traffic fields, and the writeback-path
-/// TTP-training fix legitimately moved TTP-predictor results).
-pub const CACHE_SCHEMA_VERSION: u32 = 5;
+/// TTP-training fix legitimately moved TTP-predictor results); v6 adds
+/// coherence-aware prediction (`HermesConfig` grew the `coh_features`
+/// and `filter` knobs, entering every fingerprint, and `RunLite` grew
+/// the speculative-read and confusion-matrix fields).
+pub const CACHE_SCHEMA_VERSION: u32 = 6;
 
 /// How long a lock file may sit untouched before a waiter assumes its
 /// owner died and breaks it. Generous: a legitimate `--full` eight-core

@@ -59,13 +59,28 @@ pub struct RunLite {
     pub coh_invalidations: f64,
     /// Dirty interventions served to this core (mean per core).
     pub coh_dirty_forwards: f64,
+    /// Hermes speculative DRAM reads that paid off (mean per core; zero
+    /// with Hermes off or passive).
+    pub spec_reads_useful: f64,
+    /// Hermes speculative DRAM reads wasted on loads that resolved
+    /// on-chip (mean per core).
+    pub spec_reads_wasted: f64,
+    /// Predictor confusion matrix, aggregated across cores: predicted
+    /// off-chip and went off-chip.
+    pub pred_tp: f64,
+    /// Predicted off-chip, served on-chip.
+    pub pred_fp: f64,
+    /// Not predicted, went off-chip.
+    pub pred_fn: f64,
+    /// Not predicted, served on-chip.
+    pub pred_tn: f64,
     /// Measured cycles.
     pub cycles: f64,
 }
 
 /// Field order used by both the `key=value` cache format and the JSON
 /// manifest, so the two never drift apart.
-pub(crate) const FIELDS: [&str; 23] = [
+pub(crate) const FIELDS: [&str; 29] = [
     "ipc",
     "llc_mpki",
     "offchip_rate",
@@ -88,6 +103,12 @@ pub(crate) const FIELDS: [&str; 23] = [
     "coh_upgrades",
     "coh_invalidations",
     "coh_dirty_forwards",
+    "spec_reads_useful",
+    "spec_reads_wasted",
+    "pred_tp",
+    "pred_fp",
+    "pred_fn",
+    "pred_tn",
     "cycles",
 ];
 
@@ -122,6 +143,12 @@ impl RunLite {
             coh_upgrades: mean(&|c| c.hier.coh_upgrades as f64),
             coh_invalidations: mean(&|c| c.hier.coh_invalidations as f64),
             coh_dirty_forwards: mean(&|c| c.hier.coh_dirty_forwards as f64),
+            spec_reads_useful: mean(&|c| c.hier.spec_reads_useful as f64),
+            spec_reads_wasted: mean(&|c| c.hier.spec_reads_wasted as f64),
+            pred_tp: p.tp as f64,
+            pred_fp: p.fp as f64,
+            pred_fn: p.fn_ as f64,
+            pred_tn: p.tn as f64,
             cycles: r.total_cycles as f64,
         }
     }
@@ -151,6 +178,12 @@ impl RunLite {
             "coh_upgrades" => self.coh_upgrades,
             "coh_invalidations" => self.coh_invalidations,
             "coh_dirty_forwards" => self.coh_dirty_forwards,
+            "spec_reads_useful" => self.spec_reads_useful,
+            "spec_reads_wasted" => self.spec_reads_wasted,
+            "pred_tp" => self.pred_tp,
+            "pred_fp" => self.pred_fp,
+            "pred_fn" => self.pred_fn,
+            "pred_tn" => self.pred_tn,
             "cycles" => self.cycles,
             _ => unreachable!("unknown field {field}"),
         }
@@ -180,6 +213,12 @@ impl RunLite {
             "coh_upgrades" => self.coh_upgrades = v,
             "coh_invalidations" => self.coh_invalidations = v,
             "coh_dirty_forwards" => self.coh_dirty_forwards = v,
+            "spec_reads_useful" => self.spec_reads_useful = v,
+            "spec_reads_wasted" => self.spec_reads_wasted = v,
+            "pred_tp" => self.pred_tp = v,
+            "pred_fp" => self.pred_fp = v,
+            "pred_fn" => self.pred_fn = v,
+            "pred_tn" => self.pred_tn = v,
             "cycles" => self.cycles = v,
             _ => return false,
         }
@@ -255,6 +294,12 @@ mod tests {
             coh_upgrades: 7.0,
             coh_invalidations: 11.0,
             coh_dirty_forwards: 2.5,
+            spec_reads_useful: 9.0,
+            spec_reads_wasted: 4.0,
+            pred_tp: 600.0,
+            pred_fp: 20.0,
+            pred_fn: 30.0,
+            pred_tn: 9000.0,
             cycles: 123.0,
         };
         let back = RunLite::from_kv(&r.to_kv()).unwrap();

@@ -120,7 +120,8 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use hermes::{
-    Hmp, LoadContext, OffChipPredictor, Popet, Prediction, PredictorKind, PredictorStats, Ttp,
+    CohEventTable, CohHints, Hmp, LoadContext, OffChipPredictor, Popet, Prediction, PredictorKind,
+    PredictorStats, SpecReadFilter, Ttp,
 };
 use hermes_cache::{CacheLevel, LevelStats, Mesi};
 use hermes_cpu::{LoadIssue, MemoryPort, ServedBy, StoreIssue};
@@ -255,6 +256,11 @@ struct LoadRec {
     ctx: LoadContext,
     pred: Prediction,
     issue: Cycle,
+    /// Whether a speculative Hermes DRAM read was actually launched for
+    /// this load (predicted off-chip, not passive, and not suppressed by
+    /// the second-level filter) — the denominator of the useful/wasted
+    /// speculative-read accounting.
+    fired: bool,
 }
 
 enum PredictorImpl {
@@ -322,6 +328,15 @@ pub struct CoreHierStats {
     /// Coherence: this core's private copies killed by inclusive-
     /// directory back-invalidation (the shared level evicted the line).
     pub coh_back_invalidations: u64,
+    /// Hermes speculative DRAM reads that paid off: the load was a
+    /// genuine DRAM fill, so the early read hid (part of) the off-chip
+    /// latency.
+    pub spec_reads_useful: u64,
+    /// Hermes speculative DRAM reads wasted: the load resolved on-chip —
+    /// a mispredicted cache hit, a dirty intervention out of a remote
+    /// Modified copy, or a fill that raced a remote RFO — so the DRAM
+    /// read burned bandwidth for nothing.
+    pub spec_reads_wasted: u64,
 }
 
 /// Parameters of one lookup travelling the stack ([`Ev::Lookup`] minus
@@ -460,6 +475,13 @@ pub struct Hierarchy {
     /// second store to the same line while one travels is subsumed by it
     /// instead of spawning a duplicate directory transaction.
     pending_upgrades: std::collections::HashSet<(usize, LineAddr)>,
+    /// Per-core second-level speculative-read filters; consulted only
+    /// when `hermes.filter` is on, trained whenever it is.
+    filters: Vec<SpecReadFilter>,
+    /// Per-core recent-coherence-event tables feeding [`CohHints`];
+    /// written on every coherence invalidation, read only when the
+    /// coherence-aware knobs are on.
+    coh_tables: Vec<CohEventTable>,
     /// Translation subsystem; `None` = historical free translation.
     vm: Option<VmFrontend>,
 }
@@ -503,7 +525,12 @@ impl Hierarchy {
             .map(|_| match cfg.hermes.predictor {
                 PredictorKind::None => PredictorImpl::None,
                 PredictorKind::Popet => {
-                    PredictorImpl::Popet(Box::new(Popet::new(cfg.popet.clone())))
+                    let pcfg = if cfg.hermes.coh_features {
+                        cfg.popet.clone().with_coh_features()
+                    } else {
+                        cfg.popet.clone()
+                    };
+                    PredictorImpl::Popet(Box::new(Popet::new(pcfg)))
                 }
                 PredictorKind::Hmp => PredictorImpl::Hmp(Box::new(Hmp::new())),
                 PredictorKind::Ttp => PredictorImpl::Ttp(Box::default()),
@@ -532,6 +559,8 @@ impl Hierarchy {
             retries: Vec::new(),
             retry_min: Cycle::MAX,
             pending_upgrades: std::collections::HashSet::new(),
+            filters: (0..n).map(|_| SpecReadFilter::new()).collect(),
+            coh_tables: (0..n).map(|_| CohEventTable::new()).collect(),
             vm: cfg.vm.as_ref().map(|v| VmFrontend::new(v, n)),
             cfg,
         }
@@ -675,11 +704,47 @@ impl Hierarchy {
 
     /// Completes a demand load: trains the predictor and queues the
     /// core callback.
-    fn finish_demand(&mut self, core: usize, token: u64, served: ServedBy, now: Cycle) {
+    ///
+    /// `coh_served` marks a load whose data was produced by the coherence
+    /// protocol rather than a DRAM fill: a dirty intervention out of a
+    /// remote Modified copy, or a fill that raced a remote RFO and was
+    /// serialised behind the new owner. With `hermes.coh_features` on,
+    /// the training label becomes three-way-aware — such loads train as
+    /// *on-chip* (they are exactly the misses a speculative DRAM read
+    /// cannot help), instead of polluting the predictor toward firing on
+    /// every coherence miss. With the knob off the historical binary
+    /// label is preserved bit-for-bit.
+    fn finish_demand(
+        &mut self,
+        core: usize,
+        token: u64,
+        served: ServedBy,
+        coh_served: bool,
+        now: Cycle,
+    ) {
         if let Some(rec) = self.loads.remove(&key(core, token)) {
             let offchip = served.is_offchip();
+            let dram_fill = offchip && !coh_served;
+            if rec.fired {
+                if dram_fill {
+                    self.stats[core].spec_reads_useful += 1;
+                } else {
+                    self.stats[core].spec_reads_wasted += 1;
+                }
+            }
             if self.cfg.hermes.enabled() {
-                self.train(core, &rec, offchip);
+                let label = if self.cfg.hermes.coh_features {
+                    dram_fill
+                } else {
+                    offchip
+                };
+                self.train(core, &rec, label);
+                if self.cfg.hermes.filter && rec.pred.go_offchip && !self.cfg.hermes.passive {
+                    // The filter trains on every predicted-off-chip load,
+                    // fired or suppressed, so a PC whose loads go back to
+                    // genuine DRAM misses reopens its gate.
+                    self.filters[core].train(rec.ctx.pc, dram_fill);
+                }
             }
             if offchip {
                 let s = &mut self.stats[core];
@@ -959,7 +1024,7 @@ impl Hierarchy {
         }
         let res = self.levels[level].access(core, line, pc_sig(pc));
         if res.hit {
-            self.descend(level, core, line, self.served_at(level), now);
+            self.descend(level, core, line, self.served_at(level), false, now);
             return;
         }
         match self.levels[level].mshr_allocate(core, line, Waiter::Merge { core }, false) {
@@ -1043,7 +1108,7 @@ impl Hierarchy {
                 // latency (through the normal event queue).
                 self.schedule(now + delay, Ev::CohResume { core, line, served });
             } else {
-                self.descend(last, core, line, served, now);
+                self.descend(last, core, line, served, false, now);
             }
             return;
         }
@@ -1135,6 +1200,10 @@ impl Hierarchy {
                     }
                     if held {
                         self.stats[c].coh_back_invalidations += 1;
+                        // The line goes to DRAM with the shared-level
+                        // eviction — predicting off-chip for it stays
+                        // correct — but the page is contended.
+                        self.coh_tables[c].record_page_inval(ev.line);
                     }
                 }
             }
@@ -1195,6 +1264,33 @@ impl Hierarchy {
         self.cfg.coherence.is_some() && self.cfg.cores > 1
     }
 
+    /// Builds the coherence hints for `core`'s load of `line` from its
+    /// recent-event table and the in-flight upgrade set. All-false unless
+    /// the protocol is active *and* a coherence-aware knob is on — the
+    /// paper's original predictor configurations never see a set hint.
+    fn coh_hints(&self, core: usize, line: LineAddr) -> CohHints {
+        if !self.coh_active() || !(self.cfg.hermes.coh_features || self.cfg.hermes.filter) {
+            return CohHints::default();
+        }
+        let t = &self.coh_tables[core];
+        CohHints {
+            line_remote_mod: t.line_remote_mod(line),
+            page_recent_inval: t.page_recent_inval(line),
+            upgrade_inflight: self.pending_upgrades.iter().any(|&(_, l)| l == line),
+        }
+    }
+
+    /// Bandwidth guard for the second-level filter: a speculative read
+    /// only pays when its channel's read queue has headroom. Past a
+    /// quarter occupancy the read queues behind real demands — it can no
+    /// longer beat the hierarchy walk it is racing, yet still displaces
+    /// other cores' fills, which is how Hermes loses multi-core suites
+    /// even at high predictor precision.
+    fn spec_read_headroom(&self, line: LineAddr, now: Cycle) -> bool {
+        let (busy, cap) = self.dram.read_queue_pressure(line, now);
+        busy * 4 < cap
+    }
+
     /// Whether a store hit must pay a directory round trip before
     /// dirtying the line: coherence is active and the directory lists
     /// sharers other than `core`.
@@ -1237,6 +1333,11 @@ impl Hierarchy {
             }
             if held {
                 invals += 1;
+                // The victim's copy was just taken Modified by a remote
+                // store: its next read of this line is a dirty
+                // intervention. Timing-neutral — the table is only read
+                // when the coherence-aware knobs are on.
+                self.coh_tables[c].record_remote_mod(line);
             }
             if dirty {
                 self.levels[last].mark_dirty(0, line);
@@ -1310,9 +1411,17 @@ impl Hierarchy {
     /// Data hit (or arrived) at `from`: walk `core`'s request chain
     /// inward, filling each inner level and resuming every requester
     /// merged at its MSHRs.
-    fn descend(&mut self, from: usize, core: usize, line: LineAddr, served: ServedBy, now: Cycle) {
+    fn descend(
+        &mut self,
+        from: usize,
+        core: usize,
+        line: LineAddr,
+        served: ServedBy,
+        coh_served: bool,
+        now: Cycle,
+    ) {
         debug_assert!(from >= 1, "first-level hits complete synchronously");
-        self.fill_and_resume(from - 1, core, line, served, now);
+        self.fill_and_resume(from - 1, core, line, served, coh_served, now);
     }
 
     /// Fills `level` on `core`'s path and completes its MSHR entry,
@@ -1325,10 +1434,11 @@ impl Hierarchy {
         core: usize,
         line: LineAddr,
         served: ServedBy,
+        coh_served: bool,
         now: Cycle,
     ) {
         if level == 0 {
-            self.complete_first_path(core, line, served, now);
+            self.complete_first_path(core, line, served, coh_served, now);
             return;
         }
         if self.coh_fill_allowed(line) {
@@ -1343,7 +1453,7 @@ impl Hierarchy {
             for w in waiters {
                 match w {
                     Waiter::Merge { core: c } => {
-                        self.fill_and_resume(level - 1, c, line, served, now)
+                        self.fill_and_resume(level - 1, c, line, served, coh_served, now)
                     }
                     _ => debug_assert!(false, "non-merge waiter at intermediate level"),
                 }
@@ -1353,7 +1463,14 @@ impl Hierarchy {
 
     /// Fills `core`'s first level and completes all waiters registered in
     /// its MSHR for `line`.
-    fn complete_first_path(&mut self, core: usize, line: LineAddr, served: ServedBy, now: Cycle) {
+    fn complete_first_path(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        served: ServedBy,
+        mut coh_served: bool,
+        now: Cycle,
+    ) {
         let Some((waiters, _)) = self.levels[0].mshr_complete(core, line) else {
             return;
         };
@@ -1395,16 +1512,22 @@ impl Hierarchy {
                     // this load's chain resumed; serialise the load after
                     // that store by downgrading the owner (the forward
                     // rides the same memory round trip — no extra
-                    // latency).
-                    self.downgrade_remote_modified(core, line);
+                    // latency). When it happens the data this load
+                    // consumes came out of the remote Modified copy, not
+                    // the DRAM fill it rode in on: a coherence-served
+                    // load for training purposes.
+                    coh_served |= self.downgrade_remote_modified(core, line);
                 }
+                // This core re-acquired the line: its stale
+                // remote-Modified mark (if any) is gone.
+                self.coh_tables[core].clear_line(line);
             }
         }
         for w in waiters {
             match w {
                 Waiter::Request {
                     token: Some(tok), ..
-                } => self.finish_demand(core, tok, served, now),
+                } => self.finish_demand(core, tok, served, coh_served, now),
                 // The PTE arrived: the walker moves to the next level.
                 Waiter::Walk { walk } => self.walk_advance(walk, now),
                 _ => {}
@@ -1425,7 +1548,7 @@ impl Hierarchy {
             self.fill_last(c.line, false, prefetch_only, sig, now, false);
             for w in waiters {
                 if let Waiter::Demand { core, .. } = w {
-                    self.fill_and_resume(last - 1, core, c.line, ServedBy::Dram, now);
+                    self.fill_and_resume(last - 1, core, c.line, ServedBy::Dram, false, now);
                 }
             }
         } else {
@@ -1470,13 +1593,15 @@ impl Hierarchy {
                 token,
                 served,
             } => {
-                self.finish_demand(core, token, served, now);
+                self.finish_demand(core, token, served, false, now);
             }
             Ev::WalkStep { walk } => self.walk_advance(walk, now),
             Ev::Upgrade { core, line, pc } => self.handle_upgrade(core, line, pc, now),
             Ev::CohResume { core, line, served } => {
+                // The data was forwarded out of a remote Modified copy:
+                // an on-chip, coherence-served completion.
                 let last = self.last();
-                self.descend(last, core, line, served, now);
+                self.descend(last, core, line, served, true, now);
             }
         }
     }
@@ -1647,6 +1772,7 @@ impl MemoryPort for Hierarchy {
             pc: req.pc,
             vaddr: req.vaddr,
             pline,
+            coh: self.coh_hints(req.core, pline),
         };
         // Prediction happens at issue — POPET's features are
         // virtual-address based (§6.1.3) — but a predicted-off-chip
@@ -1657,14 +1783,20 @@ impl MemoryPort for Hierarchy {
         } else {
             Prediction::negative()
         };
-        let hermes_min = (self.cfg.hermes.enabled() && pred.go_offchip && !self.cfg.hermes.passive)
-            .then(|| now + self.cfg.hermes.issue_latency as Cycle);
+        let hermes_min = (self.cfg.hermes.enabled()
+            && pred.go_offchip
+            && !self.cfg.hermes.passive
+            && (!self.cfg.hermes.filter
+                || (self.filters[req.core].allow(req.pc, ctx.coh)
+                    && self.spec_read_headroom(pline, now))))
+        .then(|| now + self.cfg.hermes.issue_latency as Cycle);
         self.loads.insert(
             key(req.core, req.token),
             LoadRec {
                 ctx,
                 pred,
                 issue: now,
+                fired: hermes_min.is_some(),
             },
         );
         match route {

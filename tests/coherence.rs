@@ -25,7 +25,7 @@ fn digest(r: &RunStats) -> String {
     let mut s = format!("total_cycles={}", r.total_cycles);
     for c in &r.cores {
         s.push_str(&format!(
-            ";[{} cyc={} ret={} ld={} st={} l1={} l2={} llc={} dram={} sco={} hacc={} hmiss={} hreq={} pfi={} pfu={} l1a={} l2a={} ols={} ol={} tp={} fp={} fn={} tn={} cup={} cinv={} cfwd={} cback={}]",
+            ";[{} cyc={} ret={} ld={} st={} l1={} l2={} llc={} dram={} sco={} hacc={} hmiss={} hreq={} pfi={} pfu={} l1a={} l2a={} ols={} ol={} tp={} fp={} fn={} tn={} cup={} cinv={} cfwd={} cback={} su={} sw={}]",
             c.workload,
             c.cycles,
             c.instructions,
@@ -53,6 +53,8 @@ fn digest(r: &RunStats) -> String {
             c.hier.coh_invalidations,
             c.hier.coh_dirty_forwards,
             c.hier.coh_back_invalidations,
+            c.hier.spec_reads_useful,
+            c.hier.spec_reads_wasted,
         ));
     }
     s.push_str(&format!(
@@ -463,6 +465,158 @@ fn writeback_into_llc_does_not_train_ttp() {
         Some(false),
         "a writeback-initiated LLC fill must not train TTP"
     );
+}
+
+/// Issues `n` off-chip loads from one fixed PC (distinct cold pages,
+/// identical in-page offset so every POPET feature hits the same weight
+/// entries), quiescing after each, until the perceptron predicts
+/// off-chip for that PC.
+fn warm_popet_positive(
+    h: &mut Hierarchy,
+    pc: u64,
+    n: u64,
+    first_token: u64,
+    mut now: Cycle,
+) -> Cycle {
+    for k in 0..n {
+        let v = VirtAddr::new(0x2000_0000_0000 + k * 0x1000);
+        h.issue_load(
+            LoadIssue {
+                core: 0,
+                token: first_token + k,
+                pc,
+                vaddr: v,
+            },
+            now,
+        );
+        now = quiesce(h, now);
+    }
+    now
+}
+
+#[test]
+fn dirty_intervention_served_load_trains_as_onchip() {
+    // The tentpole's training-label half: a load whose data is forwarded
+    // out of a remote Modified copy resolves *on-chip* — it must never
+    // reach the predictor as an off-chip outcome.
+    let cfg = coherent_cfg(2)
+        .with_hermes(HermesConfig::hermes_o(PredictorKind::Popet).with_coh_features());
+    let mut h = Hierarchy::new(cfg);
+    let v = shared_vaddr(0);
+    let line = shared_line(0);
+
+    // Core 0 takes the line Modified; core 1 then loads it through a
+    // dirty intervention.
+    h.issue_store(store(0, v), 0);
+    let now = quiesce(&mut h, 0);
+    assert_eq!(h.mesi_state(0, line), Mesi::Modified);
+    h.issue_load(load(1, 0, v), now);
+    quiesce(&mut h, now);
+    assert_eq!(
+        h.core_stats()[1].coh_dirty_forwards,
+        1,
+        "setup: intervention"
+    );
+
+    let p = h.predictor_stats()[1];
+    assert_eq!(p.total(), 1, "exactly one resolved load on core 1");
+    assert_eq!(
+        (p.tp, p.fn_),
+        (0, 0),
+        "an intervention-served load must train as on-chip (got tp={} fn={})",
+        p.tp,
+        p.fn_
+    );
+}
+
+#[test]
+fn filter_vetoes_spec_read_for_remote_modified_line() {
+    // The filter's hard-veto half: once a remote store has taken the
+    // line Modified, a predicted-off-chip re-read must not launch its
+    // speculative DRAM read — the data provably lives on-chip. The same
+    // sequence without the filter fires the read and wastes it.
+    let pc = 0x777_000;
+    let run = |filter: bool| {
+        let mut hermes = HermesConfig::hermes_o(PredictorKind::Popet).with_coh_features();
+        if filter {
+            hermes = hermes.with_filter();
+        }
+        let mut h = Hierarchy::new(coherent_cfg(2).with_hermes(hermes));
+
+        // Make POPET predict off-chip for this PC (and, with the filter
+        // on, let the PC earn an open gate through useful reads).
+        let mut now = warm_popet_positive(&mut h, pc, 32, 0, 0);
+
+        // Core 0 holds the shared line privately; core 1's store takes
+        // it Modified, which records the remote-Modified event in core
+        // 0's table.
+        let v = shared_vaddr(0);
+        h.issue_load(load(0, 100, v), now);
+        now = quiesce(&mut h, now);
+        h.issue_store(store(1, v), now);
+        now = quiesce(&mut h, now);
+        assert_eq!(h.mesi_state(1, shared_line(0)), Mesi::Modified);
+
+        // Core 0 re-reads the line from the warmed PC: predicted
+        // off-chip, served by a dirty intervention.
+        let before = h.core_stats()[0].hermes_requests;
+        h.issue_load(
+            LoadIssue {
+                core: 0,
+                token: 101,
+                pc,
+                vaddr: v,
+            },
+            now,
+        );
+        quiesce(&mut h, now);
+        let s = h.core_stats()[0];
+        let p = h.predictor_stats()[0];
+        (s.hermes_requests - before, s.spec_reads_wasted, p)
+    };
+
+    let (fired_nofilter, wasted_nofilter, p) = run(false);
+    assert_eq!(
+        fired_nofilter, 1,
+        "without the filter the mispredicted load must fire its spec read \
+         (predictor warm: tp={} fp={} fn={} tn={})",
+        p.tp, p.fp, p.fn_, p.tn
+    );
+    assert!(
+        wasted_nofilter >= 1,
+        "the intervention-served load's spec read must count as wasted"
+    );
+    let (fired_filter, _, _) = run(true);
+    assert_eq!(
+        fired_filter, 0,
+        "the remote-Modified veto must suppress the speculative read"
+    );
+}
+
+#[test]
+fn single_core_coherence_vacuous_with_coh_knobs_on() {
+    // The coherence-aware knobs must not break the single-core
+    // `coherence: Some` ≡ `None` equivalence: with one core no
+    // invalidation ever happens, so the hint tables stay empty and the
+    // filter sees identical inputs either way.
+    let mut specs = suite::smoke_suite();
+    specs.truncate(1);
+    specs.extend(suite::sharing_suite(500));
+    for spec in &specs {
+        let hermes = HermesConfig::hermes_o(PredictorKind::Popet)
+            .with_coh_features()
+            .with_filter();
+        let base = SystemConfig::baseline_1c().with_hermes(hermes);
+        let with = base.clone().with_coherence(CoherenceConfig::baseline());
+        let a = run_one(base, spec, 3_000, 8_000);
+        let b = run_one(with, spec, 3_000, 8_000);
+        assert_eq!(
+            digest(&a),
+            digest(&b),
+            "single-core coherence must stay vacuous with coh knobs on for {}",
+            spec.name
+        );
+    }
 }
 
 #[test]
