@@ -105,6 +105,18 @@ impl Prediction {
             meta: PredictionMeta::None,
         }
     }
+
+    /// Signed confidence of the prediction: POPET's cumulative
+    /// perceptron weight Wσ (distance from the activation threshold
+    /// tracks how sure the perceptron is), 0 for predictors that carry
+    /// no analog margin. Observability-only — no training or issue
+    /// decision consults this.
+    pub fn confidence(&self) -> i32 {
+        match self.meta {
+            PredictionMeta::Popet { wsum, .. } => i32::from(wsum),
+            _ => 0,
+        }
+    }
 }
 
 /// Which off-chip prediction mechanism a system configuration uses.
@@ -176,6 +188,29 @@ mod tests {
         let p = Prediction::negative();
         assert!(!p.go_offchip);
         assert_eq!(p.meta, PredictionMeta::None);
+    }
+
+    #[test]
+    fn confidence_exposes_popet_margin() {
+        let p = Prediction {
+            go_offchip: true,
+            meta: PredictionMeta::Popet {
+                indices: [0; 8],
+                n: 5,
+                wsum: -42,
+            },
+        };
+        assert_eq!(p.confidence(), -42);
+        assert_eq!(Prediction::negative().confidence(), 0);
+        let h = Prediction {
+            go_offchip: false,
+            meta: PredictionMeta::Hmp {
+                local: 0,
+                gshare: 0,
+                gskew: [0; 3],
+            },
+        };
+        assert_eq!(h.confidence(), 0);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
-use hermes_types::{Cycle, LineAddr};
+use hermes_types::{Cycle, Hist, LineAddr};
 
 use crate::config::DramConfig;
 use crate::mapping::map_line;
@@ -95,6 +95,18 @@ pub struct DramStats {
     /// Write enqueues that found every slot of their pool busy (the
     /// write had to wait for a slot before even contending for a bank).
     pub wq_full_stalls: u64,
+    /// Read-queue occupancy observed by each new (non-merged) read at
+    /// arrival, linear-bucketed per slot count ([`Hist::record_linear`];
+    /// bucket 31 saturates). The distribution the speculative-read
+    /// bandwidth guard actually gates on — `wq_occupancy_sum` averaged
+    /// away exactly this shape.
+    pub rq_occupancy_hist: Hist,
+    /// Write-pool occupancy observed by each writeback at arrival,
+    /// linear-bucketed (the histogram form of `wq_occupancy_sum`).
+    pub wq_occupancy_hist: Hist,
+    /// Queueing delay (slot wait: scheduled start minus arrival) of every
+    /// read and write, log2-bucketed ([`Hist::record_log2`]).
+    pub queue_delay_hist: Hist,
 }
 
 impl DramStats {
@@ -171,18 +183,24 @@ impl MemoryController {
         } else {
             &mut self.rq_slots[loc.channel]
         };
+        let busy = slots.iter().filter(|c| **c > arrival).count() as u64;
         if is_write {
-            let busy = slots.iter().filter(|c| **c > arrival).count() as u64;
             self.stats.wq_occupancy_sum += busy;
+            self.stats.wq_occupancy_hist.record_linear(busy);
             if busy as usize == slots.len() {
                 self.stats.wq_full_stalls += 1;
             }
+        } else {
+            self.stats.rq_occupancy_hist.record_linear(busy);
         }
         let slot = slots
             .iter_mut()
             .min_by_key(|c| **c)
             .expect("queue capacity validated nonzero");
         let start = arrival.max(*slot);
+        self.stats
+            .queue_delay_hist
+            .record_log2(start.saturating_sub(arrival));
 
         let bank = &mut self.banks[loc.channel * self.cfg.banks_per_channel() + loc.bank];
         let t0 = start.max(bank.ready);
@@ -307,6 +325,26 @@ impl MemoryController {
         let loc = map_line(&self.cfg, line);
         let slots = &self.rq_slots[loc.channel];
         (slots.iter().filter(|c| **c > now).count(), slots.len())
+    }
+
+    /// Instantaneous queue occupancy across every channel at `now`:
+    /// `(read slots busy, read capacity, write slots busy, write
+    /// capacity)`. Write numbers are zero when writes share the read
+    /// queue. Pure observation for interval telemetry — never consulted
+    /// by scheduling decisions.
+    pub fn queue_occupancy(&self, now: Cycle) -> (usize, usize, usize, usize) {
+        let busy = |q: &[Vec<Cycle>]| {
+            q.iter()
+                .map(|s| s.iter().filter(|c| **c > now).count())
+                .sum::<usize>()
+        };
+        let cap = |q: &[Vec<Cycle>]| q.iter().map(|s| s.len()).sum::<usize>();
+        (
+            busy(&self.rq_slots),
+            cap(&self.rq_slots),
+            busy(&self.wq_slots),
+            cap(&self.wq_slots),
+        )
     }
 
     /// Statistics so far.
@@ -600,6 +638,53 @@ mod tests {
         assert_eq!(shared.stats().wq_occupancy_sum, 0);
         shared.enqueue_write(LineAddr::new(2), 0);
         assert_eq!(shared.stats().wq_occupancy_sum, 1);
+    }
+
+    #[test]
+    fn occupancy_histograms_track_queue_shape() {
+        let mut m = MemoryController::new(DramConfig::single_core().with_write_queue(2));
+        // Reads: first sees 0 busy, second sees 1, third sees 2 (all to
+        // distinct banks so completions don't collapse the queue).
+        for i in 0..3u64 {
+            m.enqueue_read(LineAddr::new(i * 1097), 0, ReqKind::Demand);
+        }
+        let s = *m.stats();
+        assert_eq!(s.rq_occupancy_hist.count(), 3);
+        assert_eq!(s.rq_occupancy_hist.buckets[0], 1);
+        assert_eq!(s.rq_occupancy_hist.buckets[1], 1);
+        assert_eq!(s.rq_occupancy_hist.buckets[2], 1);
+        // A merged read claims no slot and records nothing.
+        m.enqueue_read(LineAddr::new(0), 0, ReqKind::Demand);
+        assert_eq!(m.stats().rq_occupancy_hist.count(), 3);
+        // Writes mirror wq_occupancy_sum bucket by bucket.
+        for i in 0..4u64 {
+            m.enqueue_write(LineAddr::new(5000 + i * 1097), 0);
+        }
+        let s = *m.stats();
+        assert_eq!(s.wq_occupancy_hist.count(), 4);
+        assert_eq!(s.wq_occupancy_hist.buckets[0], 1);
+        assert_eq!(s.wq_occupancy_hist.buckets[1], 1);
+        assert_eq!(s.wq_occupancy_hist.buckets[2], 2);
+        assert_eq!(
+            s.wq_occupancy_hist.mean_linear() * 4.0,
+            s.wq_occupancy_sum as f64
+        );
+        // Every scheduled request recorded a queue delay; the first read
+        // arrived into an empty queue (delay 0).
+        assert_eq!(s.queue_delay_hist.count(), 3 + 4);
+        assert!(s.queue_delay_hist.buckets[0] >= 1);
+    }
+
+    #[test]
+    fn queue_occupancy_observes_busy_slots() {
+        let mut m = MemoryController::new(DramConfig::single_core().with_write_queue(4));
+        let (rb, rc, wb, wc) = m.queue_occupancy(0);
+        assert_eq!((rb, wb), (0, 0));
+        assert_eq!(rc, DramConfig::single_core().rq_capacity);
+        assert_eq!(wc, 4);
+        let r = m.enqueue_read(LineAddr::new(1), 0, ReqKind::Demand);
+        assert_eq!(m.queue_occupancy(0).0, 1);
+        assert_eq!(m.queue_occupancy(r.completes_at).0, 0, "slot frees");
     }
 
     #[test]

@@ -40,8 +40,11 @@ use crate::Provenance;
 /// TTP-training fix legitimately moved TTP-predictor results); v6 adds
 /// coherence-aware prediction (`HermesConfig` grew the `coh_features`
 /// and `filter` knobs, entering every fingerprint, and `RunLite` grew
-/// the speculative-read and confusion-matrix fields).
-pub const CACHE_SCHEMA_VERSION: u32 = 6;
+/// the speculative-read and confusion-matrix fields); v7 adds the
+/// observability layer (`SystemConfig` grew the `probe` field, entering
+/// every fingerprint, and `RunLite` grew the DRAM queue-occupancy /
+/// queue-delay and latency-quantile fields).
+pub const CACHE_SCHEMA_VERSION: u32 = 7;
 
 /// How long a lock file may sit untouched before a waiter assumes its
 /// owner died and breaks it. Generous: a legitimate `--full` eight-core

@@ -74,13 +74,34 @@ pub struct RunLite {
     pub pred_fn: f64,
     /// Not predicted, served on-chip.
     pub pred_tn: f64,
+    /// Mean DRAM read-queue occupancy observed at demand-read enqueue
+    /// (always measured, probe on or off — it replaces the old guess
+    /// from `wq_occupancy_sum`-style averages with a real histogram).
+    pub rq_occ_mean: f64,
+    /// 95th-percentile DRAM read-queue occupancy at enqueue.
+    pub rq_occ_p95: f64,
+    /// 95th-percentile DRAM write-queue occupancy at enqueue.
+    pub wq_occ_p95: f64,
+    /// 95th-percentile DRAM queue delay in cycles (enqueue to service
+    /// start; log2-bucketed, reported as the bucket upper bound).
+    pub dram_qdelay_p95: f64,
+    /// Median off-chip load latency (probe runs only; 0 with probe off).
+    pub offchip_lat_p50: f64,
+    /// 95th-percentile off-chip load latency (probe runs only).
+    pub offchip_lat_p95: f64,
+    /// 99th-percentile off-chip load latency (probe runs only).
+    pub offchip_lat_p99: f64,
+    /// Median LLC-hit load latency (probe runs only).
+    pub llc_hit_lat_p50: f64,
+    /// 95th-percentile page-walk latency (probe runs with vm on only).
+    pub walk_lat_p95: f64,
     /// Measured cycles.
     pub cycles: f64,
 }
 
 /// Field order used by both the `key=value` cache format and the JSON
 /// manifest, so the two never drift apart.
-pub(crate) const FIELDS: [&str; 29] = [
+pub(crate) const FIELDS: [&str; 38] = [
     "ipc",
     "llc_mpki",
     "offchip_rate",
@@ -109,17 +130,32 @@ pub(crate) const FIELDS: [&str; 29] = [
     "pred_fp",
     "pred_fn",
     "pred_tn",
+    "rq_occ_mean",
+    "rq_occ_p95",
+    "wq_occ_p95",
+    "dram_qdelay_p95",
+    "offchip_lat_p50",
+    "offchip_lat_p95",
+    "offchip_lat_p99",
+    "llc_hit_lat_p50",
+    "walk_lat_p95",
     "cycles",
 ];
 
 impl RunLite {
     /// Extracts the record from full run statistics.
     pub fn from_stats(r: &RunStats) -> Self {
+        use hermes_probe::LatClass;
         let n = r.cores.len() as f64;
         let mean = |f: &dyn Fn(&hermes_sim::stats::CoreRunStats) -> f64| {
             r.cores.iter().map(f).sum::<f64>() / n
         };
         let p = r.pred_total();
+        // Latency quantiles exist only on probed runs; a probe-off run
+        // records zeros (distinguishable from real data by `cycles > 0`
+        // and the zero `offchip_lat_p50` together).
+        let probe_q =
+            |f: &dyn Fn(&hermes_probe::ProbeReport) -> f64| r.probe.as_ref().map(f).unwrap_or(0.0);
         Self {
             ipc: mean(&|c| c.ipc()),
             llc_mpki: mean(&|c| c.llc_mpki()),
@@ -149,6 +185,15 @@ impl RunLite {
             pred_fp: p.fp as f64,
             pred_fn: p.fn_ as f64,
             pred_tn: p.tn as f64,
+            rq_occ_mean: r.dram.rq_occupancy_hist.mean_linear(),
+            rq_occ_p95: r.dram.rq_occupancy_hist.quantile_linear(0.95),
+            wq_occ_p95: r.dram.wq_occupancy_hist.quantile_linear(0.95),
+            dram_qdelay_p95: r.dram.queue_delay_hist.quantile_log2(0.95),
+            offchip_lat_p50: probe_q(&|pr| pr.lat_hist(LatClass::Offchip).quantile_log2(0.5)),
+            offchip_lat_p95: probe_q(&|pr| pr.lat_hist(LatClass::Offchip).quantile_log2(0.95)),
+            offchip_lat_p99: probe_q(&|pr| pr.lat_hist(LatClass::Offchip).quantile_log2(0.99)),
+            llc_hit_lat_p50: probe_q(&|pr| pr.lat_hist(LatClass::Llc).quantile_log2(0.5)),
+            walk_lat_p95: probe_q(&|pr| pr.lat_walk.quantile_log2(0.95)),
             cycles: r.total_cycles as f64,
         }
     }
@@ -184,6 +229,15 @@ impl RunLite {
             "pred_fp" => self.pred_fp,
             "pred_fn" => self.pred_fn,
             "pred_tn" => self.pred_tn,
+            "rq_occ_mean" => self.rq_occ_mean,
+            "rq_occ_p95" => self.rq_occ_p95,
+            "wq_occ_p95" => self.wq_occ_p95,
+            "dram_qdelay_p95" => self.dram_qdelay_p95,
+            "offchip_lat_p50" => self.offchip_lat_p50,
+            "offchip_lat_p95" => self.offchip_lat_p95,
+            "offchip_lat_p99" => self.offchip_lat_p99,
+            "llc_hit_lat_p50" => self.llc_hit_lat_p50,
+            "walk_lat_p95" => self.walk_lat_p95,
             "cycles" => self.cycles,
             _ => unreachable!("unknown field {field}"),
         }
@@ -219,6 +273,15 @@ impl RunLite {
             "pred_fp" => self.pred_fp = v,
             "pred_fn" => self.pred_fn = v,
             "pred_tn" => self.pred_tn = v,
+            "rq_occ_mean" => self.rq_occ_mean = v,
+            "rq_occ_p95" => self.rq_occ_p95 = v,
+            "wq_occ_p95" => self.wq_occ_p95 = v,
+            "dram_qdelay_p95" => self.dram_qdelay_p95 = v,
+            "offchip_lat_p50" => self.offchip_lat_p50 = v,
+            "offchip_lat_p95" => self.offchip_lat_p95 = v,
+            "offchip_lat_p99" => self.offchip_lat_p99 = v,
+            "llc_hit_lat_p50" => self.llc_hit_lat_p50 = v,
+            "walk_lat_p95" => self.walk_lat_p95 = v,
             "cycles" => self.cycles = v,
             _ => return false,
         }
@@ -300,6 +363,15 @@ mod tests {
             pred_fp: 20.0,
             pred_fn: 30.0,
             pred_tn: 9000.0,
+            rq_occ_mean: 3.25,
+            rq_occ_p95: 12.0,
+            wq_occ_p95: 5.0,
+            dram_qdelay_p95: 127.0,
+            offchip_lat_p50: 255.0,
+            offchip_lat_p95: 511.0,
+            offchip_lat_p99: 1023.0,
+            llc_hit_lat_p50: 63.0,
+            walk_lat_p95: 127.0,
             cycles: 123.0,
         };
         let back = RunLite::from_kv(&r.to_kv()).unwrap();

@@ -1,0 +1,237 @@
+//! The interval metrics timeline: periodic deltas of the counters that
+//! matter for phase behaviour, exported as JSONL (one JSON object per
+//! line — streamable, `jq`-friendly, loadable row-by-row without a
+//! document parser).
+
+use hermes_types::Cycle;
+
+use crate::json::escape_json;
+use crate::ProbeReport;
+
+/// Cumulative totals handed to the probe at a snapshot boundary. The
+/// simulator fills this from its live counters; the probe computes
+/// deltas against the previous snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalInput {
+    /// Cycle of the snapshot (measured from run start; the timeline is
+    /// measurement-window only).
+    pub cycle: Cycle,
+    /// Per-core instructions retired since the measurement started.
+    pub retired: Vec<u64>,
+    /// Per-core cumulative predictor confusion matrix `[tp, fp, fn,
+    /// tn]`.
+    pub pred: Vec<[u64; 4]>,
+    /// Per-core cumulative speculative-read `[useful, wasted]` counts.
+    pub spec: Vec<[u64; 2]>,
+    /// Per-level cumulative demand misses, innermost first, as
+    /// `(level name, misses)`.
+    pub level_misses: Vec<(String, u64)>,
+    /// Instantaneous DRAM read-queue occupancy `(busy, capacity)`.
+    pub dram_rq: (usize, usize),
+    /// Instantaneous DRAM write-queue occupancy (zero capacity when
+    /// writes share the read queue).
+    pub dram_wq: (usize, usize),
+    /// Translations currently in flight.
+    pub walks_in_flight: usize,
+}
+
+/// One core's share of an interval delta.
+#[derive(Debug, Clone, Default)]
+pub struct CoreInterval {
+    /// Instructions retired this interval.
+    pub retired: u64,
+    /// IPC over the interval.
+    pub ipc: f64,
+    /// Confusion-matrix delta `[tp, fp, fn, tn]`.
+    pub pred: [u64; 4],
+    /// Speculative-read delta `[useful, wasted]`.
+    pub spec: [u64; 2],
+}
+
+/// One interval of the timeline: deltas between two snapshot boundaries
+/// plus instantaneous queue state at the closing boundary.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalSnapshot {
+    /// Closing cycle of the interval.
+    pub cycle: Cycle,
+    /// Interval length in cycles (snapshots ride the stepping loop, so
+    /// under idle fast-forward an interval can exceed the configured
+    /// length; the true length is recorded).
+    pub dcycles: u64,
+    /// Per-core deltas.
+    pub cores: Vec<CoreInterval>,
+    /// Per-level `(name, miss delta, MPKI over the interval)`.
+    pub levels: Vec<(String, u64, f64)>,
+    /// DRAM read-queue occupancy at the boundary.
+    pub dram_rq: (usize, usize),
+    /// DRAM write-queue occupancy at the boundary.
+    pub dram_wq: (usize, usize),
+    /// Translations in flight at the boundary.
+    pub walks_in_flight: usize,
+}
+
+impl IntervalSnapshot {
+    /// Builds the delta snapshot between `prev` (or zero at the first
+    /// boundary) and `now`.
+    pub(crate) fn delta(prev: Option<&IntervalInput>, now: &IntervalInput) -> Self {
+        let zero = IntervalInput::default();
+        let prev = prev.unwrap_or(&zero);
+        let dcycles = now.cycle.saturating_sub(prev.cycle);
+        let get = |v: &[u64], i: usize| v.get(i).copied().unwrap_or(0);
+        let cores = (0..now.retired.len())
+            .map(|i| {
+                let retired = now.retired[i] - get(&prev.retired, i);
+                let p = now.pred[i];
+                let q = prev.pred.get(i).copied().unwrap_or([0; 4]);
+                let s = now.spec[i];
+                let r = prev.spec.get(i).copied().unwrap_or([0; 2]);
+                CoreInterval {
+                    retired,
+                    ipc: if dcycles == 0 {
+                        0.0
+                    } else {
+                        retired as f64 / dcycles as f64
+                    },
+                    pred: [p[0] - q[0], p[1] - q[1], p[2] - q[2], p[3] - q[3]],
+                    spec: [s[0] - r[0], s[1] - r[1]],
+                }
+            })
+            .collect::<Vec<_>>();
+        let dinstr: u64 = cores.iter().map(|c| c.retired).sum();
+        let levels = now
+            .level_misses
+            .iter()
+            .enumerate()
+            .map(|(i, (name, m))| {
+                let pm = prev.level_misses.get(i).map(|(_, m)| *m).unwrap_or(0);
+                let dm = m - pm;
+                let mpki = if dinstr == 0 {
+                    0.0
+                } else {
+                    dm as f64 * 1000.0 / dinstr as f64
+                };
+                (name.clone(), dm, mpki)
+            })
+            .collect();
+        Self {
+            cycle: now.cycle,
+            dcycles,
+            cores,
+            levels,
+            dram_rq: now.dram_rq,
+            dram_wq: now.dram_wq,
+            walks_in_flight: now.walks_in_flight,
+        }
+    }
+
+    /// Renders the snapshot as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"cycle\": {}, \"dcycles\": {}, \"cores\": [",
+            self.cycle, self.dcycles
+        );
+        for (i, c) in self.cores.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"retired\": {}, \"ipc\": {:.6}, \
+                 \"pred\": {{\"tp\": {}, \"fp\": {}, \"fn\": {}, \"tn\": {}}}, \
+                 \"spec_useful\": {}, \"spec_wasted\": {}}}",
+                c.retired, c.ipc, c.pred[0], c.pred[1], c.pred[2], c.pred[3], c.spec[0], c.spec[1]
+            ));
+        }
+        s.push_str("], \"levels\": [");
+        for (i, (name, dm, mpki)) in self.levels.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"name\": \"{}\", \"misses\": {}, \"mpki\": {:.4}}}",
+                escape_json(name),
+                dm,
+                mpki
+            ));
+        }
+        s.push_str(&format!(
+            "], \"dram\": {{\"rq_busy\": {}, \"rq_cap\": {}, \"wq_busy\": {}, \"wq_cap\": {}}}, \
+             \"walks_in_flight\": {}}}",
+            self.dram_rq.0, self.dram_rq.1, self.dram_wq.0, self.dram_wq.1, self.walks_in_flight
+        ));
+        s
+    }
+}
+
+impl ProbeReport {
+    /// Renders the interval timeline as JSONL: one snapshot object per
+    /// line, oldest first. Empty string when no snapshot fired.
+    pub fn to_interval_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.intervals {
+            out.push_str(&s.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate_json;
+    use crate::{Probe, ProbeConfig};
+
+    fn input(cycle: u64, retired: u64, tp: u64, misses: u64) -> IntervalInput {
+        IntervalInput {
+            cycle,
+            retired: vec![retired, retired / 2],
+            pred: vec![[tp, 1, 0, 2], [0; 4]],
+            spec: vec![[tp, 0], [0; 2]],
+            level_misses: vec![("L1D".into(), misses * 10), ("LLC".into(), misses)],
+            dram_rq: (3, 64),
+            dram_wq: (0, 0),
+            walks_in_flight: 1,
+        }
+    }
+
+    #[test]
+    fn deltas_between_snapshots() {
+        let mut p = Probe::new(ProbeConfig::baseline());
+        p.snapshot(input(1000, 500, 5, 20));
+        p.snapshot(input(3000, 1500, 9, 50));
+        let r = p.report();
+        assert_eq!(r.intervals.len(), 2);
+        let a = &r.intervals[0];
+        assert_eq!((a.cycle, a.dcycles), (1000, 1000));
+        assert_eq!(a.cores[0].retired, 500);
+        assert_eq!(a.cores[0].ipc, 0.5);
+        let b = &r.intervals[1];
+        assert_eq!((b.cycle, b.dcycles), (3000, 2000));
+        assert_eq!(b.cores[0].retired, 1000);
+        assert_eq!(b.cores[0].pred, [4, 0, 0, 0]);
+        assert_eq!(b.cores[0].spec, [4, 0]);
+        // Level deltas and MPKI over interval instructions (1000 + 500).
+        assert_eq!(b.levels[1].1, 30);
+        assert!((b.levels[1].2 - 30.0 * 1000.0 / 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jsonl_lines_parse_independently() {
+        let mut p = Probe::new(ProbeConfig::baseline());
+        p.snapshot(input(1000, 500, 5, 20));
+        p.snapshot(input(2000, 900, 7, 30));
+        let out = p.report().to_interval_jsonl();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for l in lines {
+            validate_json(l).expect("each JSONL line must be valid JSON");
+            assert!(l.contains("\"ipc\""));
+            assert!(l.contains("\"rq_busy\""));
+        }
+    }
+
+    #[test]
+    fn empty_timeline_renders_empty() {
+        assert_eq!(ProbeReport::default().to_interval_jsonl(), "");
+    }
+}

@@ -1,0 +1,254 @@
+//! Minimal JSON helpers for the probe's hand-rolled exports: string
+//! escaping on the way out, and a recursive-descent syntax checker used
+//! by tests and by `probe_demo` to self-validate its artifacts before
+//! declaring success. The workspace is vendored-only (no serde), so the
+//! checker is deliberately small: it verifies syntax, not schema.
+
+/// Escapes a string for embedding inside a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Checks that `s` is exactly one syntactically valid JSON value
+/// (surrounding whitespace allowed). Returns the byte offset and a
+/// message on the first error.
+pub fn validate_json(s: &str) -> Result<(), (usize, String)> {
+    let b = s.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.i != b.len() {
+        return Err((p.i, "trailing characters after JSON value".into()));
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn err<T>(&self, msg: &str) -> Result<T, (usize, String)> {
+        Err((self.i, msg.into()))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), (usize, String)> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", c as char))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), (usize, String)> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => self.err("expected a JSON value"),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), (usize, String)> {
+        self.eat(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return self.err("expected ',' or '}' in object"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), (usize, String)> {
+        self.eat(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return self.err("expected ',' or ']' in array"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), (usize, String)> {
+        self.eat(b'"')?;
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.i += 1;
+                        }
+                        Some(b'u') => {
+                            self.i += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(c) if c.is_ascii_hexdigit() => self.i += 1,
+                                    _ => return self.err("invalid \\u escape"),
+                                }
+                            }
+                        }
+                        _ => return self.err("invalid escape sequence"),
+                    }
+                }
+                Some(c) if c < 0x20 => return self.err("raw control character in string"),
+                Some(_) => self.i += 1,
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), (usize, String)> {
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let digits = |p: &mut Self| -> Result<(), (usize, String)> {
+            let start = p.i;
+            while matches!(p.peek(), Some(c) if c.is_ascii_digit()) {
+                p.i += 1;
+            }
+            if p.i == start {
+                return p.err("expected digits");
+            }
+            Ok(())
+        };
+        digits(self)?;
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            digits(self)?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            digits(self)?;
+        }
+        Ok(())
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), (usize, String)> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            self.err(&format!("expected '{lit}'"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_special_characters() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+        assert_eq!(escape_json("plain"), "plain");
+    }
+
+    #[test]
+    fn accepts_valid_documents() {
+        for s in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-12.5e-3",
+            "\"esc \\\" \\u00ff\"",
+            "{\"a\": [1, 2, {\"b\": null}], \"c\": \"x\"}",
+            "  [1, 2]  ",
+        ] {
+            validate_json(s).unwrap_or_else(|e| panic!("{s:?} rejected: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_documents() {
+        for s in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "{'a': 1}",
+            "tru",
+            "1 2",
+            "\"unterminated",
+            "{\"a\": 01x}",
+            "[1, 2] trailing",
+            "\"bad \\q escape\"",
+        ] {
+            assert!(validate_json(s).is_err(), "{s:?} wrongly accepted");
+        }
+    }
+
+    #[test]
+    fn escaped_output_round_trips_through_validator() {
+        let hostile = "quote\" slash\\ nl\n tab\t ctl\u{2}";
+        let doc = format!("{{\"k\": \"{}\"}}", escape_json(hostile));
+        validate_json(&doc).expect("escaped string must validate");
+    }
+}

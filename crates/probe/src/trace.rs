@@ -1,0 +1,207 @@
+//! Per-load lifecycle traces and their Chrome/Perfetto `trace_event`
+//! export.
+//!
+//! The export follows the Trace Event Format's JSON-object flavour
+//! (`{"traceEvents": [...]}`), which both `chrome://tracing` and
+//! `ui.perfetto.dev` open directly. Each traced load becomes one
+//! complete ("X") slice from issue to retirement, with every recorded
+//! lifecycle event as an instant ("i") marker; cores map to process ids
+//! and load tokens to thread ids, so Perfetto lays loads out per core
+//! with overlapping loads on separate tracks. Timestamps are simulated
+//! cycles reported in the format's microsecond field — absolute time is
+//! meaningless in simulation, so 1 cycle = 1 µs keeps the UI readable.
+
+use hermes_types::Cycle;
+
+use crate::json::escape_json;
+use crate::ProbeReport;
+
+/// One recorded lifecycle event of a traced load.
+#[derive(Debug, Clone)]
+pub struct LoadEvent {
+    /// Cycle at which the event happened.
+    pub at: Cycle,
+    /// Stable event kind (e.g. `"llc_miss"`, `"hermes_spec_read"`).
+    pub kind: &'static str,
+    /// Free-form detail (empty for most events).
+    pub detail: String,
+}
+
+/// The lifecycle of one sampled demand load.
+#[derive(Debug, Clone)]
+pub struct TracedLoad {
+    /// Issuing core.
+    pub core: usize,
+    /// Per-core load sequence token.
+    pub token: u64,
+    /// Load PC.
+    pub pc: u64,
+    /// Raw physical line address.
+    pub line: u64,
+    /// Issue cycle.
+    pub issue: Cycle,
+    /// Recorded events, in insertion (simulation) order.
+    pub events: Vec<LoadEvent>,
+    /// Retirement-side completion cycle; `None` if the run ended with
+    /// the load in flight.
+    pub retire: Option<Cycle>,
+    /// Serving-class label (`"l1"`, `"l2"`, `"llc"`, `"offchip"`);
+    /// empty until finished.
+    pub served: &'static str,
+}
+
+impl TracedLoad {
+    pub(crate) fn new(core: usize, token: u64, pc: u64, line: u64, issue: Cycle) -> Self {
+        Self {
+            core,
+            token,
+            pc,
+            line,
+            issue,
+            events: Vec::new(),
+            retire: None,
+            served: "",
+        }
+    }
+
+    pub(crate) fn push(&mut self, at: Cycle, kind: &'static str, detail: String) {
+        self.events.push(LoadEvent { at, kind, detail });
+    }
+
+    pub(crate) fn finish(&mut self, at: Cycle, served: &'static str) {
+        self.retire = Some(at);
+        self.served = served;
+    }
+
+    /// Load latency in cycles (`None` while in flight).
+    pub fn latency(&self) -> Option<Cycle> {
+        self.retire.map(|r| r - self.issue)
+    }
+}
+
+impl ProbeReport {
+    /// Renders the sampled traces as Chrome `trace_event` JSON (see
+    /// [module docs](self)). Always valid JSON, even with zero traces.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("{\"traceEvents\": [");
+        let mut first = true;
+        let mut emit = |s: String, first: &mut bool| {
+            if !*first {
+                out.push(',');
+            }
+            *first = false;
+            out.push_str("\n  ");
+            out.push_str(&s);
+        };
+        let cores: std::collections::BTreeSet<usize> = self.traces.iter().map(|t| t.core).collect();
+        for core in cores {
+            emit(
+                format!(
+                    "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {core}, \
+                     \"args\": {{\"name\": \"core {core}\"}}}}"
+                ),
+                &mut first,
+            );
+        }
+        for t in &self.traces {
+            // The slice spans issue → retirement; an unfinished load
+            // extends to its last recorded event so it stays visible.
+            let end = t
+                .retire
+                .unwrap_or_else(|| t.events.last().map(|e| e.at).max(Some(t.issue)).unwrap());
+            let served = if t.served.is_empty() {
+                "inflight"
+            } else {
+                t.served
+            };
+            emit(
+                format!(
+                    "{{\"name\": \"load pc={:#x}\", \"cat\": \"load\", \"ph\": \"X\", \
+                     \"ts\": {}, \"dur\": {}, \"pid\": {}, \"tid\": {}, \
+                     \"args\": {{\"token\": {}, \"line\": \"{:#x}\", \"served\": \"{}\"}}}}",
+                    t.pc,
+                    t.issue,
+                    end - t.issue,
+                    t.core,
+                    t.token,
+                    t.token,
+                    t.line,
+                    served
+                ),
+                &mut first,
+            );
+            for e in &t.events {
+                let args = if e.detail.is_empty() {
+                    String::from("{}")
+                } else {
+                    format!("{{\"detail\": \"{}\"}}", escape_json(&e.detail))
+                };
+                emit(
+                    format!(
+                        "{{\"name\": \"{}\", \"cat\": \"event\", \"ph\": \"i\", \"s\": \"t\", \
+                         \"ts\": {}, \"pid\": {}, \"tid\": {}, \"args\": {}}}",
+                        escape_json(e.kind),
+                        e.at,
+                        t.core,
+                        t.token,
+                        args
+                    ),
+                    &mut first,
+                );
+            }
+        }
+        out.push_str("\n], \"displayTimeUnit\": \"ms\"}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate_json;
+    use crate::{LatClass, Probe, ProbeConfig};
+
+    fn traced_report() -> ProbeReport {
+        let mut p = Probe::new(ProbeConfig {
+            sample_period: 1,
+            interval: 0,
+            max_trace_loads: 16,
+        });
+        p.on_issue(0, 0, 0x400100, 0xDEAD, 5);
+        p.on_prediction(0, 0, true, 12, true, None);
+        p.on_core_line_event(0, 0xDEAD, 20, "llc_miss", "");
+        p.on_core_line_event(0, 0xDEAD, 21, "dram_enqueue", "");
+        p.on_line_event(0xDEAD, 180, "dram_fill");
+        p.on_finish(0, 0, 0xDEAD, LatClass::Offchip, 180, true, 185);
+        p.on_issue(1, 1, 0x400200, 0xBEEF, 30); // left in flight
+        p.report()
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_expected_shape() {
+        let r = traced_report();
+        let s = r.to_chrome_trace();
+        validate_json(&s).expect("trace export must be valid JSON");
+        assert!(s.starts_with("{\"traceEvents\": ["));
+        assert!(s.contains("\"ph\": \"X\""), "complete slice present");
+        assert!(s.contains("\"ph\": \"i\""), "instant events present");
+        assert!(s.contains("\"ph\": \"M\""), "process metadata present");
+        assert!(s.contains("llc_miss") && s.contains("dram_fill"));
+        assert!(s.contains("\"served\": \"offchip\""));
+        assert!(s.contains("\"served\": \"inflight\""), "open load visible");
+    }
+
+    #[test]
+    fn empty_report_is_still_valid_json() {
+        let s = ProbeReport::default().to_chrome_trace();
+        validate_json(&s).expect("empty trace must be valid JSON");
+        assert!(s.contains("\"traceEvents\""));
+    }
+
+    #[test]
+    fn latency_derives_from_issue_and_retire() {
+        let r = traced_report();
+        assert_eq!(r.traces[0].latency(), Some(180));
+        assert_eq!(r.traces[1].latency(), None);
+    }
+}

@@ -7,6 +7,7 @@ use hermes_cache::{CacheConfig, CoherenceConfig, LevelConfig, LevelScope, Replac
 use hermes_cpu::CoreConfig;
 use hermes_dram::DramConfig;
 use hermes_prefetch::PrefetcherKind;
+use hermes_probe::ProbeConfig;
 use hermes_vm::VmConfig;
 
 /// Complete description of a simulated system.
@@ -63,6 +64,15 @@ pub struct SystemConfig {
     /// POPET configuration (feature set, table sizes, thresholds) used
     /// when `hermes.predictor` is POPET.
     pub popet: PopetConfig,
+    /// Observability probe (per-load lifecycle traces, interval metrics
+    /// timeline, latency histograms). `None` — the default everywhere —
+    /// compiles every hook down to a skipped `if let`, keeps the
+    /// simulation byte-identical to a probe-free build, and adds no
+    /// allocation; `Some` samples loads deterministically (no RNG, so
+    /// runs stay reproducible) and never feeds anything back into
+    /// timing: a probed run and an unprobed run of the same workload
+    /// produce identical statistics.
+    pub probe: Option<ProbeConfig>,
     /// Cycles a retry waits when an MSHR is full.
     pub mshr_retry: u32,
     /// Idle-cycle fast-forward in [`crate::System::run`]: when every core
@@ -92,6 +102,7 @@ impl SystemConfig {
             prefetcher: PrefetcherKind::Pythia,
             hermes: HermesConfig::disabled(),
             popet: PopetConfig::paper(),
+            probe: None,
             mshr_retry: 4,
             fast_forward: true,
         }
@@ -203,6 +214,13 @@ impl SystemConfig {
     /// changes results, only wall-clock time).
     pub fn with_fast_forward(mut self, on: bool) -> Self {
         self.fast_forward = on;
+        self
+    }
+
+    /// Attaches the observability probe (off by default; never changes
+    /// results, only records them — see [`SystemConfig::probe`]).
+    pub fn with_probe(mut self, probe: ProbeConfig) -> Self {
+        self.probe = Some(probe);
         self
     }
 
@@ -471,6 +489,17 @@ mod tests {
             ])
             .with_coherence(CoherenceConfig::baseline())
             .validate();
+    }
+
+    #[test]
+    fn probe_config_attaches_and_defaults_off() {
+        assert!(
+            SystemConfig::baseline_1c().probe.is_none(),
+            "probe off by default"
+        );
+        let c = SystemConfig::baseline_1c().with_probe(ProbeConfig::baseline());
+        assert_eq!(c.probe.as_ref().map(|p| p.sample_period), Some(64));
+        c.validate();
     }
 
     #[test]

@@ -127,6 +127,7 @@ use hermes_cache::{CacheLevel, LevelStats, Mesi};
 use hermes_cpu::{LoadIssue, MemoryPort, ServedBy, StoreIssue};
 use hermes_dram::{Completion, MemoryController, ReqKind};
 use hermes_prefetch::{self as pf, AccessCtx, PrefetchReq, Prefetcher};
+use hermes_probe::{IntervalInput, LatClass, Probe, ProbeReport};
 use hermes_types::{Cycle, LineAddr, PhysAddr, VirtAddr};
 use hermes_vm::{PageMap, Tlb, VmConfig, WalkCache};
 
@@ -484,6 +485,10 @@ pub struct Hierarchy {
     coh_tables: Vec<CohEventTable>,
     /// Translation subsystem; `None` = historical free translation.
     vm: Option<VmFrontend>,
+    /// Observability probe; `None` (the default) skips every hook with
+    /// one discriminant test. Boxed so the common probe-free hierarchy
+    /// doesn't carry the probe's maps inline.
+    probe: Option<Box<Probe>>,
 }
 
 fn key(core: usize, token: u64) -> u64 {
@@ -562,6 +567,7 @@ impl Hierarchy {
             filters: (0..n).map(|_| SpecReadFilter::new()).collect(),
             coh_tables: (0..n).map(|_| CohEventTable::new()).collect(),
             vm: cfg.vm.as_ref().map(|v| VmFrontend::new(v, n)),
+            probe: cfg.probe.clone().map(|p| Box::new(Probe::new(p))),
             cfg,
         }
     }
@@ -620,6 +626,33 @@ impl Hierarchy {
         self.dram.stats()
     }
 
+    /// The attached probe's configuration (`None` when observability is
+    /// off).
+    pub fn probe_config(&self) -> Option<&hermes_probe::ProbeConfig> {
+        self.probe.as_deref().map(|p| p.config())
+    }
+
+    /// Feeds one interval-timeline snapshot to the probe (no-op with the
+    /// probe off). Called by [`crate::System::run`] at interval
+    /// boundaries with the cumulative measurement counters.
+    pub fn probe_snapshot(&mut self, input: IntervalInput) {
+        if let Some(p) = &mut self.probe {
+            p.snapshot(input);
+        }
+    }
+
+    /// Clones the probe's accumulated observations out (`None` with the
+    /// probe off).
+    pub fn probe_report(&self) -> Option<ProbeReport> {
+        self.probe.as_deref().map(|p| p.report())
+    }
+
+    /// Instantaneous DRAM queue occupancy `(rq busy, rq capacity,
+    /// wq busy, wq capacity)` — pure observation for interval snapshots.
+    pub fn dram_occupancy(&self, now: Cycle) -> (usize, usize, usize, usize) {
+        self.dram.queue_occupancy(now)
+    }
+
     /// Zeroes accumulated statistics (warmup boundary). Microarchitectural
     /// state (caches, predictors, prefetchers) is preserved.
     pub fn reset_stats(&mut self) {
@@ -635,6 +668,12 @@ impl Hierarchy {
         // Statistics only: in-flight reads must survive the boundary or
         // their waiters (MSHRs, cores) would strand.
         self.dram.reset_stats();
+        // Warmup traces and histograms are discarded with the rest of the
+        // statistics; loads in flight across the boundary simply go
+        // unrecorded (their on_finish finds no trace entry).
+        if let Some(p) = &mut self.probe {
+            p.reset();
+        }
     }
 
     /// The earliest cycle at which this hierarchy has any work to do —
@@ -725,6 +764,23 @@ impl Hierarchy {
         if let Some(rec) = self.loads.remove(&key(core, token)) {
             let offchip = served.is_offchip();
             let dram_fill = offchip && !coh_served;
+            if let Some(p) = &mut self.probe {
+                let class = match served {
+                    ServedBy::L1 => LatClass::L1,
+                    ServedBy::L2 => LatClass::L2,
+                    ServedBy::Llc => LatClass::Llc,
+                    ServedBy::Dram => LatClass::Offchip,
+                };
+                p.on_finish(
+                    core,
+                    token,
+                    rec.ctx.pline.raw(),
+                    class,
+                    now.saturating_sub(rec.issue),
+                    rec.fired,
+                    now,
+                );
+            }
             if rec.fired {
                 if dram_fill {
                     self.stats[core].spec_reads_useful += 1;
@@ -793,6 +849,11 @@ impl Hierarchy {
                 );
             }
             return;
+        }
+        // A retried access reports its first-level miss again — the
+        // repeat makes MSHR-full structural stalls visible in the trace.
+        if let (Some(p), Some(tok)) = (&mut self.probe, token) {
+            p.on_load_event(core, tok, now, "l1_miss");
         }
         match self.levels[0].mshr_allocate(
             core,
@@ -971,7 +1032,7 @@ impl Hierarchy {
     /// entries and releases every access (and pending Hermes issue) that
     /// waited for the PFN.
     fn complete_walk(&mut self, walk: u64, now: Cycle) {
-        let (core, waiters) = {
+        let (core, waiters, started) = {
             let vm = self.vm.as_mut().expect("walk without vm config");
             let w = vm.walks.remove(&walk).expect("completion of unknown walk");
             vm.by_page.remove(&(w.core, w.dtlb_key));
@@ -986,8 +1047,15 @@ impl Hierarchy {
                 s.walks_completed += 1;
                 s.walk_cycles_sum += now - t0;
             }
-            (w.core, w.waiters)
+            (w.core, w.waiters, w.started)
         };
+        if let Some(p) = &mut self.probe {
+            // True walks only; an STLB-hit refill (started == None) is
+            // not a page walk, matching `walks_completed`.
+            if let Some(t0) = started {
+                p.record_walk_latency(now - t0);
+            }
+        }
         for wtr in waiters {
             match wtr {
                 TransWaiter::Load {
@@ -996,6 +1064,9 @@ impl Hierarchy {
                     pline,
                     hermes_min,
                 } => {
+                    if let Some(p) = &mut self.probe {
+                        p.on_load_event(core, token, now, "tlb_walk_done");
+                    }
                     if let Some(min) = hermes_min {
                         // The PFN is known: the speculative read may go.
                         self.schedule(min.max(now), Ev::HermesIssue { core, line: pline });
@@ -1026,6 +1097,11 @@ impl Hierarchy {
         if res.hit {
             self.descend(level, core, line, self.served_at(level), false, now);
             return;
+        }
+        if !retried && !walk {
+            if let Some(p) = &mut self.probe {
+                p.on_core_line_event(core, line.raw(), now, "l2_miss", "");
+            }
         }
         match self.levels[level].mshr_allocate(core, line, Waiter::Merge { core }, false) {
             Ok(true) => {
@@ -1114,11 +1190,17 @@ impl Hierarchy {
         }
         if !retried && !walk {
             self.stats[core].llc_demand_misses += 1;
+            if let Some(p) = &mut self.probe {
+                p.on_core_line_event(core, line.raw(), now, "llc_miss", "");
+            }
         }
         let was_prefetch_only = self.levels[last].mshr_is_prefetch_only(core, line);
         match self.levels[last].mshr_allocate(core, line, Waiter::Demand { core, pc }, false) {
             Ok(true) => {
                 let _ = self.dram.enqueue_read(line, now, ReqKind::Demand);
+                if let Some(p) = &mut self.probe {
+                    p.on_core_line_event(core, line.raw(), now, "dram_enqueue", "");
+                }
             }
             Ok(false) => {
                 // Merged into an outstanding miss; if it was a pure
@@ -1536,6 +1618,9 @@ impl Hierarchy {
     }
 
     fn handle_dram_completion(&mut self, c: Completion, now: Cycle) {
+        if let Some(p) = &mut self.probe {
+            p.on_line_event(c.line.raw(), now, "dram_fill");
+        }
         let last = self.last();
         if let Some((waiters, prefetch_only)) = self.levels[last].mshr_complete(0, c.line) {
             let sig = waiters
@@ -1587,6 +1672,9 @@ impl Hierarchy {
             Ev::HermesIssue { core, line } => {
                 self.stats[core].hermes_requests += 1;
                 let _ = self.dram.enqueue_read(line, now, ReqKind::Hermes);
+                if let Some(p) = &mut self.probe {
+                    p.on_core_line_event(core, line.raw(), now, "hermes_spec_read", "");
+                }
             }
             Ev::CompleteLoad {
                 core,
@@ -1600,6 +1688,9 @@ impl Hierarchy {
             Ev::CohResume { core, line, served } => {
                 // The data was forwarded out of a remote Modified copy:
                 // an on-chip, coherence-served completion.
+                if let Some(p) = &mut self.probe {
+                    p.on_core_line_event(core, line.raw(), now, "coh_intervention", "");
+                }
                 let last = self.last();
                 self.descend(last, core, line, served, true, now);
             }
@@ -1783,13 +1874,32 @@ impl MemoryPort for Hierarchy {
         } else {
             Prediction::negative()
         };
-        let hermes_min = (self.cfg.hermes.enabled()
-            && pred.go_offchip
-            && !self.cfg.hermes.passive
-            && (!self.cfg.hermes.filter
-                || (self.filters[req.core].allow(req.pc, ctx.coh)
-                    && self.spec_read_headroom(pline, now))))
-        .then(|| now + self.cfg.hermes.issue_latency as Cycle);
+        let want_spec = self.cfg.hermes.enabled() && pred.go_offchip && !self.cfg.hermes.passive;
+        // The filter verdict is split out of the firing condition (same
+        // short-circuit evaluation order, bit-identical decisions) so
+        // the probe can attribute a suppressed speculative read to the
+        // filter rather than to the predictor.
+        let filter_verdict = (want_spec && self.cfg.hermes.filter).then(|| {
+            self.filters[req.core].allow(req.pc, ctx.coh) && self.spec_read_headroom(pline, now)
+        });
+        let hermes_min = (want_spec && filter_verdict.unwrap_or(true))
+            .then(|| now + self.cfg.hermes.issue_latency as Cycle);
+        if let Some(p) = &mut self.probe {
+            p.on_issue(req.core, req.token, req.pc, pline.raw(), now);
+            if self.cfg.hermes.enabled() {
+                p.on_prediction(
+                    req.core,
+                    req.token,
+                    pred.go_offchip,
+                    pred.confidence(),
+                    hermes_min.is_some(),
+                    filter_verdict,
+                );
+            }
+            if matches!(route, TransRoute::Defer(_)) {
+                p.on_load_event(req.core, req.token, now, "tlb_walk_start");
+            }
+        }
         self.loads.insert(
             key(req.core, req.token),
             LoadRec {

@@ -4,6 +4,7 @@
 use hermes::PredictorStats;
 use hermes_cpu::CoreStats;
 use hermes_dram::controller::DramStats;
+use hermes_probe::ProbeReport;
 use hermes_trace::Category;
 
 use crate::hierarchy::CoreHierStats;
@@ -135,6 +136,10 @@ pub struct RunStats {
     pub dram: DramStats,
     /// Power-model breakdown.
     pub power: PowerBreakdown,
+    /// Observability report (traces, interval timeline, latency
+    /// histograms); `None` unless [`crate::SystemConfig::probe`] was
+    /// set.
+    pub probe: Option<ProbeReport>,
 }
 
 impl RunStats {

@@ -1,6 +1,7 @@
 //! The top-level simulation runner.
 
 use hermes_cpu::{Core, ServedBy};
+use hermes_probe::IntervalInput;
 use hermes_trace::WorkloadSpec;
 use hermes_types::Cycle;
 
@@ -128,6 +129,13 @@ impl System {
         let measure_start = self.cycle;
 
         // Phase 2: measurement.
+        let probe_interval = self
+            .hierarchy
+            .probe_config()
+            .map(|p| p.interval)
+            .filter(|&iv| iv > 0);
+        let mut next_snap = probe_interval.unwrap_or(0);
+        let mut last_snap: Option<Cycle> = None;
         let mut finish_cycle: Vec<Option<Cycle>> = vec![None; n];
         let mut snapshots: Vec<Option<CoreRunStats>> = vec![None; n];
         while snapshots.iter().any(|s| s.is_none()) {
@@ -137,6 +145,20 @@ impl System {
                 self.cycle < measure_start + budget,
                 "no forward progress during measurement"
             );
+            if let Some(iv) = probe_interval {
+                let elapsed = self.cycle - measure_start;
+                if elapsed >= next_snap {
+                    self.probe_snapshot(measure_start);
+                    last_snap = Some(elapsed);
+                    // One snapshot per crossing: a fast-forward jump
+                    // spanning several boundaries collapses them into a
+                    // single interval whose `dcycles` records the true
+                    // span.
+                    while next_snap <= elapsed {
+                        next_snap += iv;
+                    }
+                }
+            }
             for i in 0..n {
                 if snapshots[i].is_none() && self.cores[i].retired() >= sim {
                     finish_cycle[i] = Some(self.cycle);
@@ -151,6 +173,11 @@ impl System {
                     });
                 }
             }
+        }
+        // A closing snapshot captures the tail interval (and guarantees
+        // the timeline is nonempty on runs shorter than one interval).
+        if probe_interval.is_some() && last_snap != Some(self.cycle - measure_start) {
+            self.probe_snapshot(measure_start);
         }
         let cores: Vec<CoreRunStats> = snapshots
             .into_iter()
@@ -174,7 +201,40 @@ impl System {
             cores,
             dram,
             power,
+            probe: self.hierarchy.probe_report(),
         }
+    }
+
+    /// Feeds the probe one interval snapshot built from the live
+    /// measurement counters (no-op with the probe off).
+    fn probe_snapshot(&mut self, measure_start: Cycle) {
+        let (rq_busy, rq_cap, wq_busy, wq_cap) = self.hierarchy.dram_occupancy(self.cycle);
+        let input = IntervalInput {
+            cycle: self.cycle - measure_start,
+            retired: self.cores.iter().map(|c| c.retired()).collect(),
+            pred: self
+                .hierarchy
+                .predictor_stats()
+                .iter()
+                .map(|p| [p.tp, p.fp, p.fn_, p.tn])
+                .collect(),
+            spec: self
+                .hierarchy
+                .core_stats()
+                .iter()
+                .map(|s| [s.spec_reads_useful, s.spec_reads_wasted])
+                .collect(),
+            level_misses: self
+                .hierarchy
+                .level_stats()
+                .into_iter()
+                .map(|(name, s)| (name, s.misses))
+                .collect(),
+            dram_rq: (rq_busy, rq_cap),
+            dram_wq: (wq_busy, wq_cap),
+            walks_in_flight: self.hierarchy.walks_in_flight(),
+        };
+        self.hierarchy.probe_snapshot(input);
     }
 
     /// The hierarchy (for oracle-style inspection in tests).
@@ -322,6 +382,39 @@ mod tests {
     fn zero_sim_window_rejected() {
         let spec = suite::smoke_suite().remove(0);
         let _ = run_one(small_cfg(), &spec, 0, 0);
+    }
+
+    #[test]
+    fn probe_records_without_perturbing_results() {
+        use hermes_probe::{LatClass, ProbeConfig};
+        let spec = &suite::smoke_suite()[0];
+        let cfg = small_cfg().with_hermes(HermesConfig::hermes_o(PredictorKind::Popet));
+        let base = run_one(cfg.clone(), spec, 2_000, 10_000);
+        let probed = run_one(
+            cfg.with_probe(
+                ProbeConfig::baseline()
+                    .with_interval(2_000)
+                    .with_sample_period(8),
+            ),
+            spec,
+            2_000,
+            10_000,
+        );
+        // The probe only observes: cycle-exact results either way.
+        assert_eq!(base.cores[0].cycles, probed.cores[0].cycles);
+        assert_eq!(base.dram.reads_demand, probed.dram.reads_demand);
+        assert_eq!(base.cores[0].pred, probed.cores[0].pred);
+        assert!(base.probe.is_none(), "probe off by default");
+        let r = probed.probe.expect("probe report present");
+        assert!(r.intervals.len() >= 2, "10k instr / 2k-cycle intervals");
+        assert!(!r.traces.is_empty(), "1-in-8 sampling must catch loads");
+        assert!(r.lat_hist(LatClass::Offchip).count() > 0);
+        assert!(
+            r.traces
+                .iter()
+                .any(|t| t.events.iter().any(|e| e.kind == "predict")),
+            "sampled loads carry POPET predictions"
+        );
     }
 
     #[test]

@@ -1,0 +1,252 @@
+//! Fixed-size bucketed histograms for latency and occupancy
+//! distributions.
+//!
+//! End-of-run means hide the shape of a latency distribution — a DRAM
+//! queue that is empty 99% of the time and 40-deep the other 1% averages
+//! to "fine" while destroying tail latency. [`Hist`] keeps 32 buckets in
+//! a fixed `Copy` array (no allocation, `Eq`-comparable, safe to embed
+//! in stats structs that cross thread boundaries) with two bucketing
+//! schemes:
+//!
+//! * [`Hist::record_log2`] — powers-of-two buckets for latencies: bucket
+//!   0 holds the value 0, bucket *i* ≥ 1 holds values in
+//!   [2^(i−1), 2^i − 1], and bucket 31 saturates (≥ 2^30).
+//! * [`Hist::record_linear`] — unit-width buckets for small occupancies:
+//!   bucket *i* holds the value *i*, with bucket 31 saturating (≥ 31).
+//!
+//! Percentiles are resolved to the *upper bound* of the containing
+//! bucket, which is deterministic and errs pessimistic — the right bias
+//! for tail-latency reporting.
+
+/// A 32-bucket histogram of `u64` samples. See [module docs](self) for
+/// the bucketing schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hist {
+    /// Raw bucket counts; interpretation depends on which `record_*`
+    /// method filled them (callers must not mix schemes in one `Hist`).
+    pub buckets: [u64; 32],
+}
+
+/// Number of buckets in a [`Hist`].
+pub const HIST_BUCKETS: usize = 32;
+
+impl Default for Hist {
+    fn default() -> Self {
+        Self {
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl Hist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The log2 bucket index for `v`: 0 for 0, else
+    /// `min(64 - leading_zeros(v), 31)`, so bucket *i* ≥ 1 covers
+    /// [2^(i−1), 2^i − 1] and bucket 31 saturates.
+    pub fn log2_bucket(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// Records `v` under power-of-two bucketing.
+    pub fn record_log2(&mut self, v: u64) {
+        self.buckets[Self::log2_bucket(v)] += 1;
+    }
+
+    /// Records `v` under unit-width bucketing (bucket 31 saturates).
+    pub fn record_linear(&mut self, v: u64) {
+        self.buckets[(v as usize).min(HIST_BUCKETS - 1)] += 1;
+    }
+
+    /// The inclusive upper bound of bucket `i` under log2 bucketing
+    /// (`u64::MAX` for the saturated last bucket).
+    pub fn log2_upper_bound(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            _ if i >= HIST_BUCKETS - 1 => u64::MAX,
+            _ => (1u64 << i) - 1,
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Index of the bucket containing the `q`-quantile sample
+    /// (`0.0 ..= 1.0`) by cumulative count; `None` when empty.
+    /// Deterministic: integer thresholding, no interpolation.
+    pub fn quantile_bucket(&self, q: f64) -> Option<usize> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        // Rank of the quantile sample, 1-based, clamped into [1, n].
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return Some(i);
+            }
+        }
+        Some(HIST_BUCKETS - 1)
+    }
+
+    /// The `q`-quantile under log2 bucketing, reported as the containing
+    /// bucket's inclusive upper bound (pessimistic); 0.0 when empty. The
+    /// saturated bucket reports 2^31 rather than `u64::MAX` so the value
+    /// stays meaningful in reports.
+    pub fn quantile_log2(&self, q: f64) -> f64 {
+        match self.quantile_bucket(q) {
+            None => 0.0,
+            Some(i) if i >= HIST_BUCKETS - 1 => (1u64 << 31) as f64,
+            Some(i) => Self::log2_upper_bound(i) as f64,
+        }
+    }
+
+    /// The `q`-quantile under linear bucketing: the bucket index itself
+    /// (the saturated bucket reports 31); 0.0 when empty.
+    pub fn quantile_linear(&self, q: f64) -> f64 {
+        self.quantile_bucket(q).map(|i| i as f64).unwrap_or(0.0)
+    }
+
+    /// Mean under linear bucketing, using each bucket's index as its
+    /// value (the saturated bucket contributes 31 per sample); 0.0 when
+    /// empty.
+    pub fn mean_linear(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| i as u64 * b)
+            .sum();
+        sum as f64 / n as f64
+    }
+
+    /// Merges `other`'s counts into `self` (same bucketing scheme
+    /// assumed).
+    pub fn merge(&mut self, other: &Hist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_bucket_boundaries() {
+        assert_eq!(Hist::log2_bucket(0), 0);
+        assert_eq!(Hist::log2_bucket(1), 1);
+        assert_eq!(Hist::log2_bucket(2), 2);
+        assert_eq!(Hist::log2_bucket(3), 2);
+        assert_eq!(Hist::log2_bucket(4), 3);
+        assert_eq!(Hist::log2_bucket(7), 3);
+        assert_eq!(Hist::log2_bucket(8), 4);
+        // Bucket i covers [2^(i-1), 2^i - 1] exactly.
+        for i in 1..30usize {
+            assert_eq!(Hist::log2_bucket(1 << (i - 1)), i, "low edge of {i}");
+            assert_eq!(Hist::log2_bucket((1 << i) - 1), i, "high edge of {i}");
+        }
+    }
+
+    #[test]
+    fn log2_saturates_at_last_bucket() {
+        assert_eq!(Hist::log2_bucket(1 << 30), 31);
+        assert_eq!(Hist::log2_bucket(1 << 40), 31);
+        assert_eq!(Hist::log2_bucket(u64::MAX), 31);
+        let mut h = Hist::new();
+        h.record_log2(u64::MAX);
+        h.record_log2(1 << 62);
+        assert_eq!(h.buckets[31], 2);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn linear_saturates_at_last_bucket() {
+        let mut h = Hist::new();
+        h.record_linear(0);
+        h.record_linear(30);
+        h.record_linear(31);
+        h.record_linear(1000);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[30], 1);
+        assert_eq!(h.buckets[31], 2);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn quantiles_resolve_to_bucket_upper_bounds() {
+        let mut h = Hist::new();
+        // 90 samples at 10 (bucket 4, ub 15), 10 samples at 1000
+        // (bucket 10, ub 1023).
+        for _ in 0..90 {
+            h.record_log2(10);
+        }
+        for _ in 0..10 {
+            h.record_log2(1000);
+        }
+        assert_eq!(h.quantile_log2(0.5), 15.0);
+        assert_eq!(h.quantile_log2(0.90), 15.0);
+        assert_eq!(h.quantile_log2(0.95), 1023.0);
+        assert_eq!(h.quantile_log2(0.99), 1023.0);
+        assert_eq!(h.quantile_log2(1.0), 1023.0);
+    }
+
+    #[test]
+    fn quantile_of_empty_is_zero() {
+        let h = Hist::new();
+        assert_eq!(h.quantile_log2(0.5), 0.0);
+        assert_eq!(h.quantile_linear(0.99), 0.0);
+        assert_eq!(h.mean_linear(), 0.0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn linear_mean_and_quantile() {
+        let mut h = Hist::new();
+        for v in [0u64, 0, 2, 2, 4, 4, 4, 4] {
+            h.record_linear(v);
+        }
+        assert_eq!(h.mean_linear(), 2.5);
+        assert_eq!(h.quantile_linear(0.5), 2.0);
+        assert_eq!(h.quantile_linear(0.95), 4.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        a.record_log2(5);
+        b.record_log2(5);
+        b.record_log2(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.buckets[Hist::log2_bucket(5)], 2);
+    }
+
+    #[test]
+    fn default_is_empty_and_eq() {
+        assert_eq!(Hist::default(), Hist::new());
+        assert!(Hist::default().is_empty());
+    }
+}

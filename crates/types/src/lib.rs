@@ -20,6 +20,7 @@
 pub mod addr;
 pub mod counter;
 pub mod hashing;
+pub mod hist;
 pub mod summary;
 
 pub use addr::{
@@ -28,6 +29,7 @@ pub use addr::{
 };
 pub use counter::{SatCounter, SatWeight};
 pub use hashing::{fold_bits, hash_index, mix64};
+pub use hist::{Hist, HIST_BUCKETS};
 pub use summary::{geomean, mean, BoxplotSummary};
 
 /// A simulation timestamp in core clock cycles.

@@ -14,6 +14,8 @@
 //!   the substrate.
 //! * [`hermes_prefetch`] — the five baseline data prefetchers.
 //! * [`hermes_exec`] — the parallel experiment-execution engine.
+//! * [`hermes_probe`] — the default-off observability layer (lifecycle
+//!   traces, interval timeline, latency histograms).
 
 pub use hermes;
 pub use hermes_cache;
@@ -21,6 +23,7 @@ pub use hermes_cpu;
 pub use hermes_dram;
 pub use hermes_exec;
 pub use hermes_prefetch;
+pub use hermes_probe;
 pub use hermes_sim;
 pub use hermes_trace;
 pub use hermes_types;
