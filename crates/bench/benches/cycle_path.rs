@@ -1,0 +1,37 @@
+//! Criterion harness over the same per-cycle-path kernels `run_all`
+//! embeds in the tracked `BENCH_<n>.json` trajectory (see
+//! `hermes_bench::micro`): POPET inference, LLC lookup, and one cycle of
+//! each core model. Criterion gives proper statistics for local
+//! investigation; the `micro` module gives one cheap sample for the
+//! archived trajectory — same kernels, two consumers.
+//!
+//! Each kernel is self-contained (builds its own state, runs a fixed
+//! internal loop), so criterion times whole kernel invocations; the
+//! reported per-invocation cost divided by the kernel's fixed iteration
+//! count matches the `ns_per_op` the kernel itself reports.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use hermes_bench::micro;
+
+fn bench_cycle_paths(c: &mut Criterion) {
+    c.bench_function("micro_popet_predict_train", |b| {
+        b.iter(|| black_box(micro::popet_predict_train()))
+    });
+    c.bench_function("micro_llc_access_fill", |b| {
+        b.iter(|| black_box(micro::llc_access_fill()))
+    });
+    c.bench_function("micro_legacy_core_cycle", |b| {
+        b.iter(|| black_box(micro::legacy_core_cycle()))
+    });
+    c.bench_function("micro_ooo_core_cycle", |b| {
+        b.iter(|| black_box(micro::ooo_core_cycle()))
+    });
+}
+
+criterion_group!(
+    name = cycle_path;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_cycle_paths
+);
+criterion_main!(cycle_path);

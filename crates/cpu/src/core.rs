@@ -507,6 +507,11 @@ impl Core {
     pub fn rob_occupancy(&self) -> usize {
         self.rob.len()
     }
+
+    /// Current load+store queue occupancy (interval telemetry).
+    pub fn lsq_occupancy(&self) -> usize {
+        self.lq_used + self.sq_used
+    }
 }
 
 #[cfg(test)]

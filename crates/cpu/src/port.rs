@@ -67,6 +67,17 @@ pub trait MemoryPort {
 
     /// Issues a committed store (post-retirement write).
     fn issue_store(&mut self, req: StoreIssue, now: Cycle);
+
+    /// Reports a pipeline lifecycle moment (`kind` at cycle `at`) for a
+    /// load previously issued with token `token` — purely observational,
+    /// consumed by the probe layer when one is attached. `at` may lie in
+    /// the past: the out-of-order core reports dispatch/complete/retire
+    /// timestamps together at retirement. The default implementation
+    /// ignores the event, so memory-system stubs and the legacy
+    /// dependency-scheduled core (which never calls it) are unaffected.
+    fn note_lifecycle(&mut self, core: CoreId, token: u64, at: Cycle, kind: &'static str) {
+        let _ = (core, token, at, kind);
+    }
 }
 
 #[cfg(test)]

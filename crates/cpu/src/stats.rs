@@ -39,6 +39,24 @@ pub struct CoreStats {
     pub stall_cycles_other: u64,
     /// Cycles with no instruction in the ROB (fetch bubbles).
     pub empty_rob_cycles: u64,
+    /// Sum over measured cycles of the ROB occupancy at the start of each
+    /// cycle — divide by cycles for mean window depth. Only the
+    /// cycle-driven out-of-order model maintains it; the legacy
+    /// dependency-scheduled core leaves it zero.
+    pub rob_occupancy_sum: u64,
+    /// Cycles dispatch was blocked by a full reservation-station pool
+    /// (out-of-order model only).
+    pub rs_full_stalls: u64,
+    /// Cycles dispatch was blocked by a full load or store queue
+    /// (out-of-order model only).
+    pub lsq_full_stalls: u64,
+    /// Loads satisfied by store-to-load forwarding from an older in-queue
+    /// store, never reaching the memory system (out-of-order model only).
+    pub forwarded_loads: u64,
+    /// Pipeline flushes from branch mispredictions (out-of-order model
+    /// only; the legacy core counts the same events in
+    /// `branch_mispredicts` but has no flush machinery).
+    pub flushes: u64,
 }
 
 impl CoreStats {

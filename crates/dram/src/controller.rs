@@ -316,15 +316,24 @@ impl MemoryController {
     }
 
     /// Read-queue pressure on `line`'s channel at `now`: the number of
-    /// slots still reserved past `now`, and the channel's capacity. This
-    /// is the occupancy a Hermes request observes when it consults the
-    /// controller (the paper's step 3); the speculative-read filter uses
-    /// it to skip firing into a congested channel, where the read would
-    /// queue behind real demands instead of hiding latency.
+    /// slots still reserved past `now`, and the *system* read capacity
+    /// (per-channel slots × channels). This is the occupancy a Hermes
+    /// request observes when it consults the controller (the paper's
+    /// step 3); the speculative-read filter compares `busy` against a
+    /// fraction of the returned capacity to skip firing into a congested
+    /// channel, where the read would queue behind real demands instead
+    /// of hiding latency. Scaling the capacity by channel count keeps
+    /// that fractional threshold meaningful on multi-channel parts: each
+    /// channel owns `1/channels` of the bandwidth, so the same absolute
+    /// backlog is proportionally less alarming. Single-channel configs
+    /// are unaffected.
     pub fn read_queue_pressure(&self, line: LineAddr, now: Cycle) -> (usize, usize) {
         let loc = map_line(&self.cfg, line);
         let slots = &self.rq_slots[loc.channel];
-        (slots.iter().filter(|c| **c > now).count(), slots.len())
+        (
+            slots.iter().filter(|c| **c > now).count(),
+            slots.len() * self.cfg.channels,
+        )
     }
 
     /// Instantaneous queue occupancy across every channel at `now`:
@@ -685,6 +694,43 @@ mod tests {
         let r = m.enqueue_read(LineAddr::new(1), 0, ReqKind::Demand);
         assert_eq!(m.queue_occupancy(0).0, 1);
         assert_eq!(m.queue_occupancy(r.completes_at).0, 0, "slot frees");
+    }
+
+    #[test]
+    fn read_queue_pressure_scales_capacity_by_channels() {
+        // The spec-read filter compares per-channel busy slots against a
+        // fraction of the returned capacity; multi-channel parts must
+        // report the system capacity so the same absolute backlog reads
+        // as proportionally lighter pressure.
+        let one = MemoryController::new(DramConfig::single_core());
+        let (b1, c1) = one.read_queue_pressure(LineAddr::new(0), 0);
+        assert_eq!((b1, c1), (0, DramConfig::single_core().rq_capacity));
+
+        let mut four = MemoryController::new(DramConfig::eight_core());
+        let cfg = DramConfig::eight_core();
+        let (_, c4) = four.read_queue_pressure(LineAddr::new(0), 0);
+        assert_eq!(c4, cfg.rq_capacity * cfg.channels);
+
+        // Load one channel with 20 reads: busy counts only that channel,
+        // capacity still reports the whole system (20*4 < 256 clears the
+        // quarter-capacity guard that 20*4 >= 64 would have tripped).
+        let ch0 = map_line(&cfg, LineAddr::new(0)).channel;
+        let mut queued = 0;
+        for raw in 0..2000u64 {
+            let line = LineAddr::new(raw);
+            if map_line(&cfg, line).channel != ch0 {
+                continue;
+            }
+            four.enqueue_read(line, 0, ReqKind::Demand);
+            queued += 1;
+            if queued == 20 {
+                break;
+            }
+        }
+        assert_eq!(queued, 20);
+        let (busy, cap) = four.read_queue_pressure(LineAddr::new(0), 0);
+        assert_eq!(busy, 20);
+        assert!(busy * 4 < cap, "guard must tolerate 20 busy of {cap}");
     }
 
     #[test]

@@ -43,8 +43,11 @@ use crate::Provenance;
 /// the speculative-read and confusion-matrix fields); v7 adds the
 /// observability layer (`SystemConfig` grew the `probe` field, entering
 /// every fingerprint, and `RunLite` grew the DRAM queue-occupancy /
-/// queue-delay and latency-quantile fields).
-pub const CACHE_SCHEMA_VERSION: u32 = 7;
+/// queue-delay and latency-quantile fields); v8 adds the out-of-order
+/// core model (`CoreConfig` grew the `model` field, entering every
+/// fingerprint, and `RunLite` grew the ROB-occupancy / RS-LSQ-stall /
+/// forwarding / flush fields).
+pub const CACHE_SCHEMA_VERSION: u32 = 8;
 
 /// How long a lock file may sit untouched before a waiter assumes its
 /// owner died and breaks it. Generous: a legitimate `--full` eight-core

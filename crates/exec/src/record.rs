@@ -95,13 +95,29 @@ pub struct RunLite {
     pub llc_hit_lat_p50: f64,
     /// 95th-percentile page-walk latency (probe runs with vm on only).
     pub walk_lat_p95: f64,
+    /// Mean ROB occupancy over the measurement window (mean across
+    /// cores; zero under the legacy dependency-scheduled model, which
+    /// does not sample occupancy).
+    pub rob_occ_mean: f64,
+    /// Cycles dispatch stalled on a full reservation-station pool (mean
+    /// per core; out-of-order model only).
+    pub rs_full_stalls: f64,
+    /// Cycles dispatch stalled on a full load/store queue (mean per
+    /// core; out-of-order model only).
+    pub lsq_full_stalls: f64,
+    /// Loads served by store-to-load forwarding (mean per core;
+    /// out-of-order model only).
+    pub forwarded_loads: f64,
+    /// Pipeline flushes from branch mispredictions (mean per core;
+    /// out-of-order model only).
+    pub flushes: f64,
     /// Measured cycles.
     pub cycles: f64,
 }
 
 /// Field order used by both the `key=value` cache format and the JSON
 /// manifest, so the two never drift apart.
-pub(crate) const FIELDS: [&str; 38] = [
+pub(crate) const FIELDS: [&str; 43] = [
     "ipc",
     "llc_mpki",
     "offchip_rate",
@@ -139,6 +155,11 @@ pub(crate) const FIELDS: [&str; 38] = [
     "offchip_lat_p99",
     "llc_hit_lat_p50",
     "walk_lat_p95",
+    "rob_occ_mean",
+    "rs_full_stalls",
+    "lsq_full_stalls",
+    "forwarded_loads",
+    "flushes",
     "cycles",
 ];
 
@@ -194,6 +215,17 @@ impl RunLite {
             offchip_lat_p99: probe_q(&|pr| pr.lat_hist(LatClass::Offchip).quantile_log2(0.99)),
             llc_hit_lat_p50: probe_q(&|pr| pr.lat_hist(LatClass::Llc).quantile_log2(0.5)),
             walk_lat_p95: probe_q(&|pr| pr.lat_walk.quantile_log2(0.95)),
+            rob_occ_mean: mean(&|c| {
+                if c.cycles == 0 {
+                    0.0
+                } else {
+                    c.core.rob_occupancy_sum as f64 / c.cycles as f64
+                }
+            }),
+            rs_full_stalls: mean(&|c| c.core.rs_full_stalls as f64),
+            lsq_full_stalls: mean(&|c| c.core.lsq_full_stalls as f64),
+            forwarded_loads: mean(&|c| c.core.forwarded_loads as f64),
+            flushes: mean(&|c| c.core.flushes as f64),
             cycles: r.total_cycles as f64,
         }
     }
@@ -238,6 +270,11 @@ impl RunLite {
             "offchip_lat_p99" => self.offchip_lat_p99,
             "llc_hit_lat_p50" => self.llc_hit_lat_p50,
             "walk_lat_p95" => self.walk_lat_p95,
+            "rob_occ_mean" => self.rob_occ_mean,
+            "rs_full_stalls" => self.rs_full_stalls,
+            "lsq_full_stalls" => self.lsq_full_stalls,
+            "forwarded_loads" => self.forwarded_loads,
+            "flushes" => self.flushes,
             "cycles" => self.cycles,
             _ => unreachable!("unknown field {field}"),
         }
@@ -282,6 +319,11 @@ impl RunLite {
             "offchip_lat_p99" => self.offchip_lat_p99 = v,
             "llc_hit_lat_p50" => self.llc_hit_lat_p50 = v,
             "walk_lat_p95" => self.walk_lat_p95 = v,
+            "rob_occ_mean" => self.rob_occ_mean = v,
+            "rs_full_stalls" => self.rs_full_stalls = v,
+            "lsq_full_stalls" => self.lsq_full_stalls = v,
+            "forwarded_loads" => self.forwarded_loads = v,
+            "flushes" => self.flushes = v,
             "cycles" => self.cycles = v,
             _ => return false,
         }
@@ -372,6 +414,11 @@ mod tests {
             offchip_lat_p99: 1023.0,
             llc_hit_lat_p50: 63.0,
             walk_lat_p95: 127.0,
+            rob_occ_mean: 210.5,
+            rs_full_stalls: 33.0,
+            lsq_full_stalls: 17.0,
+            forwarded_loads: 450.0,
+            flushes: 12.0,
             cycles: 123.0,
         };
         let back = RunLite::from_kv(&r.to_kv()).unwrap();

@@ -23,6 +23,11 @@ pub struct IntervalInput {
     pub pred: Vec<[u64; 4]>,
     /// Per-core cumulative speculative-read `[useful, wasted]` counts.
     pub spec: Vec<[u64; 2]>,
+    /// Per-core instantaneous ROB occupancy at the boundary.
+    pub rob_occ: Vec<usize>,
+    /// Per-core instantaneous load+store-queue occupancy at the
+    /// boundary.
+    pub lsq_occ: Vec<usize>,
     /// Per-level cumulative demand misses, innermost first, as
     /// `(level name, misses)`.
     pub level_misses: Vec<(String, u64)>,
@@ -46,6 +51,11 @@ pub struct CoreInterval {
     pub pred: [u64; 4],
     /// Speculative-read delta `[useful, wasted]`.
     pub spec: [u64; 2],
+    /// ROB occupancy at the closing boundary (instantaneous, not a
+    /// delta — occupancy is a level, not a counter).
+    pub rob_occ: usize,
+    /// Load+store-queue occupancy at the closing boundary.
+    pub lsq_occ: usize,
 }
 
 /// One interval of the timeline: deltas between two snapshot boundaries
@@ -94,6 +104,8 @@ impl IntervalSnapshot {
                     },
                     pred: [p[0] - q[0], p[1] - q[1], p[2] - q[2], p[3] - q[3]],
                     spec: [s[0] - r[0], s[1] - r[1]],
+                    rob_occ: now.rob_occ.get(i).copied().unwrap_or(0),
+                    lsq_occ: now.lsq_occ.get(i).copied().unwrap_or(0),
                 }
             })
             .collect::<Vec<_>>();
@@ -137,8 +149,18 @@ impl IntervalSnapshot {
             s.push_str(&format!(
                 "{{\"retired\": {}, \"ipc\": {:.6}, \
                  \"pred\": {{\"tp\": {}, \"fp\": {}, \"fn\": {}, \"tn\": {}}}, \
-                 \"spec_useful\": {}, \"spec_wasted\": {}}}",
-                c.retired, c.ipc, c.pred[0], c.pred[1], c.pred[2], c.pred[3], c.spec[0], c.spec[1]
+                 \"spec_useful\": {}, \"spec_wasted\": {}, \
+                 \"rob_occ\": {}, \"lsq_occ\": {}}}",
+                c.retired,
+                c.ipc,
+                c.pred[0],
+                c.pred[1],
+                c.pred[2],
+                c.pred[3],
+                c.spec[0],
+                c.spec[1],
+                c.rob_occ,
+                c.lsq_occ
             ));
         }
         s.push_str("], \"levels\": [");
@@ -187,6 +209,8 @@ mod tests {
             retired: vec![retired, retired / 2],
             pred: vec![[tp, 1, 0, 2], [0; 4]],
             spec: vec![[tp, 0], [0; 2]],
+            rob_occ: vec![retired as usize % 512, 0],
+            lsq_occ: vec![retired as usize % 128, 0],
             level_misses: vec![("L1D".into(), misses * 10), ("LLC".into(), misses)],
             dram_rq: (3, 64),
             dram_wq: (0, 0),
@@ -210,6 +234,10 @@ mod tests {
         assert_eq!(b.cores[0].retired, 1000);
         assert_eq!(b.cores[0].pred, [4, 0, 0, 0]);
         assert_eq!(b.cores[0].spec, [4, 0]);
+        // Occupancies are instantaneous levels, copied from the closing
+        // boundary rather than differenced.
+        assert_eq!(b.cores[0].rob_occ, 1500 % 512);
+        assert_eq!(b.cores[0].lsq_occ, 1500 % 128);
         // Level deltas and MPKI over interval instructions (1000 + 500).
         assert_eq!(b.levels[1].1, 30);
         assert!((b.levels[1].2 - 30.0 * 1000.0 / 1500.0).abs() < 1e-9);
@@ -227,6 +255,8 @@ mod tests {
             validate_json(l).expect("each JSONL line must be valid JSON");
             assert!(l.contains("\"ipc\""));
             assert!(l.contains("\"rq_busy\""));
+            assert!(l.contains("\"rob_occ\""));
+            assert!(l.contains("\"lsq_occ\""));
         }
     }
 

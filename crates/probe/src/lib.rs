@@ -303,7 +303,13 @@ impl Probe {
         now: Cycle,
     ) {
         self.lat[class as usize].record_log2(latency);
-        let Some(idx) = self.by_key.remove(&key(core, token)) else {
+        // The token key stays registered: the out-of-order core reports
+        // pipeline lifecycle markers (dispatch/complete/retire) at
+        // retirement, after the memory system has finished the load, and
+        // those must still append to the closed trace. Retention is
+        // bounded: keys are only registered while `traces` has room
+        // (`max_trace_loads`), and tokens are never reused.
+        let Some(&idx) = self.by_key.get(&key(core, token)) else {
             return;
         };
         if let Some(v) = self.by_line.get_mut(&line) {
@@ -404,6 +410,23 @@ mod tests {
         // Both loads' latencies landed in the histograms.
         assert_eq!(r.lat_hist(LatClass::Offchip).count(), 1);
         assert_eq!(r.lat_hist(LatClass::L1).count(), 1);
+    }
+
+    #[test]
+    fn post_finish_lifecycle_events_still_attach() {
+        // The out-of-order core reports dispatch/complete/retire markers
+        // at retirement — after on_finish has closed the trace. They must
+        // still append to the finished trace.
+        let mut p = probe();
+        p.on_issue(0, 0, 0x400, 0xAA, 10);
+        p.on_finish(0, 0, 0xAA, LatClass::Offchip, 190, false, 200);
+        p.on_load_event(0, 0, 5, "ooo_dispatch");
+        p.on_load_event(0, 0, 200, "ooo_complete");
+        p.on_load_event(0, 0, 210, "ooo_retire");
+        let t = &p.report().traces[0];
+        assert_eq!(t.retire, Some(200));
+        let kinds: Vec<&str> = t.events.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, ["ooo_dispatch", "ooo_complete", "ooo_retire"]);
     }
 
     #[test]

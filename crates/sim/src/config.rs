@@ -142,6 +142,13 @@ impl SystemConfig {
         self
     }
 
+    /// Replaces the pipeline model (`CoreModel::Legacy`, the default, or
+    /// `CoreModel::OoO` for the cycle-driven ROB/RAT/RS/LSQ core).
+    pub fn with_core_model(mut self, model: hermes_cpu::CoreModel) -> Self {
+        self.core = self.core.with_model(model);
+        self
+    }
+
     /// Replaces the per-core LLC size (Fig. 20 sweep).
     ///
     /// # Panics

@@ -128,7 +128,7 @@ use hermes_cpu::{LoadIssue, MemoryPort, ServedBy, StoreIssue};
 use hermes_dram::{Completion, MemoryController, ReqKind};
 use hermes_prefetch::{self as pf, AccessCtx, PrefetchReq, Prefetcher};
 use hermes_probe::{IntervalInput, LatClass, Probe, ProbeReport};
-use hermes_types::{Cycle, LineAddr, PhysAddr, VirtAddr};
+use hermes_types::{CoreId, Cycle, LineAddr, PhysAddr, VirtAddr};
 use hermes_vm::{PageMap, Tlb, VmConfig, WalkCache};
 
 use crate::config::SystemConfig;
@@ -1364,10 +1364,12 @@ impl Hierarchy {
 
     /// Bandwidth guard for the second-level filter: a speculative read
     /// only pays when its channel's read queue has headroom. Past a
-    /// quarter occupancy the read queues behind real demands — it can no
-    /// longer beat the hierarchy walk it is racing, yet still displaces
-    /// other cores' fills, which is how Hermes loses multi-core suites
-    /// even at high predictor precision.
+    /// quarter of the *system* read capacity (the controller scales the
+    /// reported capacity by channel count, so multi-channel parts
+    /// tolerate proportionally more per-channel backlog) the read queues
+    /// behind real demands — it can no longer beat the hierarchy walk it
+    /// is racing, yet still displaces other cores' fills, which is how
+    /// Hermes loses multi-core suites even at high predictor precision.
     fn spec_read_headroom(&self, line: LineAddr, now: Cycle) -> bool {
         let (busy, cap) = self.dram.read_queue_pressure(line, now);
         busy * 4 < cap
@@ -1941,6 +1943,15 @@ impl MemoryPort for Hierarchy {
             TransRoute::Defer(walk) => {
                 self.defer_on_walk(walk, TransWaiter::Store { pc: req.pc, pline })
             }
+        }
+    }
+
+    fn note_lifecycle(&mut self, core: CoreId, token: u64, at: Cycle, kind: &'static str) {
+        // Pure observation: the out-of-order core reports pipeline
+        // markers (dispatch/complete/retire) for sampled loads. The probe
+        // drops events for unsampled tokens, so this is free when off.
+        if let Some(p) = &mut self.probe {
+            p.on_load_event(core, token, at, kind);
         }
     }
 }

@@ -1,6 +1,7 @@
 //! The top-level simulation runner.
 
-use hermes_cpu::{Core, ServedBy};
+use hermes_cpu::ServedBy;
+use hermes_ooo::AnyCore;
 use hermes_probe::IntervalInput;
 use hermes_trace::WorkloadSpec;
 use hermes_types::Cycle;
@@ -18,7 +19,7 @@ use crate::stats::{CoreRunStats, RunStats};
 /// executing so multi-core contention stays live, as the paper's replay
 /// rule prescribes).
 pub struct System {
-    cores: Vec<Core>,
+    cores: Vec<AnyCore>,
     hierarchy: Hierarchy,
     specs: Vec<WorkloadSpec>,
     cycle: Cycle,
@@ -41,7 +42,9 @@ impl System {
                 // Core-aware instantiation: sharing generators derive a
                 // role/lane from the index; every historical generator
                 // ignores it, keeping homogeneous mixes bit-identical.
-                Core::new(i, cfg.core.clone(), spec.build_for(i))
+                // `AnyCore` picks the pipeline model from `cfg.core.model`
+                // (legacy dependency-scheduled by default).
+                AnyCore::new(i, cfg.core.clone(), spec.build_for(i))
             })
             .collect();
         let specs: Vec<WorkloadSpec> = (0..cfg.cores)
@@ -230,6 +233,8 @@ impl System {
                 .into_iter()
                 .map(|(name, s)| (name, s.misses))
                 .collect(),
+            rob_occ: self.cores.iter().map(|c| c.rob_occupancy()).collect(),
+            lsq_occ: self.cores.iter().map(|c| c.lsq_occupancy()).collect(),
             dram_rq: (rq_busy, rq_cap),
             dram_wq: (wq_busy, wq_cap),
             walks_in_flight: self.hierarchy.walks_in_flight(),

@@ -10,8 +10,9 @@
 //!   contribution).
 //! * [`hermes_sim`] — the full-system simulator.
 //! * [`hermes_trace`] — synthetic workload generators.
-//! * [`hermes_cpu`], [`hermes_cache`], [`hermes_dram`], [`hermes_vm`] —
-//!   the substrate.
+//! * [`hermes_cpu`], [`hermes_ooo`], [`hermes_cache`], [`hermes_dram`],
+//!   [`hermes_vm`] — the substrate (legacy dependency-scheduled and
+//!   cycle-driven out-of-order core models, caches, memory, TLBs).
 //! * [`hermes_prefetch`] — the five baseline data prefetchers.
 //! * [`hermes_exec`] — the parallel experiment-execution engine.
 //! * [`hermes_probe`] — the default-off observability layer (lifecycle
@@ -22,6 +23,7 @@ pub use hermes_cache;
 pub use hermes_cpu;
 pub use hermes_dram;
 pub use hermes_exec;
+pub use hermes_ooo;
 pub use hermes_prefetch;
 pub use hermes_probe;
 pub use hermes_sim;
