@@ -1,39 +1,69 @@
 //! `ooo_sweep` — how much of "Ideal Hermes" survives real MLP, by ROB
-//! depth, on the cycle-driven out-of-order core.
+//! depth and LSQ size, on the cycle-driven out-of-order core.
 //!
 //! The legacy dependency-scheduled model resolves every load the moment
 //! its operands are ready, so it overstates memory-level parallelism:
 //! nothing ever waits for a reservation-station slot or a load-queue
 //! entry. The OoO model (`hermes-ooo`) makes the window explicit —
 //! ROB/RAT/RS/LSQ with per-cycle wakeup/select — which means hiding
-//! off-chip latency now costs real window occupancy. This sweep runs
-//! baseline, Hermes-O/POPET, and Ideal Hermes at ROB sizes 64…512 under
-//! `CoreModel::OoO` and reports, per depth: geomean IPC, speedups, the
-//! fraction of the Ideal upside POPET captures, mean ROB occupancy, and
-//! store-to-load forwards — the microarchitectural story behind the
-//! speedup curve.
+//! off-chip latency now costs real window occupancy. Two axes:
+//!
+//! * **ROB depth** (64…512, LQ/SQ at baseline): baseline, Hermes-O/POPET
+//!   and Ideal Hermes per depth — geomean IPC, speedups, fraction of the
+//!   Ideal upside POPET captures, mean ROB occupancy, store-to-load
+//!   forwards.
+//! * **LSQ pressure** (ROB pinned at 256, LQ/SQ swept together from
+//!   starved to baseline): when the load queue is the limiter, the core
+//!   cannot keep enough loads in flight to hide DRAM no matter how deep
+//!   the ROB is, and Hermes' early fire pays *more* — the request is in
+//!   DRAM before the load even wins its LSQ slot.
+//!
+//! The sweep suite additionally carries a `spill-reload` workload
+//! (`GenConfig::WriteReload`) whose every store is reloaded moments
+//! later, so the LSQ axis exercises store-to-load forwarding and
+//! store-queue pressure, not just load-queue depth.
 //!
 //! Flags: the usual `--quick` / `--full` / `--record` / `--jobs N`, plus
-//! `--smoke` — a CI-scale mode (tiny windows, two ROB points).
+//! `--smoke` — a CI-scale mode (tiny windows, two points per axis).
 
 use hermes::{HermesConfig, PredictorKind};
 use hermes_bench::{emit, f3, run_suite, RunLite, Scale, Table};
 use hermes_cpu::{CoreModel, OooConfig};
 use hermes_sim::SystemConfig;
+use hermes_trace::suite::{Category, GenConfig};
 use hermes_trace::WorkloadSpec;
 use hermes_types::geomean;
 
 fn main() {
     let mut scale = Scale::from_args();
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let robs: &[usize] = if smoke {
+    let (robs, lsqs): (&[usize], &[(usize, usize)]) = if smoke {
         scale.warmup = 2_000;
         scale.instr = 6_000;
-        &[128, 512]
+        (&[128, 512], &[(16, 8), (128, 72)])
     } else {
-        &[64, 128, 256, 512]
+        (
+            &[64, 128, 256, 512],
+            &[(16, 8), (32, 16), (64, 36), (128, 72)],
+        )
     };
     scale.suite = scale.sweep_suite();
+    // A spill/reload kernel: the one workload class that reloads
+    // just-stored words, keeping `fwd loads` and store-queue pressure
+    // honest on both axes.
+    scale.suite.push(WorkloadSpec::new(
+        "spill-reload",
+        Category::Spec17,
+        GenConfig::WriteReload { slots: 64, work: 2 },
+        11,
+    ));
+
+    let gm = |rs: &[(WorkloadSpec, RunLite)]| {
+        geomean(&rs.iter().map(|(_, r)| r.ipc).collect::<Vec<_>>())
+    };
+    let mean = |rs: &[(WorkloadSpec, RunLite)], f: &dyn Fn(&RunLite) -> f64| {
+        rs.iter().map(|(_, r)| f(r)).sum::<f64>() / rs.len() as f64
+    };
 
     let mut t = Table::new(&[
         "ROB",
@@ -61,12 +91,6 @@ fn main() {
         let popet = run_suite(&format!("{tag}-hermesO-popet"), &popet_cfg, &scale);
         let ideal = run_suite(&format!("{tag}-hermesO-ideal"), &ideal_cfg, &scale);
 
-        let gm = |rs: &[(WorkloadSpec, RunLite)]| {
-            geomean(&rs.iter().map(|(_, r)| r.ipc).collect::<Vec<_>>())
-        };
-        let mean = |rs: &[(WorkloadSpec, RunLite)], f: &dyn Fn(&RunLite) -> f64| {
-            rs.iter().map(|(_, r)| f(r)).sum::<f64>() / rs.len() as f64
-        };
         let ipc_b = gm(&base);
         let sp_p = gm(&popet) / ipc_b;
         let sp_i = gm(&ideal) / ipc_b;
@@ -86,48 +110,91 @@ fn main() {
         ]);
     }
 
+    const LSQ_ROB: usize = 256;
+    let mut lt = Table::new(&["LQ/SQ", "IPC base", "spd POPET", "lsq stalls", "fwd loads"]);
+    let mut lsq_curve = Vec::new();
+    for &(lq, sq) in lsqs {
+        let base_cfg = SystemConfig::baseline_1c()
+            .with_rob(LSQ_ROB)
+            .with_lq(lq)
+            .with_sq(sq)
+            .with_core_model(CoreModel::OoO(OooConfig::baseline()));
+        let popet_cfg = base_cfg
+            .clone()
+            .with_hermes(HermesConfig::hermes_o(PredictorKind::Popet));
+        let tag = format!("ooo-lsq{lq}x{sq}");
+        let base = run_suite(&format!("{tag}-base"), &base_cfg, &scale);
+        let popet = run_suite(&format!("{tag}-hermesO-popet"), &popet_cfg, &scale);
+        let ipc_b = gm(&base);
+        let sp_p = gm(&popet) / ipc_b;
+        lsq_curve.push((lq, sq, ipc_b, sp_p));
+        lt.row(&[
+            format!("{lq}/{sq}"),
+            f3(ipc_b),
+            f3(sp_p),
+            format!("{:.0}", mean(&base, &|r| r.lsq_full_stalls)),
+            format!("{:.0}", mean(&base, &|r| r.forwarded_loads)),
+        ]);
+    }
+
     let (first, last) = (curve[0], curve[curve.len() - 1]);
+    let (lfirst, llast) = (lsq_curve[0], lsq_curve[lsq_curve.len() - 1]);
     let body = format!(
-        "Single-core sweep suite, {}+{} instructions, `CoreModel::OoO` \
-         (unified {}-entry RS, issue width {}), ROB swept {}→{} with \
-         LQ/SQ held at baseline. `spd POPET` / `spd Ideal` are geomean \
-         speedups of Hermes-O with the perceptron predictor / the oracle \
-         over the same-ROB baseline; `% of Ideal` is the fraction of the \
-         oracle's upside POPET captures; `ROB occ` is the baseline's mean \
-         occupied ROB entries per cycle and `fwd loads` the mean \
-         store-to-load forwards per core (both from the new per-core OoO \
-         counters).\n\n{}\n\
+        "Single-core sweep suite plus the `spill-reload` kernel, {}+{} \
+         instructions, `CoreModel::OoO` (unified {}-entry RS, issue \
+         width {}).\n\n\
+         **ROB depth** (LQ/SQ at baseline {}/{}): `spd POPET` / `spd \
+         Ideal` are geomean speedups of Hermes-O with the perceptron \
+         predictor / the oracle over the same-ROB baseline; `% of \
+         Ideal` is the fraction of the oracle's upside POPET captures; \
+         `ROB occ` is the baseline's mean occupied ROB entries per \
+         cycle and `fwd loads` the mean store-to-load forwards per \
+         core.\n\n{}\n\
          Reading: with a real window the baseline extracts its own MLP — \
          base IPC rises with ROB depth, and the window itself hides a \
          growing share of off-chip latency. Hermes' relative gain \
          therefore *shrinks* as the ROB deepens (Ideal {} at {} entries \
          → {} at {}), reproducing the direction of the paper's Fig. 19 \
          mechanistically rather than by the legacy model's \
-         dependency-scheduling approximation. The shrink flattens once \
-         the window stops filling (mean occupancy saturates well below \
-         the largest ROBs — the {}-entry unified RS and the LQ/SQ become \
-         the limiters), which is exactly where early DRAM fire keeps \
-         paying. POPET captures ≳90% of the oracle's upside at every \
-         depth, so the predictor is never the bottleneck. `fwd loads` is \
-         0 across this suite: the synthetic generators stream writes and \
-         essentially never reload a just-stored word, so store-to-load \
-         forwarding — unit-tested in `hermes-ooo` — stays idle here.",
+         dependency-scheduling approximation. POPET captures ≳90% of \
+         the oracle's upside at every depth, so the predictor is never \
+         the bottleneck. `fwd loads` is now non-zero: the `spill-reload` \
+         workload reloads every stored word while the store still sits \
+         in the store queue, exercising the forwarding path end-to-end.\n\n\
+         **LSQ pressure** (ROB pinned at {}, LQ/SQ swept together): \
+         `lsq stalls` counts dispatch cycles blocked on a full LSQ \
+         partition in the baseline.\n\n{}\n\
+         Reading: a starved LSQ ({}/{}) caps in-flight loads well below \
+         what the {}-entry ROB could sustain — IPC drops to {} vs {} at \
+         baseline LQ/SQ — and POPET's speedup is largest exactly there \
+         ({} vs {}): firing the DRAM read at predict time sidesteps the \
+         queue the load is still waiting to enter, so Hermes recovers \
+         latency the window cannot. As the LSQ grows toward baseline \
+         the core regains its own MLP and the two curves converge.",
         scale.warmup,
         scale.instr,
         OooConfig::baseline().rs_entries,
         OooConfig::baseline().issue_width,
-        robs[0],
-        robs[robs.len() - 1],
+        hermes_cpu::CoreConfig::baseline().lq_size,
+        hermes_cpu::CoreConfig::baseline().sq_size,
         t.to_markdown(),
         f3(first.2),
         first.0,
         f3(last.2),
         last.0,
-        OooConfig::baseline().rs_entries,
+        LSQ_ROB,
+        lt.to_markdown(),
+        lfirst.0,
+        lfirst.1,
+        LSQ_ROB,
+        f3(lfirst.2),
+        f3(llast.2),
+        f3(lfirst.3),
+        f3(llast.3),
     );
     emit(
         "ooo_sweep",
-        "Hermes on the out-of-order core: speedup vs ROB depth",
+        "Hermes on the out-of-order core: speedup vs ROB depth and LSQ size",
         &body,
         &scale,
     );

@@ -1,0 +1,143 @@
+//! `perf_smoke` — guard the per-cycle hot paths against regression.
+//!
+//! Runs the fixed-iteration microbenchmarks from `hermes_bench::micro`
+//! (POPET inference, LLC lookup, one cycle of each core model) and
+//! compares each kernel against the most recent tracked `BENCH_<n>.json`
+//! at the repo root. A kernel more than 25% slower than its recorded
+//! baseline fails the run; kernels with no baseline entry (newly added)
+//! pass with a note. The tolerance is deliberately generous — the
+//! baselines were recorded on a different machine than CI, so only
+//! multiples matter — and can be widened via `PERF_SMOKE_TOLERANCE`
+//! (a float multiplier, default `1.25`).
+//!
+//! Exit status: 0 when every kernel is within tolerance, 1 otherwise.
+
+use std::fs;
+
+/// Scrapes `{"name": "...", "ns_per_op": <f>}` pairs from the
+/// `"microbench"` array of a `BENCH_<n>.json`. Same light-scrape
+/// philosophy as `run_all`'s manifest reader: the writer is in-tree
+/// with a fixed key order, so shape surprises degrade to an empty
+/// baseline (which passes) rather than a parse error.
+fn scrape_microbench(text: &str) -> Vec<(String, f64)> {
+    let Some(section) = text.split("\"microbench\":").nth(1) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for frag in section.split("{\"name\": \"").skip(1) {
+        let Some(name_end) = frag.find('"') else {
+            continue;
+        };
+        let name = &frag[..name_end];
+        let Some(v) = frag.split("\"ns_per_op\": ").nth(1) else {
+            continue;
+        };
+        let end = v
+            .find(|c: char| c != '.' && !c.is_ascii_digit())
+            .unwrap_or(v.len());
+        if let Ok(ns) = v[..end].parse::<f64>() {
+            out.push((name.to_string(), ns));
+        }
+    }
+    out
+}
+
+/// Path of the highest-numbered `BENCH_<n>.json` in the current
+/// directory, if any.
+fn latest_bench() -> Option<String> {
+    (1u32..)
+        .map(|n| format!("BENCH_{n}.json"))
+        .take_while(|p| std::path::Path::new(p).exists())
+        .last()
+}
+
+fn main() {
+    let tolerance: f64 = std::env::var("PERF_SMOKE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.25);
+    let baseline = match latest_bench() {
+        Some(path) => {
+            let text = fs::read_to_string(&path).unwrap_or_default();
+            let b = scrape_microbench(&text);
+            eprintln!("baseline: {path} ({} kernels)", b.len());
+            b
+        }
+        None => {
+            eprintln!("no tracked BENCH_<n>.json found; nothing to compare against");
+            Vec::new()
+        }
+    };
+
+    // Best-of-5: the micro harness takes one sample per kernel, which
+    // on a noisy shared runner can swing 2x. The per-kernel minimum
+    // across passes is the classic noise-robust estimator — a kernel
+    // only fails when even its best pass is over tolerance.
+    let mut best = hermes_bench::micro::run_all_micro();
+    for _ in 0..4 {
+        for (b, r) in best.iter_mut().zip(hermes_bench::micro::run_all_micro()) {
+            assert_eq!(b.name, r.name, "kernel order must be stable");
+            b.ns_per_op = b.ns_per_op.min(r.ns_per_op);
+        }
+    }
+
+    let mut failed = false;
+    for r in best {
+        match baseline.iter().find(|(n, _)| n == r.name) {
+            Some((_, base)) => {
+                let ratio = r.ns_per_op / base;
+                let verdict = if ratio > tolerance {
+                    failed = true;
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                eprintln!(
+                    "  {:<24} {:>8.1} ns/op vs {:>8.1} baseline ({:>5.2}x) {}",
+                    r.name, r.ns_per_op, base, ratio, verdict
+                );
+            }
+            None => {
+                eprintln!(
+                    "  {:<24} {:>8.1} ns/op (no baseline entry; skipped)",
+                    r.name, r.ns_per_op
+                );
+            }
+        }
+    }
+    if failed {
+        eprintln!(
+            "perf smoke FAILED: hot-path kernel(s) >{:.0}% over baseline",
+            (tolerance - 1.0) * 100.0
+        );
+        std::process::exit(1);
+    }
+    eprintln!("perf smoke ok");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::scrape_microbench;
+
+    #[test]
+    fn scraper_reads_the_run_all_writer_shape() {
+        let bench = concat!(
+            "{\n  \"experiments\": [\n",
+            "    {\"name\": \"fig02\", \"ok\": true, \"wall_s\": 1.785, ",
+            "\"sim_cycles\": 5940295, \"cycles_per_sec\": 3327867}\n",
+            "  ],\n",
+            "  \"microbench\": [{\"name\": \"popet_predict_train\", \"ns_per_op\": 62.4}, ",
+            "{\"name\": \"llc_access_fill_ship\", \"ns_per_op\": 19.0}],\n",
+            "  \"total_wall_s\": 714.4\n}\n",
+        );
+        assert_eq!(
+            scrape_microbench(bench),
+            vec![
+                ("popet_predict_train".to_string(), 62.4),
+                ("llc_access_fill_ship".to_string(), 19.0),
+            ]
+        );
+        // Experiments entries must not leak into the baseline.
+        assert!(scrape_microbench("{\"experiments\": []}").is_empty());
+    }
+}

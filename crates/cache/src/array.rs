@@ -99,10 +99,25 @@ pub struct Evicted {
     pub sharers: u64,
 }
 
+/// Per-line attribute bits, packed into one byte so a whole set's
+/// metadata spans `ways` contiguous bytes (one cache line for any
+/// realistic associativity) instead of four separate `bool` vectors.
+mod flag {
+    pub const VALID: u8 = 1 << 0;
+    pub const DIRTY: u8 = 1 << 1;
+    pub const PREFETCHED: u8 = 1 << 2;
+    pub const DEMANDED: u8 = 1 << 3;
+}
+
 /// A set-associative cache tag array with pluggable replacement.
 ///
 /// Purely structural: no queues, no latencies. See crate docs for the
 /// division of labour with the hierarchy engine.
+///
+/// Layout is structure-of-arrays: tags in one contiguous `u64` vector,
+/// all boolean attributes packed into one byte per line, and a per-set
+/// valid-way bitmask so the hot lookup walks only occupied ways (in
+/// ascending way order, matching the legacy linear scan bit-for-bit).
 #[derive(Debug, Clone)]
 pub struct CacheArray {
     name: String,
@@ -110,10 +125,13 @@ pub struct CacheArray {
     ways: usize,
     set_mask: u64,
     tags: Vec<u64>,
-    valid: Vec<bool>,
-    dirty: Vec<bool>,
-    prefetched: Vec<bool>,
-    demanded: Vec<bool>,
+    /// Packed [`flag`] bits per line.
+    flags: Vec<u8>,
+    /// Per-set bitmask of valid ways; bit `w` set ⇔ way `w` holds a
+    /// valid line. Lets [`CacheArray::find`] skip invalid ways with
+    /// `trailing_zeros` and [`CacheArray::fill`] locate the first free
+    /// way without touching the flag bytes.
+    present: Vec<u64>,
     /// Per-line sharer-directory bitmap (one bit per core). Only a
     /// coherent shared level ever sets bits; everywhere else the vector
     /// stays all-zero and costs nothing but memory.
@@ -123,19 +141,22 @@ pub struct CacheArray {
 
 impl CacheArray {
     /// Builds an empty array per `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.ways > 64` (the per-set valid mask is a `u64`).
     pub fn new(cfg: &CacheConfig) -> Self {
         let sets = cfg.sets();
         let lines = cfg.lines();
+        assert!(cfg.ways <= 64, "{}: >64 ways unsupported", cfg.name);
         Self {
             name: cfg.name.clone(),
             sets,
             ways: cfg.ways,
             set_mask: sets as u64 - 1,
             tags: vec![0; lines],
-            valid: vec![false; lines],
-            dirty: vec![false; lines],
-            prefetched: vec![false; lines],
-            demanded: vec![false; lines],
+            flags: vec![0; lines],
+            present: vec![0; sets],
             sharers: vec![0; lines],
             policy: PolicyState::new(cfg.replacement, lines),
         }
@@ -157,14 +178,26 @@ impl CacheArray {
     }
 
     #[inline]
-    fn set_base(&self, line: LineAddr) -> usize {
-        ((line.raw() & self.set_mask) as usize) * self.ways
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line.raw() & self.set_mask) as usize
     }
 
     #[inline]
     fn find(&self, line: LineAddr) -> Option<usize> {
-        let base = self.set_base(line);
-        (base..base + self.ways).find(|&i| self.valid[i] && self.tags[i] == line.raw())
+        let set = self.set_of(line);
+        let base = set * self.ways;
+        let raw = line.raw();
+        // Walk valid ways in ascending order (same order as the legacy
+        // linear scan) via the presence mask.
+        let mut mask = self.present[set];
+        while mask != 0 {
+            let i = base + mask.trailing_zeros() as usize;
+            if self.tags[i] == raw {
+                return Some(i);
+            }
+            mask &= mask - 1;
+        }
+        None
     }
 
     /// Checks presence without perturbing replacement state.
@@ -179,8 +212,9 @@ impl CacheArray {
         match self.find(line) {
             Some(idx) => {
                 self.policy.on_hit(idx);
-                let first = self.prefetched[idx] && !self.demanded[idx];
-                self.demanded[idx] = true;
+                let f = self.flags[idx];
+                let first = f & (flag::PREFETCHED | flag::DEMANDED) == flag::PREFETCHED;
+                self.flags[idx] = f | flag::DEMANDED;
                 AccessResult {
                     hit: true,
                     first_demand_on_prefetch: first,
@@ -197,7 +231,7 @@ impl CacheArray {
     /// present.
     pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
         if let Some(idx) = self.find(line) {
-            self.dirty[idx] = true;
+            self.flags[idx] |= flag::DIRTY;
             true
         } else {
             false
@@ -218,31 +252,39 @@ impl CacheArray {
         if let Some(idx) = self.find(line) {
             // Line raced in already (e.g. prefetch then demand fill):
             // merge attributes instead of duplicating the tag.
-            self.dirty[idx] |= dirty;
+            self.flags[idx] |= if dirty { flag::DIRTY } else { 0 };
             return None;
         }
-        let base = self.set_base(line);
-        // Prefer an invalid way.
-        let (idx, evicted) = match (base..base + self.ways).find(|&i| !self.valid[i]) {
-            Some(i) => (i, None),
-            None => {
-                let w = self.policy.victim(base, self.ways);
-                let i = base + w;
-                self.policy.on_evict(i);
-                let ev = Evicted {
-                    line: LineAddr::new(self.tags[i]),
-                    dirty: self.dirty[i],
-                    was_unused_prefetch: self.prefetched[i] && !self.demanded[i],
-                    sharers: self.sharers[i],
-                };
-                (i, Some(ev))
-            }
+        let set = self.set_of(line);
+        let base = set * self.ways;
+        let ways_mask = if self.ways == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.ways) - 1
+        };
+        // Prefer the lowest-numbered invalid way, as the legacy linear
+        // scan did.
+        let free = !self.present[set] & ways_mask;
+        let (idx, evicted) = if free != 0 {
+            (base + free.trailing_zeros() as usize, None)
+        } else {
+            let w = self.policy.victim(base, self.ways);
+            let i = base + w;
+            self.policy.on_evict(i);
+            let f = self.flags[i];
+            let ev = Evicted {
+                line: LineAddr::new(self.tags[i]),
+                dirty: f & flag::DIRTY != 0,
+                was_unused_prefetch: f & (flag::PREFETCHED | flag::DEMANDED) == flag::PREFETCHED,
+                sharers: self.sharers[i],
+            };
+            (i, Some(ev))
         };
         self.tags[idx] = line.raw();
-        self.valid[idx] = true;
-        self.dirty[idx] = dirty;
-        self.prefetched[idx] = prefetched;
-        self.demanded[idx] = false;
+        self.flags[idx] = flag::VALID
+            | if dirty { flag::DIRTY } else { 0 }
+            | if prefetched { flag::PREFETCHED } else { 0 };
+        self.present[set] |= 1 << (idx - base);
         self.sharers[idx] = 0;
         self.policy.on_fill(idx, pc_signature);
         evicted
@@ -251,15 +293,19 @@ impl CacheArray {
     /// Invalidates a line; returns whether it was present (and dirty).
     pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
         let idx = self.find(line)?;
-        self.valid[idx] = false;
+        let set = self.set_of(line);
+        self.present[set] &= !(1 << (idx - set * self.ways));
         self.sharers[idx] = 0;
-        Some(self.dirty[idx])
+        let dirty = self.flags[idx] & flag::DIRTY != 0;
+        self.flags[idx] = 0;
+        Some(dirty)
     }
 
     /// Whether the line is resident *and* dirty (no replacement-state
     /// perturbation — a directory probe, not an access).
     pub fn probe_dirty(&self, line: LineAddr) -> bool {
-        self.find(line).is_some_and(|idx| self.dirty[idx])
+        self.find(line)
+            .is_some_and(|idx| self.flags[idx] & flag::DIRTY != 0)
     }
 
     /// Clears a resident line's dirty bit (M → S downgrade on a dirty
@@ -267,7 +313,7 @@ impl CacheArray {
     /// Returns whether the line was present.
     pub fn clean(&mut self, line: LineAddr) -> bool {
         if let Some(idx) = self.find(line) {
-            self.dirty[idx] = false;
+            self.flags[idx] &= !flag::DIRTY;
             true
         } else {
             false
@@ -302,7 +348,7 @@ impl CacheArray {
 
     /// Number of valid lines currently resident (test/diagnostic helper).
     pub fn occupancy(&self) -> usize {
-        self.valid.iter().filter(|&&v| v).count()
+        self.present.iter().map(|m| m.count_ones() as usize).sum()
     }
 }
 

@@ -138,6 +138,14 @@ pub struct CacheLevel<W> {
     arrays: Vec<CacheArray>,
     mshrs: Vec<MshrTable<W>>,
     stats: LevelStats,
+    /// Per-instance change counter, bumped by exactly the transitions
+    /// that can alter the outcome of a parked (MSHR-rejected) access:
+    /// a fill (the parked line could become resident), a successful
+    /// MSHR allocation (the parked line could now merge), or an MSHR
+    /// completion (a register freed). The hierarchy's retry queue
+    /// compares epochs to skip re-walking the tag array for attempts
+    /// that are guaranteed to fail again.
+    epochs: Vec<u64>,
 }
 
 impl<W> CacheLevel<W> {
@@ -159,6 +167,7 @@ impl<W> CacheLevel<W> {
             scope: cfg.scope,
             cfg: inst,
             stats: LevelStats::default(),
+            epochs: vec![0; n],
         }
     }
 
@@ -243,6 +252,7 @@ impl<W> CacheLevel<W> {
         pc_signature: u16,
     ) -> Option<Evicted> {
         let slot = self.slot(core);
+        self.epochs[slot] += 1;
         let ev = self.arrays[slot].fill(line, dirty, prefetched, pc_signature);
         self.stats.fills += 1;
         if ev.is_some_and(|e| e.dirty) {
@@ -312,8 +322,10 @@ impl<W> CacheLevel<W> {
     ) -> Result<bool, MshrFull> {
         let slot = self.slot(core);
         let res = self.mshrs[slot].allocate(line, waiter, is_prefetch);
-        if res.is_err() {
-            self.stats.mshr_rejections += 1;
+        match res {
+            Ok(true) => self.epochs[slot] += 1,
+            Ok(false) => {}
+            Err(_) => self.stats.mshr_rejections += 1,
         }
         res
     }
@@ -321,7 +333,30 @@ impl<W> CacheLevel<W> {
     /// Completes the outstanding miss for `line` in `core`'s MSHR table.
     pub fn mshr_complete(&mut self, core: usize, line: LineAddr) -> Option<(Vec<W>, bool)> {
         let slot = self.slot(core);
-        self.mshrs[slot].complete(line)
+        let res = self.mshrs[slot].complete(line);
+        if res.is_some() {
+            self.epochs[slot] += 1;
+        }
+        res
+    }
+
+    /// The change epoch of `core`'s instance — see the field docs. A
+    /// rejected access whose recorded epoch still matches cannot succeed
+    /// on retry: the array contents and the MSHR line-set/occupancy that
+    /// rejected it are untouched.
+    #[inline]
+    pub fn change_epoch(&self, core: usize) -> u64 {
+        self.epochs[self.slot(core)]
+    }
+
+    /// Charges the counters of one guaranteed-to-fail retry attempt
+    /// without walking the tag array or MSHR table: a tag access that
+    /// misses plus an MSHR rejection — exactly what the full re-attempt
+    /// would have recorded.
+    pub fn count_rejected_retry(&mut self) {
+        self.stats.accesses += 1;
+        self.stats.misses += 1;
+        self.stats.mshr_rejections += 1;
     }
 
     /// Whether a miss to `line` is outstanding for `core`.

@@ -124,10 +124,28 @@ impl Default for PopetConfig {
 }
 
 /// The predictor. See [module docs](self).
+///
+/// Weight storage is a single flat `i16` vector of [`MAX_FEATURES`]
+/// rows padded to a common stride (the largest active table), so the
+/// per-load hot path is a gather of `n` weights at `row * stride + idx`
+/// addresses from one contiguous allocation — no nested-`Vec` pointer
+/// chasing — followed by a reduction and one flag-producing compare.
+/// Saturation bounds are uniform across rows (`weight_bits`), so the
+/// training update is a branchless `clamp` instead of a per-weight
+/// [`SatWeight`] branch pair.
 #[derive(Debug, Clone)]
 pub struct Popet {
     cfg: PopetConfig,
-    tables: Vec<Vec<SatWeight>>,
+    /// Row `f` (one per active feature) occupies
+    /// `weights[f * stride .. f * stride + (1 << bits_f)]`; the padding
+    /// lanes of narrower rows are never indexed (`hash_index` bounds
+    /// each index by its row's width).
+    weights: Vec<i16>,
+    /// Common row stride: the largest active table size.
+    stride: usize,
+    /// Uniform saturation bounds from `weight_bits`.
+    w_min: i16,
+    w_max: i16,
     page_buffer: PageBuffer,
     last4_pcs: [u64; 4],
 }
@@ -149,17 +167,22 @@ impl Popet {
         } else {
             0
         };
-        let mut w0 = SatWeight::new_bits(cfg.weight_bits);
-        w0.set(cold);
-        let tables = cfg
+        let bounds = SatWeight::new_bits(cfg.weight_bits);
+        let (w_min, w_max) = (bounds.min(), bounds.max());
+        let stride = cfg
             .features
             .iter()
-            .map(|&(_, bits)| vec![w0; 1 << bits])
-            .collect();
+            .map(|&(_, bits)| 1usize << bits)
+            .max()
+            .unwrap();
+        let weights = vec![cold.clamp(w_min, w_max); cfg.features.len() * stride];
         let page_buffer = PageBuffer::new(cfg.page_buffer_entries);
         Self {
             cfg,
-            tables,
+            weights,
+            stride,
+            w_min,
+            w_max,
             page_buffer,
             last4_pcs: [0; 4],
         }
@@ -197,12 +220,16 @@ impl OffChipPredictor for Popet {
         self.last4_pcs.rotate_left(1);
         self.last4_pcs[3] = ctx.pc;
 
+        // Hash every active feature into its row, then gather-and-sum
+        // the weights from the flat storage in one tight reduction.
         let mut indices = [0u16; MAX_FEATURES];
-        let mut wsum: i32 = 0;
         for (i, &(feature, bits)) in self.cfg.features.iter().enumerate() {
-            let idx = hash_index(feature.key(&inputs), bits);
-            indices[i] = idx as u16;
-            wsum += self.tables[i][idx].get() as i32;
+            indices[i] = hash_index(feature.key(&inputs), bits) as u16;
+        }
+        let n = self.cfg.features.len();
+        let mut wsum: i32 = 0;
+        for (i, &idx) in indices.iter().enumerate().take(n) {
+            wsum += self.weights[i * self.stride + idx as usize] as i32;
         }
         Prediction {
             go_offchip: wsum >= self.cfg.tau_act,
@@ -225,12 +252,17 @@ impl OffChipPredictor for Popet {
         // update; the saturation check exists to keep *correct* confident
         // weights from over-saturating).
         let mispredicted = pred.go_offchip != went_offchip;
-        let within = wsum > self.cfg.t_neg && wsum < self.cfg.t_pos;
+        // Non-short-circuiting compares: both thresholds reduce to flag
+        // arithmetic, no data-dependent branch.
+        let within = (wsum > self.cfg.t_neg) & (wsum < self.cfg.t_pos);
         if !mispredicted && !within {
             return;
         }
-        for (table, &idx) in self.tables.iter_mut().zip(&indices).take(n as usize) {
-            table[idx as usize].train(went_offchip);
+        // Branchless ±1 saturating update on the consulted weights.
+        let delta = (went_offchip as i16) * 2 - 1;
+        for (i, &idx) in indices.iter().enumerate().take(n as usize) {
+            let w = &mut self.weights[i * self.stride + idx as usize];
+            *w = (*w + delta).clamp(self.w_min, self.w_max);
         }
     }
 

@@ -108,6 +108,22 @@ impl CoreConfig {
         self
     }
 
+    /// Returns a copy with a different load-queue size (LSQ-pressure
+    /// sweep).
+    pub fn with_lq(mut self, lq: usize) -> Self {
+        assert!(lq > 0, "load queue cannot be empty");
+        self.lq_size = lq;
+        self
+    }
+
+    /// Returns a copy with a different store-queue size (LSQ-pressure
+    /// sweep).
+    pub fn with_sq(mut self, sq: usize) -> Self {
+        assert!(sq > 0, "store queue cannot be empty");
+        self.sq_size = sq;
+        self
+    }
+
     /// Returns a copy running the given pipeline model.
     pub fn with_model(mut self, model: CoreModel) -> Self {
         self.model = model;

@@ -47,7 +47,7 @@ use crate::Provenance;
 /// core model (`CoreConfig` grew the `model` field, entering every
 /// fingerprint, and `RunLite` grew the ROB-occupancy / RS-LSQ-stall /
 /// forwarding / flush fields).
-pub const CACHE_SCHEMA_VERSION: u32 = 8;
+pub const CACHE_SCHEMA_VERSION: u32 = 9;
 
 /// How long a lock file may sit untouched before a waiter assumes its
 /// owner died and breaks it. Generous: a legitimate `--full` eight-core

@@ -10,6 +10,8 @@ use hermes_prefetch::PrefetcherKind;
 use hermes_probe::ProbeConfig;
 use hermes_vm::VmConfig;
 
+use crate::sched::SchedulerModel;
+
 /// Complete description of a simulated system.
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
@@ -82,6 +84,19 @@ pub struct SystemConfig {
     /// (stall cycles are attributed in bulk); this is purely a wall-clock
     /// optimisation for memory-bound workloads.
     pub fast_forward: bool,
+    /// Main-loop engine: the event-driven calendar queue (the default)
+    /// or the legacy per-cycle tick loop. The two are cycle-exact on
+    /// every config — see [`crate::sched`] — so this knob only affects
+    /// wall-clock time (and exists so equivalence stays testable).
+    pub scheduler: SchedulerModel,
+    /// Extends the PR 6 DRAM bandwidth guard to the prefetcher zoo: when
+    /// on, a prefetch issue at the last level is dropped if its DRAM
+    /// channel's read queue is more than a quarter occupied — the same
+    /// [`hermes_dram::MemoryController::read_queue_pressure`] gate Hermes
+    /// speculative reads consult. Off by default: the historical
+    /// prefetcher behaviour (and every golden digest) is unchanged
+    /// unless a config opts in.
+    pub pf_bandwidth_guard: bool,
 }
 
 impl SystemConfig {
@@ -105,6 +120,8 @@ impl SystemConfig {
             probe: None,
             mshr_retry: 4,
             fast_forward: true,
+            scheduler: SchedulerModel::default(),
+            pf_bandwidth_guard: false,
         }
     }
 
@@ -139,6 +156,18 @@ impl SystemConfig {
     /// Replaces the ROB size (Fig. 19 sweep).
     pub fn with_rob(mut self, rob: usize) -> Self {
         self.core = self.core.with_rob(rob);
+        self
+    }
+
+    /// Replaces the load-queue size (LSQ-pressure sweep).
+    pub fn with_lq(mut self, lq: usize) -> Self {
+        self.core = self.core.with_lq(lq);
+        self
+    }
+
+    /// Replaces the store-queue size (LSQ-pressure sweep).
+    pub fn with_sq(mut self, sq: usize) -> Self {
+        self.core = self.core.with_sq(sq);
         self
     }
 
@@ -221,6 +250,20 @@ impl SystemConfig {
     /// changes results, only wall-clock time).
     pub fn with_fast_forward(mut self, on: bool) -> Self {
         self.fast_forward = on;
+        self
+    }
+
+    /// Selects the main-loop engine (calendar queue by default; never
+    /// changes results, only wall-clock time — see [`crate::sched`]).
+    pub fn with_scheduler(mut self, scheduler: SchedulerModel) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Gates prefetcher issues on DRAM read-queue pressure, the same way
+    /// Hermes speculative reads are gated (off by default).
+    pub fn with_pf_bandwidth_guard(mut self, on: bool) -> Self {
+        self.pf_bandwidth_guard = on;
         self
     }
 

@@ -241,7 +241,6 @@ impl Ord for HeapEntry {
 /// retry queue.
 #[derive(Debug, Clone, Copy)]
 struct Retry {
-    at: Cycle,
     core: usize,
     line: LineAddr,
     token: Option<u64>,
@@ -249,6 +248,52 @@ struct Retry {
     pc: u64,
     /// `Some` for a parked page-table-walker access.
     walk: Option<u64>,
+    /// First-level [`CacheLevel::change_epoch`] observed when the access
+    /// parked. While it still matches at retry time, nothing that could
+    /// admit the access has happened, so the re-attempt short-circuits
+    /// to its accounting side effects.
+    epoch: u64,
+}
+
+/// The retry queue in struct-of-arrays layout: due times live in their
+/// own dense vector so the per-tick sweep touches 8 bytes per
+/// parked-but-not-due entry instead of the whole payload (under MSHR
+/// saturation the queue holds thousands of entries and is re-scanned
+/// every tick). `push`/`swap_remove` keep the two vectors in lockstep,
+/// preserving the exact legacy scan order bit-for-bit.
+#[derive(Debug, Default)]
+struct RetryQueue {
+    at: Vec<Cycle>,
+    body: Vec<Retry>,
+}
+
+impl RetryQueue {
+    #[inline]
+    fn len(&self) -> usize {
+        self.at.len()
+    }
+
+    #[inline]
+    fn push(&mut self, at: Cycle, r: Retry) {
+        self.at.push(at);
+        self.body.push(r);
+    }
+
+    #[inline]
+    fn at(&self, i: usize) -> Cycle {
+        self.at[i]
+    }
+
+    #[inline]
+    fn swap_remove(&mut self, i: usize) -> Retry {
+        self.at.swap_remove(i);
+        self.body.swap_remove(i)
+    }
+
+    /// Minimum due time across the queue (`Cycle::MAX` when empty).
+    fn min_at(&self) -> Cycle {
+        self.at.iter().copied().min().unwrap_or(Cycle::MAX)
+    }
 }
 
 /// What the predictor said about an in-flight load, kept until training.
@@ -467,7 +512,7 @@ pub struct Hierarchy {
     pf_buf: Vec<PrefetchReq>,
     /// Deferred first-level accesses (exact legacy scan order — see
     /// module docs).
-    retries: Vec<Retry>,
+    retries: RetryQueue,
     /// Cached `min(retries[..].at)` (`Cycle::MAX` when empty): the O(1)
     /// nothing-due test for `tick` and the retry term of
     /// [`Hierarchy::next_event_at`].
@@ -561,7 +606,7 @@ impl Hierarchy {
             stats: vec![CoreHierStats::default(); n],
             dram_buf: Vec::new(),
             pf_buf: Vec::new(),
-            retries: Vec::new(),
+            retries: RetryQueue::default(),
             retry_min: Cycle::MAX,
             pending_upgrades: std::collections::HashSet::new(),
             filters: (0..n).map(|_| SpecReadFilter::new()).collect(),
@@ -886,15 +931,18 @@ impl Hierarchy {
                 // charged to the power model).
                 let at = now + self.cfg.mshr_retry as Cycle;
                 self.retry_min = self.retry_min.min(at);
-                self.retries.push(Retry {
+                self.retries.push(
                     at,
-                    core,
-                    line,
-                    token,
-                    is_store,
-                    pc,
-                    walk: None,
-                });
+                    Retry {
+                        core,
+                        line,
+                        token,
+                        is_store,
+                        pc,
+                        walk: None,
+                        epoch: self.levels[0].change_epoch(core),
+                    },
+                );
             }
         }
     }
@@ -1015,15 +1063,18 @@ impl Hierarchy {
             Err(_) => {
                 let at = now + self.cfg.mshr_retry as Cycle;
                 self.retry_min = self.retry_min.min(at);
-                self.retries.push(Retry {
+                self.retries.push(
                     at,
-                    core,
-                    line,
-                    token: None,
-                    is_store: false,
-                    pc: 0,
-                    walk: Some(walk),
-                });
+                    Retry {
+                        core,
+                        line,
+                        token: None,
+                        is_store: false,
+                        pc: 0,
+                        walk: Some(walk),
+                        epoch: self.levels[0].change_epoch(core),
+                    },
+                );
             }
         }
     }
@@ -1233,6 +1284,13 @@ impl Hierarchy {
     fn issue_prefetch(&mut self, core: usize, trigger: LineAddr, line: LineAddr, now: Cycle) {
         let last = self.last();
         if line.page_number() != trigger.page_number() {
+            return;
+        }
+        // Optional bandwidth guard (off by default): drop the candidate
+        // when its channel's read queue is past quarter occupancy — the
+        // same headroom rule Hermes applies to speculative reads — so
+        // prefetches stop displacing demand fills under contention.
+        if self.cfg.pf_bandwidth_guard && !self.spec_read_headroom(line, now) {
             return;
         }
         if self.levels[last].mshr_in_use(core) + PF_MSHR_RESERVE
@@ -1709,25 +1767,45 @@ impl Hierarchy {
         // historical swap-remove scan (order preserved bit-for-bit);
         // entries re-parked mid-scan land behind the cursor with a
         // future due time and are skipped.
+        //
+        // A due entry whose first level hasn't changed since it parked
+        // (no fill, no MSHR allocation or release — tracked by
+        // [`CacheLevel::change_epoch`]) is *guaranteed* to miss and be
+        // rejected again, so the re-attempt collapses to its counter
+        // and trace side effects: the tag array and MSHR table are not
+        // walked. This is the dominant case under MSHR saturation
+        // (thousands of parked accesses re-attempting every
+        // `mshr_retry` cycles) and is bit-exact by construction.
         if now >= self.retry_min {
             let mut i = 0;
             while i < self.retries.len() {
-                if self.retries[i].at <= now {
+                if self.retries.at(i) <= now {
                     let r = self.retries.swap_remove(i);
-                    match r.walk {
-                        Some(walk) => self.walk_access(r.core, r.line, walk, now),
-                        None => self.access_first(r.core, r.line, r.token, r.is_store, r.pc, now),
+                    if r.epoch == self.levels[0].change_epoch(r.core) {
+                        match r.walk {
+                            Some(_) => self.stats[r.core].walk_mem_accesses += 1,
+                            None => {
+                                self.stats[r.core].l1_accesses += 1;
+                                if let (Some(p), Some(tok)) = (&mut self.probe, r.token) {
+                                    p.on_load_event(r.core, tok, now, "l1_miss");
+                                }
+                            }
+                        }
+                        self.levels[0].count_rejected_retry();
+                        self.retries.push(now + self.cfg.mshr_retry as Cycle, r);
+                    } else {
+                        match r.walk {
+                            Some(walk) => self.walk_access(r.core, r.line, walk, now),
+                            None => {
+                                self.access_first(r.core, r.line, r.token, r.is_store, r.pc, now)
+                            }
+                        }
                     }
                 } else {
                     i += 1;
                 }
             }
-            self.retry_min = self
-                .retries
-                .iter()
-                .map(|r| r.at)
-                .min()
-                .unwrap_or(Cycle::MAX);
+            self.retry_min = self.retries.min_at();
         }
         while let Some(Reverse(entry)) = self.events.peek() {
             if entry.at > now {

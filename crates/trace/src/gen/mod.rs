@@ -17,6 +17,7 @@ pub mod stencil;
 pub mod stream;
 pub mod streamcluster;
 pub mod strided;
+pub mod write_reload;
 
 use crate::instr::Reg;
 

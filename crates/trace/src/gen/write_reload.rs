@@ -1,0 +1,186 @@
+//! Spill/reload workload: every store is reloaded moments later.
+//!
+//! Models register-pressure spill code and message-buffer staging: the
+//! kernel streams an input array (the off-chip-bound part), spills an
+//! intermediate to a small circular scratch buffer, and reloads the
+//! just-stored word within a handful of instructions — while the store
+//! is still sitting in the store queue. On the out-of-order core those
+//! reloads resolve by store-to-load forwarding (`forwarded_loads`), a
+//! path no other synthetic generator exercises: the streaming suites
+//! write words they never read back. A second reload targets the slot
+//! stored `slots/2` iterations ago, which has long drained to the L1,
+//! so each iteration mixes a forwarded load with an ordinary cache hit.
+
+use hermes_types::VirtAddr;
+
+use super::{pc, Layout, RegRotor};
+use crate::instr::Instr;
+use crate::source::TraceSource;
+
+/// See [module docs](self).
+#[derive(Debug, Clone)]
+pub struct WriteReload {
+    name: String,
+    /// Circular scratch buffer of 8 B words (the spill area).
+    buf: u64,
+    /// Streamed input array.
+    stream: u64,
+    slots: u64,
+    work: u32,
+    i: u64,
+    phase: u32,
+    work_left: u32,
+    rot: RegRotor,
+}
+
+impl WriteReload {
+    /// A spill/reload kernel over a scratch buffer of `slots` 8 B words,
+    /// with `work` ALU instructions of compute between the store and its
+    /// reload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots < 2`.
+    pub fn new(slots: u64, work: u32, seed: u64) -> Self {
+        assert!(slots >= 2, "need at least two scratch slots");
+        let l = Layout::new();
+        Self {
+            name: format!("write_reload_{slots}s{work}w"),
+            buf: l.region(1),
+            stream: l.region(2),
+            slots,
+            work,
+            i: seed % slots, // start phase varies per seed
+            phase: 0,
+            work_left: 0,
+            rot: RegRotor::new(8, 8),
+        }
+    }
+
+    #[inline]
+    fn slot_addr(&self, iter: u64) -> u64 {
+        self.buf + (iter % self.slots) * 8
+    }
+}
+
+impl TraceSource for WriteReload {
+    fn next_instr(&mut self) -> Instr {
+        match self.phase {
+            // Streamed input: the only load that can go off-chip.
+            0 => {
+                self.phase = 1;
+                self.work_left = self.work;
+                let r = self.rot.next_reg();
+                Instr::load(
+                    pc(0),
+                    VirtAddr::new(self.stream + self.i * 8),
+                    Some(r),
+                    [Some(1), None],
+                )
+            }
+            // Compute on the input before spilling the intermediate.
+            1 => {
+                if self.work_left > 1 {
+                    self.work_left -= 1;
+                } else {
+                    self.phase = 2;
+                }
+                Instr::fp(pc(1), Some(24), [Some(8), Some(9)], 4)
+            }
+            // Spill.
+            2 => {
+                self.phase = 3;
+                Instr::store(
+                    pc(2),
+                    VirtAddr::new(self.slot_addr(self.i)),
+                    [Some(24), None],
+                )
+            }
+            // Reload the word just stored: the store is still in the
+            // store queue, so the OoO core forwards it.
+            3 => {
+                self.phase = 4;
+                let r = self.rot.next_reg();
+                Instr::load(
+                    pc(3),
+                    VirtAddr::new(self.slot_addr(self.i)),
+                    Some(r),
+                    [None, None],
+                )
+            }
+            // Reload a long-drained slot: an ordinary L1 hit.
+            4 => {
+                self.phase = 5;
+                let r = self.rot.next_reg();
+                Instr::load(
+                    pc(4),
+                    VirtAddr::new(self.slot_addr(self.i + self.slots / 2)),
+                    Some(r),
+                    [None, None],
+                )
+            }
+            _ => {
+                self.i += 1;
+                self.phase = 0;
+                Instr::branch(pc(5), true, None)
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_store_is_reloaded_immediately() {
+        let mut g = WriteReload::new(64, 1, 0);
+        let mut pending_store: Option<u64> = None;
+        let mut matched = 0;
+        for _ in 0..600 {
+            let i = g.next_instr();
+            if i.is_store() {
+                assert!(pending_store.is_none(), "store never reloaded");
+                pending_store = Some(i.mem.unwrap().vaddr.raw());
+            } else if i.is_load() && i.pc == pc(3) {
+                assert_eq!(
+                    Some(i.mem.unwrap().vaddr.raw()),
+                    pending_store,
+                    "reload does not target the just-stored word"
+                );
+                pending_store = None;
+                matched += 1;
+            }
+        }
+        assert!(matched > 50, "only {matched} spill/reload pairs seen");
+    }
+
+    #[test]
+    fn old_slot_reload_is_distinct_and_resident() {
+        let mut g = WriteReload::new(64, 1, 0);
+        for _ in 0..600 {
+            let i = g.next_instr();
+            if i.is_load() && i.pc == pc(4) {
+                let a = i.mem.unwrap().vaddr.raw();
+                let l = Layout::new();
+                assert!(a >= l.region(1) && a < l.region(1) + 64 * 8);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = WriteReload::new(32, 2, 7);
+        let mut b = WriteReload::new(32, 2, 7);
+        for _ in 0..200 {
+            assert_eq!(
+                format!("{:?}", a.next_instr()),
+                format!("{:?}", b.next_instr())
+            );
+        }
+    }
+}

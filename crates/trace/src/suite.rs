@@ -134,6 +134,9 @@ pub enum GenConfig {
         shared_per_mille: u32,
         store_per_mille: u32,
     },
+    /// Spill/reload kernel: every store is reloaded a few instructions
+    /// later (store-to-load forwarding): (scratch slots, ALU work).
+    WriteReload { slots: u64, work: u32 },
 }
 
 /// A named, seeded workload: the unit the experiment harness iterates over.
@@ -257,6 +260,9 @@ fn build_config(config: &GenConfig, seed: u64, core: usize) -> Box<dyn TraceSour
             seed,
             core,
         )),
+        GenConfig::WriteReload { slots, work } => Box::new(
+            crate::gen::write_reload::WriteReload::new(*slots, *work, seed),
+        ),
     }
 }
 

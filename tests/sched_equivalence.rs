@@ -1,0 +1,135 @@
+//! Cycle-exactness of the calendar-queue scheduler.
+//!
+//! `SchedulerModel::Calendar` (the default) must simulate the identical
+//! trajectory to `SchedulerModel::Tick` — every counter, every probe
+//! record, bit-for-bit — on every kind of configuration: single-core,
+//! multi-core with MESI coherence (which saturates the L1 MSHRs and
+//! exercises the retry queue heavily), address translation on, the
+//! out-of-order core model, the probe attached, and fast-forward off.
+//! The comparison is the full `Debug` rendering of [`RunStats`], the
+//! strongest equality the stats expose.
+
+use hermes_repro::hermes::{HermesConfig, PredictorKind};
+use hermes_repro::hermes_cache::CoherenceConfig;
+use hermes_repro::hermes_cpu::{CoreModel, OooConfig};
+use hermes_repro::hermes_probe::ProbeConfig;
+use hermes_repro::hermes_sim::{SchedulerModel, System, SystemConfig};
+use hermes_repro::hermes_trace::{suite, WorkloadSpec};
+use hermes_repro::hermes_vm::VmConfig;
+
+/// Runs `cfg` under both scheduler models and asserts bit-identical
+/// statistics.
+fn assert_equivalent(tag: &str, cfg: SystemConfig, specs: &[WorkloadSpec], warmup: u64, sim: u64) {
+    let tick =
+        System::new(cfg.clone().with_scheduler(SchedulerModel::Tick), specs).run(warmup, sim);
+    let cal = System::new(cfg.with_scheduler(SchedulerModel::Calendar), specs).run(warmup, sim);
+    assert_eq!(
+        format!("{tick:?}"),
+        format!("{cal:?}"),
+        "{tag}: calendar scheduler diverged from tick"
+    );
+}
+
+#[test]
+fn calendar_matches_tick_single_core() {
+    let smoke = suite::smoke_suite();
+    for wi in [0, 1, 3] {
+        assert_equivalent(
+            "1c-baseline",
+            SystemConfig::baseline_1c(),
+            &smoke[wi..=wi],
+            3_000,
+            10_000,
+        );
+        assert_equivalent(
+            "1c-popet",
+            SystemConfig::baseline_1c().with_hermes(HermesConfig::hermes_o(PredictorKind::Popet)),
+            &smoke[wi..=wi],
+            3_000,
+            10_000,
+        );
+    }
+}
+
+#[test]
+fn calendar_matches_tick_4core_mesi() {
+    // Heavy sharing on 4 coherent cores floods the L1 MSHRs: this is
+    // the config where the retry queue holds thousands of parked
+    // accesses and the epoch fast path does almost all the work.
+    let cfg = SystemConfig {
+        cores: 4,
+        ..SystemConfig::baseline_1c()
+    }
+    .with_coherence(CoherenceConfig::baseline());
+    let specs = suite::sharing_suite(500);
+    assert_equivalent("4c-mesi", cfg.clone(), &specs, 1_000, 4_000);
+    assert_equivalent(
+        "4c-mesi-popet",
+        cfg.with_hermes(HermesConfig::hermes_o(PredictorKind::Popet)),
+        &specs,
+        1_000,
+        4_000,
+    );
+}
+
+#[test]
+fn calendar_matches_tick_vm_on() {
+    let cfg = SystemConfig::baseline_1c()
+        .with_vm(VmConfig::baseline())
+        .with_hermes(HermesConfig::hermes_o(PredictorKind::Popet));
+    let specs = suite::tlb_suite();
+    assert_equivalent("1c-vm", cfg, &specs[..1], 2_000, 8_000);
+}
+
+#[test]
+fn calendar_matches_tick_ooo_core() {
+    let cfg = SystemConfig::baseline_1c().with_core_model(CoreModel::OoO(OooConfig::baseline()));
+    let smoke = suite::smoke_suite();
+    for wi in [0, 1] {
+        assert_equivalent("1c-ooo", cfg.clone(), &smoke[wi..=wi], 2_000, 8_000);
+    }
+}
+
+#[test]
+fn calendar_matches_tick_with_probe() {
+    // The probe's interval timeline and lifecycle records ride the same
+    // trajectory; RunStats embeds the probe report, so this pins the
+    // observability layer too.
+    let cfg = SystemConfig::baseline_1c()
+        .with_hermes(HermesConfig::hermes_o(PredictorKind::Popet))
+        .with_probe(ProbeConfig::default());
+    let smoke = suite::smoke_suite();
+    assert_equivalent("1c-probe", cfg, &smoke[..1], 2_000, 8_000);
+}
+
+#[test]
+fn calendar_matches_tick_without_fast_forward() {
+    // With fast-forward off the calendar loop steps every cycle but
+    // still skips idle components; results must not move.
+    let cfg = SystemConfig::baseline_1c().with_fast_forward(false);
+    let smoke = suite::smoke_suite();
+    assert_equivalent("1c-no-ff", cfg, &smoke[..1], 1_000, 4_000);
+}
+
+#[test]
+fn calendar_never_stalls_with_work_pending() {
+    // Quiescence: a calendar run must terminate with every core at its
+    // retirement quota — if the queue ever reported "nothing due" while
+    // work was pending, the forward-progress budget inside `run` would
+    // trip (or retirement would stall short). Exercise the three
+    // stressors at once: coherence, translation, and Hermes.
+    let cfg = SystemConfig {
+        cores: 2,
+        ..SystemConfig::baseline_1c()
+    }
+    .with_coherence(CoherenceConfig::baseline())
+    .with_vm(VmConfig::baseline())
+    .with_hermes(HermesConfig::hermes_o(PredictorKind::Popet))
+    .with_scheduler(SchedulerModel::Calendar);
+    let specs = suite::sharing_suite(250);
+    let stats = System::new(cfg, &specs).run(1_000, 5_000);
+    for c in &stats.cores {
+        assert_eq!(c.instructions, 5_000, "{} stalled short", c.workload);
+    }
+    assert!(stats.total_cycles > 0);
+}
